@@ -1,0 +1,68 @@
+"""A-COMPACT — ablation: the §5.2 future-work header/padding compression.
+
+"Since headers and paddings dominate these extra bytes, future work could
+focus on compressing headers and paddings during sending."  This bench
+implements and measures that option: wire bytes saved vs per-field CPU
+added, on a Spark-like record population.
+"""
+
+from repro.core.runtime import attach_skyway
+from repro.core.streams import SkywayObjectInputStream, SkywayObjectOutputStream
+from repro.jvm.jvm import JVM
+from repro.jvm.marshal import to_heap
+from repro.bench.report import format_kv_section
+from repro.types.corelib import standard_classpath
+
+from conftest import bench_scale, publish
+
+
+def run_variant(records, compress: bool):
+    classpath = standard_classpath()
+    src = JVM("cmp-src", classpath=classpath, old_bytes=128 * 1024 * 1024)
+    dst = JVM("cmp-dst", classpath=classpath, old_bytes=128 * 1024 * 1024)
+    attach_skyway(src, [dst])
+    pins = [src.pin(to_heap(src, record)) for record in records]
+
+    out = SkywayObjectOutputStream(src.skyway, destination="p",
+                                   compress_headers=compress)
+    for pin in pins:
+        out.write_object(pin.address)
+    data = out.close()
+    inp = SkywayObjectInputStream(dst.skyway)
+    inp.accept(data)
+    cpu = src.clock.total() + dst.clock.total()
+    return len(data), cpu
+
+
+def test_ablation_compact(benchmark):
+    n = max(100, int(600 * bench_scale()))
+    records = [(i % 50, (i, float(i), f"tag{i % 7}")) for i in range(n)]
+
+    def run():
+        return {
+            "plain": run_variant(records, compress=False),
+            "compact": run_variant(records, compress=True),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    plain_bytes, plain_cpu = results["plain"]
+    compact_bytes, compact_cpu = results["compact"]
+
+    publish("ablation_compact", format_kv_section(
+        "A-COMPACT — header/padding compression (paper §5.2 future work)",
+        {
+            "records": n,
+            "plain wire bytes": plain_bytes,
+            "compact wire bytes": compact_bytes,
+            "bytes saved": f"{1 - compact_bytes / plain_bytes:.1%}",
+            "plain CPU (us)": plain_cpu * 1e6,
+            "compact CPU (us)": compact_cpu * 1e6,
+            "CPU added": f"{compact_cpu / plain_cpu - 1:.1%}",
+        },
+    ))
+
+    # The tradeoff: substantial byte savings, real CPU cost.
+    assert compact_bytes < 0.7 * plain_bytes
+    assert compact_cpu > plain_cpu
+    benchmark.extra_info["bytes_saved_frac"] = round(
+        1 - compact_bytes / plain_bytes, 3)

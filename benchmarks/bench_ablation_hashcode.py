@@ -1,0 +1,81 @@
+"""A-HASH — ablation: hashcode preservation (paper §4.2 "Header Update").
+
+Skyway preserves the cached identity hashcode in each transferred mark
+word, so hash-based structures work immediately.  The ablation compares a
+received HashMap (identity-hashed keys) used directly against the
+counterfactual where hashes were invalidated and the map must be
+re-inserted entry by entry — what every ordinary deserializer does.
+"""
+
+from repro.core.runtime import attach_skyway
+from repro.core.streams import SkywayObjectInputStream, SkywayObjectOutputStream
+from repro.jvm.collections import HashMapOps
+from repro.jvm.jvm import JVM
+from repro.bench.report import format_kv_section
+from repro.types.corelib import standard_classpath
+
+from conftest import bench_scale, publish
+
+
+def _build_identity_keyed_map(jvm, entries):
+    cp = jvm.classpath
+    if "KeyObj" not in cp:
+        cp.define("KeyObj", [("id", "J")])
+    ops = HashMapOps(jvm)
+    pin = jvm.pin(ops.new())
+    keys = []
+    for i in range(entries):
+        k = jvm.pin(jvm.new_instance("KeyObj"))
+        jvm.set_field(k.address, "id", i)
+        jvm.identity_hash(k.address)  # cache it in the mark word
+        v = jvm.pin(jvm.new_string(f"value-{i}"))
+        pin.address = ops.put(pin.address, k.address, v.address)
+        keys.append(k)
+    return pin, keys
+
+
+def run_ablation(entries: int):
+    classpath = standard_classpath()
+    src = JVM("hash-src", classpath=classpath)
+    dst = JVM("hash-dst", classpath=classpath)
+    attach_skyway(src, [dst])
+    map_pin, _ = _build_identity_keyed_map(src, entries)
+
+    out = SkywayObjectOutputStream(src.skyway, destination="peer")
+    out.write_object(map_pin.address)
+    inp = SkywayObjectInputStream(dst.skyway)
+    inp.accept(out.close())
+    received = inp.read_object()
+    ops = HashMapOps(dst)
+
+    # Preserved hashes: every key found through its cached hash, no work.
+    before = dst.clock.total()
+    hits = sum(
+        1 for k, v in ops.entries(received) if ops.get(received, k) == v
+    )
+    preserved_cost = dst.clock.total() - before
+    assert hits == entries
+
+    # Counterfactual: hashes invalidated -> full rehash pass.
+    before = dst.clock.total()
+    ops.rehash_in_place(received, charge=True)
+    rehash_cost = dst.clock.total() - before
+    return preserved_cost, rehash_cost
+
+
+def test_ablation_hashcode(benchmark):
+    entries = max(20, int(150 * bench_scale()))
+    preserved, rehash = benchmark.pedantic(
+        lambda: run_ablation(entries), rounds=1, iterations=1
+    )
+    publish("ablation_hashcode", format_kv_section(
+        "A-HASH — hashcode preservation vs receiver-side rehash",
+        {
+            "entries": entries,
+            "use-directly cost (s)": preserved,
+            "rehash cost (s)": rehash,
+            "rehash penalty per entry (ns)": (rehash / entries) * 1e9,
+        },
+    ))
+    assert rehash > 10 * preserved if preserved > 0 else rehash > 0
+    benchmark.extra_info["rehash_per_entry_ns"] = round(rehash / entries * 1e9, 1)

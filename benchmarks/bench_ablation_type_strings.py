@@ -1,0 +1,81 @@
+"""A-TYPES — ablation: global type numbering vs type strings (paper §4.1).
+
+Skyway sends a type string at most once per class per machine (the
+registry LOOKUP) and then 8 in-header bytes per object; the Java serializer
+re-emits class descriptors per stream epoch.  The ablation counts type
+metadata on the wire and type-resolution time for the same object stream.
+"""
+
+from repro.core.runtime import attach_skyway
+from repro.jvm.jvm import JVM
+from repro.net.cluster import Cluster
+from repro.serial.java_serializer import JavaSerializer
+from repro.core.adapter import SkywaySerializer
+from repro.bench.report import format_kv_section
+from repro.simtime import Category
+
+from conftest import bench_scale, publish
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+from tests.conftest import make_date, sample_classpath  # noqa: E402
+
+
+def run_ablation(records: int):
+    classpath = sample_classpath()
+    cluster = Cluster(lambda n: JVM(n, classpath=classpath), worker_count=1)
+    attach_skyway(cluster.driver.jvm, [w.jvm for w in cluster.workers],
+                  cluster=cluster)
+    src, dst = cluster.driver, cluster.workers[0]
+
+    roots = [src.jvm.pin(make_date(src.jvm, i, 1, 1)) for i in range(records)]
+    addrs = [p.address for p in roots]
+
+    # Java serializer with per-record stream epochs (type strings repeat).
+    java = JavaSerializer(reset_interval=1)
+    java_bytes = java.serialize_many(src.jvm, addrs)
+    type_string_bytes = sum(
+        java_bytes.count(name.encode()) * len(name)
+        for name in ("Date", "Year4D", "Month2D", "Day2D", "java.lang.Object")
+    )
+    before = dst.jvm.clock.snapshot()
+    reader = java.new_reader(dst.jvm, java_bytes)
+    while reader.has_next():
+        reader.read_object()
+    reader.close()
+    java_deser = dst.jvm.clock.since(before)[Category.COMPUTATION]
+
+    # Skyway: registry messages already exchanged at attach/load time.
+    messages_before = cluster.messages_sent
+    sky = SkywaySerializer()
+    sky_data = sky.serialize_many(src.jvm, addrs)
+    reader = sky.new_reader(dst.jvm, sky_data)
+    while reader.has_next():
+        reader.read_object()
+    reader.close()
+    registry_messages = cluster.messages_sent - messages_before
+
+    return {
+        "records": records,
+        "java wire bytes": len(java_bytes),
+        "java type-string bytes": type_string_bytes,
+        "java type bytes per record": type_string_bytes / records,
+        "skyway wire bytes": len(sky_data),
+        "skyway type bytes per record": 8 * 4,  # one tID word per object
+        "skyway registry messages during transfer": registry_messages,
+        "java deserialization seconds": java_deser,
+    }
+
+
+def test_ablation_type_strings(benchmark):
+    records = max(10, int(60 * bench_scale()))
+    stats = benchmark.pedantic(lambda: run_ablation(records),
+                               rounds=1, iterations=1)
+    publish("ablation_type_strings", format_kv_section(
+        "A-TYPES — global type IDs vs per-stream type strings", stats
+    ))
+    # Type strings grow linearly with records; registry traffic does not.
+    assert stats["java type-string bytes"] > records * 20
+    assert stats["skyway registry messages during transfer"] == 0

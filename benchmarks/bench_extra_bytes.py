@@ -1,0 +1,41 @@
+"""E-BYTES — §5.2 extra-bytes composition.
+
+Paper: "object headers take 51%, object paddings take 34%, and the
+remaining 15% are taken by pointers" (of Skyway's extra bytes, averaged
+over the Spark applications).
+"""
+
+from repro.bench.extra_bytes import average_composition, measure_extra_byte_composition
+from repro.bench.report import format_kv_section
+
+from conftest import bench_scale, publish
+
+
+def test_extra_bytes(benchmark):
+    scale = bench_scale(0.12)
+
+    per_app = benchmark.pedantic(
+        lambda: measure_extra_byte_composition(scale=scale),
+        rounds=1, iterations=1,
+    )
+
+    avg = average_composition(per_app)
+    lines = [
+        format_kv_section(
+            f"{app} — extra-byte composition",
+            {k: f"{v:.1%}" if k != "total_bytes" else f"{v:,.0f}"
+             for k, v in stats.items()},
+        )
+        for app, stats in per_app.items()
+    ]
+    lines.append(format_kv_section(
+        "Average (paper: headers 51%, padding 34%, pointers 15%)",
+        {k: f"{v:.1%}" for k, v in avg.items()},
+    ))
+    publish("extra_bytes", "\n\n".join(lines))
+
+    # Shape: headers dominate, padding second, pointers smallest.
+    assert avg["headers"] > avg["pointers"]
+    assert avg["headers"] + avg["padding"] + avg["pointers"] == \
+        __import__("pytest").approx(1.0)
+    benchmark.extra_info.update({k: round(v, 3) for k, v in avg.items()})

@@ -1,0 +1,48 @@
+"""E-F7 — Figure 7: JSBS serializer comparison (paper §5.1).
+
+Skyway against the 27 fastest of 90 S/D libraries (plus the Java serializer
+and the "other 63" bucket), on media-content objects over a 5-node cluster.
+Headline claims: Skyway fastest overall; 2.2x faster than kryo-manual on
+S/D; 67.3x faster than the Java serializer.
+"""
+
+from repro.bench.report import format_figure7
+from repro.jsbs.harness import run_jsbs
+from repro.jsbs.libraries import LIBRARY_CATALOG
+
+from conftest import bench_scale, publish
+
+
+def test_fig7_jsbs(benchmark):
+    objects = max(4, int(8 * bench_scale()))
+
+    results = benchmark.pedantic(
+        lambda: run_jsbs(LIBRARY_CATALOG, nodes=5, objects=objects, rounds=2),
+        rounds=1, iterations=1,
+    )
+
+    report = format_figure7(results)
+    by_name = {r.library: r for r in results}
+    sky = by_name["skyway"]
+    sky_sd = sky.serialization + sky.deserialization
+
+    def sd_ratio(name: str) -> float:
+        r = by_name[name]
+        return (r.serialization + r.deserialization) / sky_sd
+
+    claims = [
+        "",
+        f"skyway is rank #{[r.library for r in results].index('skyway') + 1} "
+        f"of {len(results)} by total (paper: fastest of all)",
+        f"kryo-manual S/D = {sd_ratio('kryo-manual'):.2f}x skyway (paper: 2.2x)",
+        f"java-built-in S/D = {sd_ratio('java-built-in'):.1f}x skyway (paper: 67.3x)",
+        f"colfer S/D = {sd_ratio('colfer'):.2f}x skyway (paper: ~1.5x total)",
+    ]
+    publish("fig7_jsbs", report + "\n".join(claims))
+
+    assert results[0].library == "skyway", "Skyway must rank fastest"
+    assert 1.5 < sd_ratio("kryo-manual") < 3.5
+    assert sd_ratio("java-built-in") > 30
+    assert sd_ratio("colfer") > 1.1
+    benchmark.extra_info["kryo_ratio"] = round(sd_ratio("kryo-manual"), 2)
+    benchmark.extra_info["java_ratio"] = round(sd_ratio("java-built-in"), 1)

@@ -1,0 +1,48 @@
+"""E-F8a — Figure 8(a): Spark runtime, 4 apps x 4 graphs x 3 serializers.
+
+Default run covers every app over LiveJournal and Orkut plus
+TriangleCounting over all four graphs; set REPRO_BENCH_SCALE >= 2 for the
+full 4x4 matrix (slower).
+"""
+
+import os
+
+from repro.bench.report import format_breakdown_table
+from repro.bench.spark_experiments import check_results_agree, run_figure8a
+
+from conftest import bench_scale, publish
+
+FULL = float(os.environ.get("REPRO_BENCH_SCALE", "1.0")) >= 2.0
+
+
+def test_fig8a_spark(benchmark):
+    scale = bench_scale(0.015)
+    graphs = ("LJ", "OR", "UK", "TW") if FULL else ("LJ", "OR")
+
+    results = benchmark.pedantic(
+        lambda: run_figure8a(scale=scale, graphs=graphs, pr_iterations=2),
+        rounds=1, iterations=1,
+    )
+
+    # One table per (app, graph), rows = serializers (the figure's panels).
+    sections = []
+    combos = sorted({(r.app, r.graph) for r in results.values()})
+    for app, graph in combos:
+        rows = {
+            ser: results[(app, graph, ser)].breakdown
+            for ser in ("java", "kryo", "skyway")
+            if (app, graph, ser) in results
+        }
+        sections.append(
+            format_breakdown_table(rows, f"Figure 8(a) — {graph}-{app}", "ms")
+        )
+    publish("fig8a_spark", "\n\n".join(sections))
+
+    # Correctness: all serializers compute identical results everywhere.
+    assert check_results_agree(results) == []
+    # Shape: Skyway never loses to the Java serializer on shuffle-heavy apps.
+    for app, graph in combos:
+        if app in ("PR", "TC", "CC"):
+            sky = results[(app, graph, "skyway")].breakdown.total
+            jav = results[(app, graph, "java")].breakdown.total
+            assert sky < jav, (app, graph)

@@ -1,0 +1,44 @@
+"""E-F8b — Figure 8(b): Flink queries QA-QE, built-in serializer vs Skyway
+(paper §5.3), plus the Table 3 query descriptions."""
+
+from repro.bench.flink_experiments import run_figure8b
+from repro.bench.report import format_breakdown_table
+from repro.flink.queries import QUERIES
+
+from conftest import bench_scale, publish
+
+
+def test_fig8b_flink(benchmark):
+    micro_scale = bench_scale(0.4)
+
+    results = benchmark.pedantic(
+        lambda: run_figure8b(micro_scale=micro_scale), rounds=1, iterations=1
+    )
+
+    sections = ["Table 3 — query descriptions", "-" * 40]
+    for key, spec in QUERIES.items():
+        sections.append(f"{key}: {spec.description}")
+    sections.append("")
+    for query in ("QA", "QB", "QC", "QD", "QE"):
+        rows = {
+            mode: results[(query, mode)].breakdown
+            for mode in ("builtin", "skyway")
+        }
+        sections.append(
+            format_breakdown_table(rows, f"Figure 8(b) — {query}", "ms")
+        )
+        sections.append("")
+    publish("fig8b_flink", "\n".join(sections))
+
+    # Correctness: both serializers produce identical result row counts.
+    for query in ("QA", "QB", "QC", "QD", "QE"):
+        assert results[(query, "builtin")].rows == results[(query, "skyway")].rows
+    # Shape: Skyway improves the majority of queries (paper: all five,
+    # 19% overall).
+    wins = sum(
+        results[(q, "skyway")].breakdown.total
+        < results[(q, "builtin")].breakdown.total
+        for q in ("QA", "QB", "QC", "QD", "QE")
+    )
+    assert wins >= 3
+    benchmark.extra_info["queries_won"] = int(wins)

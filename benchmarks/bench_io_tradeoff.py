@@ -1,0 +1,59 @@
+"""A-IO — the paper's §1 design-tradeoff claim, quantified.
+
+"transferring 50% of more data ... in Spark for a real graph dataset
+increases the execution by only 4% (on network and read I/O) whereas the
+savings achieved by eliminating the S/D invocations are beyond 20%."
+
+The bench runs the same shuffle-heavy job under Kryo and Skyway and splits
+the delta into (a) extra I/O time caused by Skyway's larger byte images and
+(b) CPU time saved by eliminating S/D work, expressing both as fractions of
+the baseline runtime.
+"""
+
+from repro.bench.report import format_kv_section
+from repro.bench.spark_experiments import run_spark_app
+
+from conftest import bench_scale, publish
+
+
+def test_io_tradeoff(benchmark):
+    scale = bench_scale(0.02)
+
+    def run():
+        return {name: run_spark_app("PR", "LJ", name, scale=scale,
+                                    pr_iterations=3)
+                for name in ("java", "skyway")}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    base = results["java"].breakdown
+    sky = results["skyway"].breakdown
+    extra_bytes_frac = sky.bytes_written / base.bytes_written - 1.0
+    io_penalty = (
+        (sky.read_io + sky.write_io) - (base.read_io + base.write_io)
+    ) / base.total
+    sd_savings = (
+        (base.serialization + base.deserialization)
+        - (sky.serialization + sky.deserialization)
+    ) / base.total
+
+    publish("io_tradeoff", format_kv_section(
+        "S/D savings vs extra-byte I/O cost (paper §1: +50% data -> +4% "
+        "I/O time, >20% S/D savings vs the Java serializer)",
+        {
+            "extra bytes shipped by Skyway": f"{extra_bytes_frac:+.1%}",
+            "I/O time penalty (fraction of baseline runtime)": f"{io_penalty:+.1%}",
+            "S/D time savings (fraction of baseline runtime)": f"{sd_savings:+.1%}",
+            "net effect": f"{sd_savings - io_penalty:+.1%}",
+        },
+    ))
+
+    # The tradeoff the paper bets on: S/D savings (vs the full-S/D Java
+    # baseline) far exceed the extra-byte I/O penalty.  Skyway's byte count
+    # lands near the Java serializer's (paper Table 2: 1.15x geomean), so
+    # the byte delta itself can be small; the penalty bound is what matters.
+    assert extra_bytes_frac > -0.10
+    assert io_penalty < 0.10
+    assert sd_savings > 0.10
+    assert sd_savings > 2 * max(io_penalty, 0.0)
+    benchmark.extra_info["net_effect"] = round(sd_savings - io_penalty, 4)

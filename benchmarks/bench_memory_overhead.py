@@ -1,0 +1,30 @@
+"""E-MEM — §5.2 memory overhead: the cost of the baddr header word.
+
+Paper: "this overhead varies from 2.1% to 21.8%, with an average of 15.4%".
+"""
+
+from repro.bench.memory import measure_baddr_overhead
+from repro.bench.report import format_kv_section
+
+from conftest import bench_scale, publish
+
+
+def test_memory_overhead(benchmark):
+    scale = bench_scale(0.15)
+
+    overheads = benchmark.pedantic(
+        lambda: measure_baddr_overhead(scale=scale), rounds=1, iterations=1
+    )
+
+    average = sum(overheads.values()) / len(overheads)
+    report = format_kv_section(
+        "Memory overhead of the baddr word (paper: 2.1%-21.8%, avg 15.4%)",
+        {**{f"{app} overhead": f"{v:.1%}" for app, v in overheads.items()},
+         "average": f"{average:.1%}"},
+    )
+    publish("memory_overhead", report)
+
+    for app, overhead in overheads.items():
+        assert 0.0 < overhead < 0.35, (app, overhead)
+    assert 0.05 < average < 0.30
+    benchmark.extra_info["average_overhead"] = round(average, 4)

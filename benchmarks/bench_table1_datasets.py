@@ -1,0 +1,22 @@
+"""E-T1 — Table 1: the four input graphs (paper sizes vs generated)."""
+
+from repro.bench.report import format_table1
+from repro.datasets import table1_rows
+
+from conftest import bench_scale, publish
+
+
+def test_table1_datasets(benchmark):
+    scale = bench_scale(0.2)
+
+    rows = benchmark.pedantic(lambda: table1_rows(scale=scale),
+                              rounds=1, iterations=1)
+
+    report = format_table1(rows)
+    publish("table1_datasets", report)
+
+    # Shape assertions: relative sizes match the paper's ordering.
+    sizes = {r["graph"]: r["generated_edges"] for r in rows}
+    assert sizes["LiveJournal"] < sizes["Orkut"]
+    assert sizes["Orkut"] < sizes["UK-2005"] < sizes["Twitter-2010"]
+    benchmark.extra_info["graphs"] = {k: int(v) for k, v in sizes.items()}

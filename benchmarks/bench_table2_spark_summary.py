@@ -1,0 +1,40 @@
+"""E-T2 — Table 2: Spark performance summary, normalized to the Java
+serializer (ranges and geometric means per component)."""
+
+from repro.bench.report import format_normalized_table, geometric_mean
+from repro.bench.spark_experiments import run_figure8a, summarize_table2
+
+from conftest import bench_scale, publish
+
+
+def test_table2_spark_summary(benchmark):
+    scale = bench_scale(0.02)
+
+    results = benchmark.pedantic(
+        lambda: run_figure8a(scale=scale, graphs=("LJ", "OR"),
+                             pr_iterations=2),
+        rounds=1, iterations=1,
+    )
+
+    summary = summarize_table2(results)
+    report = format_normalized_table(
+        summary,
+        "Table 2 — Spark summary normalized to the Java serializer\n"
+        "paper geomeans: Kryo 0.76/0.59/0.61/0.26/0.02/0.52 | "
+        "Skyway 0.64/0.62/0.97/0.16/0.02/1.15",
+    )
+    publish("table2_spark_summary", report)
+
+    kryo_overall = geometric_mean([n["overall"] for n in summary["Kryo"]])
+    sky_overall = geometric_mean([n["overall"] for n in summary["Skyway"]])
+    sky_des = geometric_mean([n["des"] for n in summary["Skyway"]])
+    kryo_size = geometric_mean([n["size"] for n in summary["Kryo"]])
+    sky_size = geometric_mean([n["size"] for n in summary["Skyway"]])
+
+    # Shape claims from the paper's Table 2:
+    assert kryo_overall < 1.0          # Kryo beats the Java serializer
+    assert sky_overall < 1.0           # so does Skyway
+    assert sky_des < 0.5               # Skyway's big win: deserialization
+    assert kryo_size < 1.0 < sky_size  # Kryo compresses; Skyway ships more
+    benchmark.extra_info["kryo_overall_gm"] = round(kryo_overall, 3)
+    benchmark.extra_info["skyway_overall_gm"] = round(sky_overall, 3)

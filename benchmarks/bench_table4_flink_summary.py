@@ -1,0 +1,31 @@
+"""E-T4 — Table 4: Flink summary, Skyway normalized to the built-in
+serializer (paper: overall 0.81, ser 0.77, des 0.75, size 1.68)."""
+
+from repro.bench.flink_experiments import run_figure8b, summarize_table4
+from repro.bench.report import format_normalized_table, geometric_mean
+
+from conftest import bench_scale, publish
+
+
+def test_table4_flink_summary(benchmark):
+    micro_scale = bench_scale(0.4)
+
+    results = benchmark.pedantic(
+        lambda: run_figure8b(micro_scale=micro_scale), rounds=1, iterations=1
+    )
+
+    summary = summarize_table4(results)
+    report = format_normalized_table(
+        summary,
+        "Table 4 — Flink summary normalized to the built-in serializer\n"
+        "paper geomeans: 0.81 / 0.77 / 0.96 / 0.75 / 0.61 / 1.68",
+    )
+    publish("table4_flink_summary", report)
+
+    overall = geometric_mean([n["overall"] for n in summary["Skyway"]])
+    des = geometric_mean([n["des"] for n in summary["Skyway"]])
+    size = geometric_mean([n["size"] for n in summary["Skyway"]])
+    assert overall < 1.0   # Skyway improves Flink overall (paper: 19%)
+    assert des < 0.8       # the deserialization savings drive it
+    assert size > 1.2      # at the cost of more bytes (paper: +68%)
+    benchmark.extra_info["overall_gm"] = round(overall, 3)

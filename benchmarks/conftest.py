@@ -1,0 +1,28 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's experiment index), prints it, and archives it under
+``benchmarks/results/`` so EXPERIMENTS.md can cite the exact output.
+
+Scale knob: ``REPRO_BENCH_SCALE`` (float, default 1.0) multiplies each
+benchmark's default workload scale — raise it for higher-fidelity (slower)
+runs; results are reported in simulated time, so ratios are stable across
+scales.
+"""
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale(default: float = 1.0) -> float:
+    return default * float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def publish(name: str, text: str) -> None:
+    """Print a report and archive it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

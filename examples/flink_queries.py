@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""TPC-H-style queries on the Flink-like engine: built-in serializers vs
+Skyway (the paper's §5.3 experiment in miniature).
+
+Run:  python examples/flink_queries.py
+"""
+
+from repro.bench.flink_experiments import run_figure8b, summarize_table4
+from repro.bench.report import format_breakdown_table, format_normalized_table
+from repro.flink.queries import QUERIES
+
+
+def main() -> None:
+    print("Table 3 — the five queries")
+    for key, spec in QUERIES.items():
+        print(f"  {key}: {spec.description}")
+    print()
+
+    results = run_figure8b(micro_scale=0.3)
+    for query in ("QA", "QB", "QC", "QD", "QE"):
+        rows = {mode: results[(query, mode)].breakdown
+                for mode in ("builtin", "skyway")}
+        print(format_breakdown_table(rows, f"{query} — Flink breakdown", "ms"))
+        builtin = results[(query, "builtin")]
+        skyway = results[(query, "skyway")]
+        speedup = builtin.breakdown.total / skyway.breakdown.total
+        print(f"  result rows: {skyway.rows} (identical under both modes: "
+              f"{builtin.rows == skyway.rows}); skyway speedup {speedup:.2f}x\n")
+
+    print(format_normalized_table(
+        summarize_table4(results),
+        "Table 4 shape — Skyway normalized to Flink's built-in serializer",
+    ))
+
+
+if __name__ == "__main__":
+    main()

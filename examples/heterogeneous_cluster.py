@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Heterogeneous clusters: transferring between different object formats.
+
+Paper §3.1: "If the sender and receiver nodes have different JVM
+specifications, Skyway adjusts the format of each object (e.g., header
+size ...) when copying it into the output buffer.  This incurs an extra
+cost only on the sender node while the receiver node pays no extra cost."
+
+This example sends the same graph (a) between two Skyway-layout JVMs and
+(b) from a Skyway-layout JVM to a JVM with 16-byte baseline headers, and
+shows the re-formatted clone sizes and the sender-only conversion cost.
+
+Run:  python examples/heterogeneous_cluster.py
+"""
+
+from repro.core.runtime import attach_skyway
+from repro.core.streams import SkywayObjectInputStream, SkywayObjectOutputStream
+from repro.heap.layout import BASELINE_LAYOUT, SKYWAY_LAYOUT
+from repro.jvm.jvm import JVM
+from repro.jvm.marshal import from_heap, to_heap
+from repro.types.corelib import standard_classpath
+
+
+PAYLOAD = {"readings": [1, 2, 3, 4, 5], "labels": ("hot", "cold"),
+           "weights": [0.25, 0.75]}
+
+
+def transfer(target_layout, receiver_layout, label: str) -> None:
+    classpath = standard_classpath()
+    sender = JVM("sender", classpath=classpath, layout=SKYWAY_LAYOUT)
+    receiver = JVM("receiver", classpath=classpath, layout=receiver_layout)
+    attach_skyway(sender, [receiver])
+
+    addr = to_heap(sender, PAYLOAD)
+    pin = sender.pin(addr)
+    sender_before = sender.clock.total()
+    receiver_before = receiver.clock.total()
+
+    out = SkywayObjectOutputStream(
+        sender.skyway, destination="peer", target_layout=target_layout
+    )
+    out.write_object(pin.address)
+    wire = out.close()
+    inp = SkywayObjectInputStream(receiver.skyway)
+    inp.accept(wire)
+    received = inp.read_object()
+
+    assert from_heap(receiver, received) == PAYLOAD
+    print(f"{label}:")
+    print(f"  objects sent      : {out.sender.objects_sent}")
+    print(f"  transferred bytes : {out.sender.bytes_sent}")
+    print(f"  sender CPU (us)   : {(sender.clock.total() - sender_before) * 1e6:.2f}")
+    print(f"  receiver CPU (us) : {(receiver.clock.total() - receiver_before) * 1e6:.2f}")
+    print(f"  payload intact    : True\n")
+
+
+def main() -> None:
+    print("Same graph, homogeneous vs heterogeneous destination formats\n")
+    transfer(SKYWAY_LAYOUT, SKYWAY_LAYOUT,
+             "homogeneous (24-byte headers both sides)")
+    transfer(BASELINE_LAYOUT, BASELINE_LAYOUT,
+             "heterogeneous (receiver uses 16-byte headers; sender converts)")
+    print("Note: the heterogeneous transfer ships fewer bytes (no baddr "
+          "word per clone)\nand its extra conversion cost lands on the "
+          "sender only (paper §3.1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""The JSBS serializer shootout (Figure 7) at laptop scale.
+
+Every library in the catalog serializes media-content objects, broadcasts
+them across a 5-node cluster, and deserializes on the receivers; results
+print fastest-first with the paper's headline ratios.
+
+Run:  python examples/jsbs_shootout.py [--quick]
+"""
+
+import sys
+
+from repro.bench.report import format_figure7
+from repro.jsbs.harness import run_jsbs
+from repro.jsbs.libraries import LIBRARY_CATALOG
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    specs = LIBRARY_CATALOG
+    if quick:
+        keep = {"skyway", "colfer", "protostuff", "kryo-manual", "kryo-opt",
+                "avro-generic", "thrift", "java-built-in"}
+        specs = [s for s in LIBRARY_CATALOG if s.name in keep]
+
+    results = run_jsbs(specs, nodes=5, objects=10, rounds=2)
+    print(format_figure7(results))
+
+    by_name = {r.library: r for r in results}
+    sky = by_name["skyway"]
+    sky_sd = sky.serialization + sky.deserialization
+    for name, paper in (("kryo-manual", "2.2x"), ("java-built-in", "67.3x")):
+        r = by_name[name]
+        ratio = (r.serialization + r.deserialization) / sky_sd
+        print(f"{name}: {ratio:.1f}x slower than Skyway on S/D (paper: {paper})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Skyway (ASPLOS '18) reproduction: direct managed-heap-to-heap transfer
+for distributed big data systems, over a simulated JVM substrate.
+
+Top-level convenience exports; see README.md for the package map and
+DESIGN.md for the paper-to-module inventory.
+"""
+
+__version__ = "1.0.0"
+
+from repro.jvm.jvm import JVM
+from repro.jvm.marshal import Obj, from_heap, to_heap
+
+__all__ = ["JVM", "Obj", "from_heap", "to_heap", "__version__"]
+
+
+def __getattr__(name):
+    # Lazy heavyweight exports (avoid importing engines at package import).
+    if name == "attach_skyway":
+        from repro.core.runtime import attach_skyway
+
+        return attach_skyway
+    if name == "SkywaySerializer":
+        from repro.core.adapter import SkywaySerializer
+
+        return SkywaySerializer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

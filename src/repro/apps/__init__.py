@@ -1,0 +1,14 @@
+"""The paper's four Spark workloads (§5.2): WordCount, PageRank,
+ConnectedComponents, and TriangleCounting, written against the RDD API."""
+
+from repro.apps.wordcount import word_count
+from repro.apps.pagerank import page_rank
+from repro.apps.connected_components import connected_components
+from repro.apps.triangle_counting import triangle_count
+
+__all__ = [
+    "word_count",
+    "page_rank",
+    "connected_components",
+    "triangle_count",
+]

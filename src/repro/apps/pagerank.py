@@ -1,0 +1,40 @@
+"""PageRank: the iterative, shuffle-heavy workload (two shuffles per
+iteration: the rank/links join and the contribution aggregation)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.spark.context import SparkContext
+
+
+def page_rank(
+    sc: SparkContext,
+    edges: List[Tuple[int, int]],
+    iterations: int = 5,
+    damping: float = 0.85,
+    num_partitions: int = None,
+) -> Dict[int, float]:
+    """Standard damped PageRank over a directed edge list."""
+    links = (
+        sc.parallelize(edges, num_partitions)
+        .group_by_key()
+        .cache()
+    )
+    ranks = links.map_values(lambda _: 1.0)
+
+    for _ in range(iterations):
+        contributions = links.join(ranks).flat_map(
+            lambda kv: [
+                (dst, kv[1][1] / len(kv[1][0])) for dst in kv[1][0]
+            ],
+            name="contrib",
+        )
+        # Vertices receiving no contributions must keep a rank row, so seed
+        # every link source with a zero contribution before aggregating.
+        zeros = links.map(lambda kv: (kv[0], 0.0), name="zero-contrib")
+        ranks = zeros.union(contributions).reduce_by_key(lambda a, b: a + b).map_values(
+            lambda s: (1 - damping) + damping * s
+        )
+
+    return dict(ranks.collect())

@@ -1,0 +1,20 @@
+"""WordCount: the single-shuffle MapReduce workload (paper §5.2: "a simple
+MapReduce application that needs only one round of data shuffling")."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.spark.context import SparkContext
+
+
+def word_count(sc: SparkContext, lines: List[str],
+               num_partitions: int = None) -> Dict[str, int]:
+    """Count word occurrences across ``lines``; one shuffle round."""
+    counts = (
+        sc.text_file(lines, num_partitions)
+        .flat_map(lambda line: line.split(), name="tokenize")
+        .map(lambda word: (word, 1), name="pair")
+        .reduce_by_key(lambda a, b: a + b)
+    )
+    return dict(counts.collect())

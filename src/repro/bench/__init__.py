@@ -1,0 +1,43 @@
+"""The experiment harness: one runner per table/figure of the paper.
+
+Every runner returns plain data (dicts/Breakdowns) and has a matching
+ASCII renderer in :mod:`repro.bench.report`, so `benchmarks/` files print
+the same rows/series the paper reports.  See DESIGN.md's experiment index.
+"""
+
+from repro.bench.report import (
+    format_breakdown_table,
+    format_figure7,
+    format_normalized_table,
+    format_table1,
+    geometric_mean,
+)
+from repro.bench.spark_experiments import (
+    SPARK_APPS,
+    SparkRunResult,
+    run_figure3,
+    run_figure8a,
+    run_spark_app,
+    summarize_table2,
+)
+from repro.bench.flink_experiments import run_figure8b, summarize_table4
+from repro.bench.memory import measure_baddr_overhead
+from repro.bench.extra_bytes import measure_extra_byte_composition
+
+__all__ = [
+    "format_breakdown_table",
+    "format_figure7",
+    "format_normalized_table",
+    "format_table1",
+    "geometric_mean",
+    "SPARK_APPS",
+    "SparkRunResult",
+    "run_spark_app",
+    "run_figure3",
+    "run_figure8a",
+    "summarize_table2",
+    "run_figure8b",
+    "summarize_table4",
+    "measure_baddr_overhead",
+    "measure_extra_byte_composition",
+]

@@ -1,0 +1,98 @@
+"""Flink experiment runners: Figure 8(b) and Table 4 (paper §5.3)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.adapter import SkywaySerializer
+from repro.core.runtime import attach_skyway
+from repro.flink.engine import FlinkEnvironment
+from repro.flink.queries import QUERIES, run_query
+from repro.flink.tpch import TpchDataset, generate_tpch
+from repro.jvm.jvm import JVM
+from repro.net.cluster import Cluster
+from repro.simtime import Breakdown, SimClock
+from repro.types.corelib import standard_classpath
+
+
+@dataclasses.dataclass(frozen=True)
+class FlinkRunResult:
+    query: str
+    mode: str  # "builtin" | "skyway"
+    breakdown: Breakdown
+    rows: int
+
+
+def _make_env(mode: str, workers: int, parallelism: int) -> FlinkEnvironment:
+    classpath = standard_classpath()
+    cluster = Cluster(lambda name: JVM(name, classpath=classpath),
+                      worker_count=workers)
+    serializer = None
+    if mode == "skyway":
+        attach_skyway(cluster.driver.jvm, [w.jvm for w in cluster.workers],
+                      cluster=cluster)
+        serializer = SkywaySerializer()
+    return FlinkEnvironment(cluster, mode=mode, parallelism=parallelism,
+                            skyway_serializer=serializer)
+
+
+def run_flink_query(
+    query: str,
+    mode: str,
+    data: Optional[TpchDataset] = None,
+    micro_scale: float = 0.5,
+    workers: int = 3,
+    parallelism: int = 4,
+) -> FlinkRunResult:
+    if data is None:
+        data = generate_tpch(micro_scale)
+    env = _make_env(mode, workers, parallelism)
+    # Warm-up run: loads every row class cluster-wide (one-time
+    # type-registry traffic and class loading that the paper's 100GB runs
+    # amortize away), then measure a clean execution.
+    run_query(query, env, data)
+    env.cluster.reset_clocks()
+    shuffled_before = env.bytes_shuffled
+    rows = run_query(query, env, data)
+    total = env.cluster.total_clock()
+    breakdown = Breakdown.from_totals(
+        total.totals(),
+        bytes_written=env.bytes_shuffled - shuffled_before,
+        local_bytes=sum(n.local_bytes_fetched for n in env.cluster.nodes()),
+        remote_bytes=sum(n.remote_bytes_fetched for n in env.cluster.nodes()),
+    )
+    return FlinkRunResult(query=query, mode=mode, breakdown=breakdown,
+                          rows=len(rows))
+
+
+def run_figure8b(
+    micro_scale: float = 0.5,
+    queries: Tuple[str, ...] = ("QA", "QB", "QC", "QD", "QE"),
+    workers: int = 3,
+    parallelism: int = 4,
+) -> Dict[Tuple[str, str], FlinkRunResult]:
+    """Figure 8(b): QA-QE under Flink's built-in serializer and Skyway."""
+    data = generate_tpch(micro_scale)
+    results: Dict[Tuple[str, str], FlinkRunResult] = {}
+    for query in queries:
+        for mode in ("builtin", "skyway"):
+            results[(query, mode)] = run_flink_query(
+                query, mode, data=data, workers=workers,
+                parallelism=parallelism,
+            )
+    return results
+
+
+def summarize_table4(
+    results: Dict[Tuple[str, str], FlinkRunResult],
+) -> Dict[str, List[Dict[str, float]]]:
+    """Table 4: Skyway normalized to Flink's built-in serializer."""
+    out: Dict[str, List[Dict[str, float]]] = {"Skyway": []}
+    queries = sorted({q for q, _ in results})
+    for query in queries:
+        base = results.get((query, "builtin"))
+        sky = results.get((query, "skyway"))
+        if base and sky:
+            out["Skyway"].append(sky.breakdown.normalized_to(base.breakdown))
+    return out

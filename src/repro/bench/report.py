@@ -1,0 +1,121 @@
+"""ASCII rendering of experiment results in the paper's shapes."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.simtime import Breakdown
+
+_COMPONENTS = [
+    ("computation", "Computation"),
+    ("serialization", "Serialization"),
+    ("write_io", "Write I/O"),
+    ("deserialization", "Deserialization"),
+    ("read_io", "Read I/O"),
+]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_breakdown_table(
+    rows: Mapping[str, Breakdown], title: str, time_unit: str = "ms"
+) -> str:
+    """Stacked-bar data as a table: one row per configuration, one column
+    per runtime component (Figure 3(a) / Figure 8 shape)."""
+    scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[time_unit]
+    header = f"{'config':<24}" + "".join(
+        f"{label:>16}" for _, label in _COMPONENTS
+    ) + f"{'Total':>16}"
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for name, b in rows.items():
+        d = b.as_dict()
+        cells = "".join(f"{d[key] * scale:>16.3f}" for key, _ in _COMPONENTS)
+        lines.append(f"{name:<24}{cells}{b.total * scale:>16.3f}")
+    lines.append(f"(times in simulated {time_unit})")
+    return "\n".join(lines)
+
+
+def format_bytes_table(rows: Mapping[str, Tuple[int, int]], title: str) -> str:
+    """Figure 3(b): local vs remote bytes per serializer."""
+    header = f"{'serializer':<16}{'Local Bytes':>16}{'Remote Bytes':>16}{'Total':>16}"
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for name, (local, remote) in rows.items():
+        lines.append(f"{name:<16}{local:>16,}{remote:>16,}{local + remote:>16,}")
+    return "\n".join(lines)
+
+
+def format_normalized_table(
+    per_config: Mapping[str, List[Dict[str, float]]],
+    title: str,
+    columns: Sequence[str] = ("overall", "ser", "write", "des", "read", "size"),
+) -> str:
+    """Table 2 / Table 4 shape: per serializer, min~max range and geomean of
+    each normalized column."""
+    header = f"{'Sys':<10}" + "".join(f"{c.capitalize():>20}" for c in columns)
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for system, norms in per_config.items():
+        cells = []
+        for col in columns:
+            values = [n[col] for n in norms if math.isfinite(n[col])]
+            if not values:
+                cells.append(f"{'-':>20}")
+                continue
+            lo, hi = min(values), max(values)
+            gm = geometric_mean(values)
+            cells.append(f"{lo:>7.2f} ~{hi:>6.2f} ({gm:.2f})")
+        lines.append(f"{system:<10}" + "".join(f"{c:>20}" for c in cells))
+    return "\n".join(lines)
+
+
+def format_figure7(results, time_unit: str = "us") -> str:
+    """Figure 7: per-library stacked components, fastest first."""
+    scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[time_unit]
+    header = (
+        f"{'library':<36}{'Network':>12}{'Deser':>12}{'Ser':>12}"
+        f"{'Total':>12}{'B/obj':>10}"
+    )
+    lines = ["Figure 7 — JSBS serializer comparison", "=" * len(header),
+             header, "-" * len(header)]
+    for r in results:
+        lines.append(
+            f"{r.library:<36}{r.network * scale:>12.2f}"
+            f"{r.deserialization * scale:>12.2f}"
+            f"{r.serialization * scale:>12.2f}"
+            f"{r.total * scale:>12.2f}{r.bytes_per_object:>10.0f}"
+        )
+    lines.append(f"(times in simulated {time_unit}, totals sorted ascending)")
+    return "\n".join(lines)
+
+
+def format_table1(rows: List[Dict[str, object]]) -> str:
+    header = (
+        f"{'Graph':<14}{'#Edges(paper)':>15}{'#Vertices(paper)':>18}"
+        f"{'#Edges(gen)':>13}{'#Verts(gen)':>13}{'scale-down':>12}  Description"
+    )
+    lines = ["Table 1 — Graph inputs", "=" * len(header), header,
+             "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['graph']:<14}{row['paper_edges']:>15,}"
+            f"{row['paper_vertices']:>18,}{row['generated_edges']:>13,}"
+            f"{row['generated_vertices']:>13,}{row['scale_down']:>12,}"
+            f"  {row['description']}"
+        )
+    return "\n".join(lines)
+
+
+def format_kv_section(title: str, pairs: Mapping[str, object]) -> str:
+    width = max(len(k) for k in pairs) + 2
+    lines = [title, "-" * len(title)]
+    for key, value in pairs.items():
+        if isinstance(value, float):
+            lines.append(f"{key:<{width}}{value:.4g}")
+        else:
+            lines.append(f"{key:<{width}}{value}")
+    return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""Spark experiment runners: Figure 3, Figure 8(a), Table 2 (paper §2.2, §5.2)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.apps import connected_components, page_rank, triangle_count, word_count
+from repro.core.adapter import SkywaySerializer
+from repro.core.runtime import attach_skyway
+from repro.datasets import GRAPH_PROFILES, generate_graph, generate_text_corpus
+from repro.jvm.jvm import JVM
+from repro.net.cluster import Cluster
+from repro.serial import JavaSerializer, KryoSerializer
+from repro.simtime import Breakdown
+from repro.spark.context import SparkConfig, SparkContext
+from repro.spark.metrics import measure_job
+from repro.types.corelib import standard_classpath
+
+#: The paper's four analytical tasks (§5.2).
+SPARK_APPS = ("WC", "CC", "PR", "TC")
+SPARK_GRAPHS = ("LJ", "OR", "UK", "TW")
+SERIALIZERS = ("java", "kryo", "skyway")
+
+
+@dataclasses.dataclass(frozen=True)
+class SparkRunResult:
+    app: str
+    graph: str
+    serializer: str
+    breakdown: Breakdown
+    result_digest: object
+
+
+def _make_context(serializer_name: str, workers: int,
+                  partitions: int) -> SparkContext:
+    classpath = standard_classpath()
+    cluster = Cluster(lambda name: JVM(name, classpath=classpath),
+                      worker_count=workers)
+    if serializer_name == "java":
+        serializer = JavaSerializer()
+    elif serializer_name == "kryo":
+        serializer = KryoSerializer(registration_required=False)
+    elif serializer_name == "skyway":
+        attach_skyway(cluster.driver.jvm, [w.jvm for w in cluster.workers],
+                      cluster=cluster)
+        serializer = SkywaySerializer()
+    else:
+        raise ValueError(serializer_name)
+    return SparkContext(cluster, serializer, default_parallelism=partitions)
+
+
+def _run_app(sc: SparkContext, app: str, graph_key: str, scale: float,
+             pr_iterations: int) -> object:
+    if app == "WC":
+        profile = GRAPH_PROFILES[graph_key]
+        lines = generate_text_corpus(
+            lines=max(40, int(profile.edges * scale) // 4),
+            words_per_line=8,
+        )
+        return len(word_count(sc, lines))
+    edges = generate_graph(GRAPH_PROFILES[graph_key], scale=scale)
+    if app == "PR":
+        ranks = page_rank(sc, edges, iterations=pr_iterations)
+        return round(sum(ranks.values()), 3)
+    if app == "CC":
+        return len(set(connected_components(sc, edges).values()))
+    if app == "TC":
+        return triangle_count(sc, edges)
+    raise ValueError(app)
+
+
+def run_spark_app(
+    app: str,
+    graph_key: str,
+    serializer_name: str,
+    scale: float = 0.05,
+    workers: int = 3,
+    partitions: int = 4,
+    pr_iterations: int = 3,
+) -> SparkRunResult:
+    """One cell of Figure 8(a): (app, graph, serializer) -> breakdown.
+
+    ``scale`` further reduces the generated graphs (1.0 = the documented
+    per-profile scale-down); identical across serializers, so normalized
+    comparisons match the paper's methodology.
+    """
+    sc = _make_context(serializer_name, workers, partitions)
+    digest_holder: List[object] = []
+
+    def job():
+        digest_holder.append(_run_app(sc, app, graph_key, scale, pr_iterations))
+
+    _, metrics = measure_job(
+        sc.cluster, job, shuffle_bytes_source=lambda: sc.shuffle.bytes_shuffled
+    )
+    return SparkRunResult(
+        app=app, graph=graph_key, serializer=serializer_name,
+        breakdown=metrics.breakdown, result_digest=digest_holder[0],
+    )
+
+
+def run_figure3(
+    scale: float = 0.05, workers: int = 3, partitions: int = 4
+) -> Dict[str, SparkRunResult]:
+    """Figure 3: TriangleCounting over LiveJournal, Java vs Kryo — the
+    motivation experiment (performance breakdown + bytes shuffled)."""
+    return {
+        name: run_spark_app("TC", "LJ", name, scale=scale, workers=workers,
+                            partitions=partitions)
+        for name in ("kryo", "java")
+    }
+
+
+def run_figure8a(
+    scale: float = 0.03,
+    apps: Tuple[str, ...] = SPARK_APPS,
+    graphs: Tuple[str, ...] = SPARK_GRAPHS,
+    serializers: Tuple[str, ...] = SERIALIZERS,
+    workers: int = 3,
+    partitions: int = 4,
+    pr_iterations: int = 3,
+) -> Dict[Tuple[str, str, str], SparkRunResult]:
+    """Figure 8(a): every (app, graph, serializer) combination."""
+    results: Dict[Tuple[str, str, str], SparkRunResult] = {}
+    for app in apps:
+        for graph in graphs:
+            for serializer in serializers:
+                results[(app, graph, serializer)] = run_spark_app(
+                    app, graph, serializer, scale=scale, workers=workers,
+                    partitions=partitions, pr_iterations=pr_iterations,
+                )
+    return results
+
+
+def summarize_table2(
+    results: Dict[Tuple[str, str, str], SparkRunResult],
+) -> Dict[str, List[Dict[str, float]]]:
+    """Table 2: per (app, graph) pair, Kryo and Skyway normalized to the
+    Java-serializer baseline; returns the per-system normalized rows
+    (ranges/geomeans are computed by the report renderer)."""
+    combos = sorted({(r.app, r.graph) for r in results.values()})
+    out: Dict[str, List[Dict[str, float]]] = {"Kryo": [], "Skyway": []}
+    for app, graph in combos:
+        base = results.get((app, graph, "java"))
+        if base is None:
+            continue
+        for system, key in (("Kryo", "kryo"), ("Skyway", "skyway")):
+            run = results.get((app, graph, key))
+            if run is not None:
+                out[system].append(run.breakdown.normalized_to(base.breakdown))
+    return out
+
+
+def check_results_agree(
+    results: Dict[Tuple[str, str, str], SparkRunResult],
+) -> List[Tuple[str, str]]:
+    """Sanity check: all serializers must compute identical app results.
+    Returns the (app, graph) combos that disagree (should be empty)."""
+    bad = []
+    combos = {(r.app, r.graph) for r in results.values()}
+    for app, graph in combos:
+        digests = {
+            r.serializer: r.result_digest
+            for r in results.values()
+            if r.app == app and r.graph == graph
+        }
+        if len(set(map(repr, digests.values()))) > 1:
+            bad.append((app, graph))
+    return bad

@@ -1,0 +1,58 @@
+"""Skyway: direct managed-heap-to-heap object transfer (the paper's core).
+
+Components map one-to-one onto the paper's §4:
+
+* :mod:`repro.core.type_registry` — global class numbering (Algorithm 1);
+* :mod:`repro.core.output_buffer` — per-destination native output buffers
+  with streaming flush;
+* :mod:`repro.core.sender` — the GC-like copy traversal with pointer
+  relativization and ``baddr`` bookkeeping (Algorithm 2);
+* :mod:`repro.core.input_buffer` — chunked in-heap input buffers;
+* :mod:`repro.core.receiver` — the linear absolutization scan plus
+  card-table updates;
+* :mod:`repro.core.runtime` — the per-JVM Skyway runtime and its APIs
+  (``shuffle_start``, ``register_update``);
+* :mod:`repro.core.streams` — ``SkywayObjectOutputStream`` /
+  ``SkywayObjectInputStream`` and the file/socket variants;
+* :mod:`repro.core.adapter` — a drop-in
+  :class:`~repro.serial.base.Serializer` so Spark/Flink engines can swap
+  Skyway in exactly as the paper swaps it into Spark ("the entire
+  SkywaySerializer class contains less than 100 lines of code").
+"""
+
+from repro.core.type_registry import DriverRegistry, RegistryView, TypeRegistryError
+from repro.core.output_buffer import OutputBuffer
+from repro.core.input_buffer import InputBuffer
+from repro.core.sender import ObjectGraphSender
+from repro.core.receiver import ObjectGraphReceiver
+from repro.core.runtime import SkywayRuntime, attach_skyway
+from repro.core.adapter import SkywaySerializer
+from repro.core.formats import ClusterFormatConfig
+from repro.core.streams import (
+    SkywayFileInputStream,
+    SkywayFileOutputStream,
+    SkywayObjectInputStream,
+    SkywayObjectOutputStream,
+    SkywaySocketInputStream,
+    SkywaySocketOutputStream,
+)
+
+__all__ = [
+    "DriverRegistry",
+    "RegistryView",
+    "TypeRegistryError",
+    "OutputBuffer",
+    "InputBuffer",
+    "ObjectGraphSender",
+    "ObjectGraphReceiver",
+    "SkywayRuntime",
+    "attach_skyway",
+    "SkywaySerializer",
+    "ClusterFormatConfig",
+    "SkywayObjectOutputStream",
+    "SkywayObjectInputStream",
+    "SkywayFileOutputStream",
+    "SkywayFileInputStream",
+    "SkywaySocketOutputStream",
+    "SkywaySocketInputStream",
+]

@@ -1,0 +1,199 @@
+"""Compact transfer encoding — the paper's stated future work, implemented.
+
+§5.2: "Since headers and paddings dominate these extra bytes, future work
+could focus on compressing headers and paddings during sending."
+
+This module is a *segment codec* layered under the Skyway stream: the
+sender's raw object images are re-encoded without the parts a receiver can
+reconstruct from class metadata —
+
+* the klass word becomes a varint tID;
+* the mark word becomes one flag byte (plus 4 hash bytes only when an
+  identity hash was ever computed);
+* the baddr word and all alignment padding are elided;
+* relativized references become varints (buffer offsets are small);
+* primitive fields/elements ship as raw bytes.
+
+The receiver inflates each object back to its native layout before the
+ordinary placement/absolutization path runs, so everything downstream
+(input buffers, card tables, top marks) is unchanged.  The price is
+per-field work on both sides — exactly the CPU-vs-bytes tradeoff the
+paper's future-work remark anticipates; `bench_ablation_compact.py`
+quantifies it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.type_registry import RegistryView
+from repro.heap import markword
+from repro.heap.klass import Klass
+from repro.heap.layout import HeapLayout, KLASS_OFFSET, MARK_OFFSET
+from repro.jvm.jvm import JVM
+from repro.net.streams import ByteInputStream, ByteOutputStream
+from repro.types import descriptors
+from repro.types.loader import ClassLoader
+
+_FLAG_HAS_HASH = 0x01
+_FLAG_IS_ARRAY = 0x02
+
+
+class CompactCodecError(RuntimeError):
+    pass
+
+
+class CompactSegmentCodec:
+    """Deflates/inflates Skyway segments for one (layout, class set)."""
+
+    def __init__(self, jvm: JVM, view: RegistryView,
+                 layout: HeapLayout) -> None:
+        self.jvm = jvm
+        self.view = view
+        self.layout = layout
+        self._loader = (
+            jvm.loader if layout == jvm.layout
+            else ClassLoader(jvm.classpath, layout)
+        )
+
+    def _klass_for_tid(self, tid: int) -> Klass:
+        return self._loader.load(self.view.name_for(tid))
+
+    # ------------------------------------------------------------------
+    # deflate (sender side)
+    # ------------------------------------------------------------------
+
+    def compress(self, segment: bytes) -> bytes:
+        """Re-encode a raw segment (whole native-format objects)."""
+        out = ByteOutputStream()
+        cost = self.jvm.cost_model
+        pos = 0
+        n = len(segment)
+        while pos < n:
+            tid = int.from_bytes(
+                segment[pos + KLASS_OFFSET: pos + KLASS_OFFSET + 8], "little")
+            klass = self._klass_for_tid(tid)
+            mark = int.from_bytes(
+                segment[pos + MARK_OFFSET: pos + MARK_OFFSET + 8], "little")
+
+            if klass.is_array:
+                lo = pos + self.layout.array_length_offset
+                length = int.from_bytes(segment[lo: lo + 4], "little")
+                size = klass.object_size(length)
+            else:
+                length = 0
+                size = klass.object_size()
+
+            out.write_varint(tid)
+            flags = (_FLAG_IS_ARRAY if klass.is_array else 0)
+            hashcode = markword.get_hash(mark)
+            if hashcode:
+                flags |= _FLAG_HAS_HASH
+            out.write_u8(flags)
+            if hashcode:
+                out.write_u32(hashcode)
+            if klass.is_array:
+                out.write_varint(length)
+                self._deflate_array(out, segment, pos, klass, length)
+            else:
+                self._deflate_fields(out, segment, pos, klass)
+            self.jvm.clock.charge(cost.memcpy(size))
+            pos += size
+        if pos != n:
+            raise CompactCodecError("segment did not parse cleanly")
+        return out.getvalue()
+
+    def _deflate_fields(self, out: ByteOutputStream, segment: bytes,
+                        base: int, klass: Klass) -> None:
+        cost = self.jvm.cost_model
+        for field in klass.all_fields():
+            self.jvm.clock.charge(cost.generated_access)
+            start = base + field.offset
+            if field.is_reference:
+                rel = int.from_bytes(segment[start: start + 8], "little")
+                out.write_varint(rel)
+            else:
+                out.write_bytes(segment[start: start + field.size])
+
+    def _deflate_array(self, out: ByteOutputStream, segment: bytes,
+                       base: int, klass: Klass, length: int) -> None:
+        cost = self.jvm.cost_model
+        elem = klass.element_descriptor or ""
+        payload = base + self.layout.array_payload_offset(elem)
+        esize = klass.element_size
+        if descriptors.is_reference(elem):
+            for i in range(length):
+                self.jvm.clock.charge(cost.generated_access)
+                start = payload + i * esize
+                rel = int.from_bytes(segment[start: start + 8], "little")
+                out.write_varint(rel)
+        else:
+            out.write_bytes(segment[payload: payload + length * esize])
+            self.jvm.clock.charge(cost.stream_bytes(length * esize))
+
+    # ------------------------------------------------------------------
+    # inflate (receiver side)
+    # ------------------------------------------------------------------
+
+    def decompress(self, data: bytes) -> bytes:
+        """Inflate a compact segment back into native-format objects."""
+        cost = self.jvm.cost_model
+        inp = ByteInputStream(data)
+        images: List[bytes] = []
+        while not inp.at_end():
+            tid = inp.read_varint()
+            klass = self._klass_for_tid(tid)
+            flags = inp.read_u8()
+            hashcode = inp.read_u32() if flags & _FLAG_HAS_HASH else 0
+
+            if flags & _FLAG_IS_ARRAY:
+                if not klass.is_array:
+                    raise CompactCodecError(f"{klass.name}: array flag mismatch")
+                length = inp.read_varint()
+                size = klass.object_size(length)
+            else:
+                length = 0
+                size = klass.object_size()
+
+            image = bytearray(size)
+            mark = markword.set_hash(markword.FRESH_MARK, hashcode)
+            image[MARK_OFFSET:MARK_OFFSET + 8] = mark.to_bytes(8, "little")
+            image[KLASS_OFFSET:KLASS_OFFSET + 8] = tid.to_bytes(8, "little")
+            if klass.is_array:
+                lo = self.layout.array_length_offset
+                image[lo:lo + 4] = length.to_bytes(4, "little")
+                self._inflate_array(inp, image, klass, length)
+            else:
+                self._inflate_fields(inp, image, klass)
+            self.jvm.clock.charge(cost.memcpy(size))
+            images.append(bytes(image))
+        return b"".join(images)
+
+    def _inflate_fields(self, inp: ByteInputStream, image: bytearray,
+                        klass: Klass) -> None:
+        cost = self.jvm.cost_model
+        for field in klass.all_fields():
+            self.jvm.clock.charge(cost.generated_access)
+            if field.is_reference:
+                rel = inp.read_varint()
+                image[field.offset:field.offset + 8] = rel.to_bytes(8, "little")
+            else:
+                image[field.offset:field.offset + field.size] = \
+                    inp.read_bytes(field.size)
+
+    def _inflate_array(self, inp: ByteInputStream, image: bytearray,
+                       klass: Klass, length: int) -> None:
+        cost = self.jvm.cost_model
+        elem = klass.element_descriptor or ""
+        payload = self.layout.array_payload_offset(elem)
+        esize = klass.element_size
+        if descriptors.is_reference(elem):
+            for i in range(length):
+                self.jvm.clock.charge(cost.generated_access)
+                rel = inp.read_varint()
+                start = payload + i * esize
+                image[start:start + 8] = rel.to_bytes(8, "little")
+        else:
+            raw = inp.read_bytes(length * esize)
+            image[payload:payload + len(raw)] = raw
+            self.jvm.clock.charge(cost.stream_bytes(length * esize))

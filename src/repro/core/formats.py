@@ -1,0 +1,81 @@
+"""Cluster object-format configuration (paper §3.1, §4.2).
+
+"CLONEINBUFFER would also adjust the format of the clone if Skyway detects
+that the receiver JVM has a different specification from the sender JVM,
+following a **user-provided configuration file that specifies the object
+formats in different JVMs**."
+
+:class:`ClusterFormatConfig` is that configuration: a mapping from node
+name to :class:`~repro.heap.layout.HeapLayout`.  Senders consult it to
+pick the target layout for a destination automatically; the socket stream
+variant wires it in so call sites stay layout-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.heap.layout import BASELINE_LAYOUT, HeapLayout, SKYWAY_LAYOUT
+
+_NAMED_LAYOUTS = {
+    "skyway-64": SKYWAY_LAYOUT,
+    "baseline-64": BASELINE_LAYOUT,
+}
+
+
+class ClusterFormatConfig:
+    """Per-node object-format registry with a cluster-wide default."""
+
+    def __init__(self, default: HeapLayout = SKYWAY_LAYOUT) -> None:
+        self.default = default
+        self._by_node: Dict[str, HeapLayout] = {}
+
+    def set_node_format(self, node_name: str, layout: HeapLayout) -> None:
+        self._by_node[node_name] = layout
+
+    def layout_for(self, node_name: str) -> HeapLayout:
+        return self._by_node.get(node_name, self.default)
+
+    def __contains__(self, node_name: str) -> bool:
+        return node_name in self._by_node
+
+    # -- the "configuration file" ------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "ClusterFormatConfig":
+        """Parse the config-file format::
+
+            default = skyway-64
+            node worker-3 = baseline-64
+
+        Known formats: ``skyway-64`` (24-byte headers with the baddr word)
+        and ``baseline-64`` (unmodified 16-byte headers).
+        """
+        config = cls()
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if "=" not in line:
+                raise ValueError(f"line {lineno}: expected 'key = format'")
+            key, _, value = (part.strip() for part in line.partition("="))
+            layout = _NAMED_LAYOUTS.get(value)
+            if layout is None:
+                raise ValueError(
+                    f"line {lineno}: unknown format {value!r} "
+                    f"(known: {sorted(_NAMED_LAYOUTS)})"
+                )
+            if key == "default":
+                config.default = layout
+            elif key.startswith("node "):
+                config.set_node_format(key[len("node "):].strip(), layout)
+            else:
+                raise ValueError(f"line {lineno}: unknown key {key!r}")
+        return config
+
+    def dumps(self) -> str:
+        name_of = {id(v): k for k, v in _NAMED_LAYOUTS.items()}
+        lines = [f"default = {name_of[id(self.default)]}"]
+        for node, layout in sorted(self._by_node.items()):
+            lines.append(f"node {node} = {name_of[id(layout)]}")
+        return "\n".join(lines)

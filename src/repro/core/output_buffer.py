@@ -1,0 +1,139 @@
+"""Skyway output buffers (paper §3.2, §4.2).
+
+One output buffer exists per destination per sending thread, in *native*
+(off-heap) memory — "they will not interfere with the GC, which could
+reclaim data objects before they are sent if these buffers were in the
+managed heap."  Objects are bump-committed at logical addresses; when the
+physical buffer fills, its content is *flushed* (streamed) to the sink and
+the buffer reused, with ``flushed_bytes`` tracking what left the buffer so
+logical addresses keep growing monotonically (Algorithm 2's
+``addr - ob.flushedBytes``).
+
+Logical address 0 is reserved for null references; the logical space
+therefore starts at one word.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.heap.layout import OBJECT_ALIGNMENT, WORD, align_up
+
+#: First logical address handed out (0 encodes null on the wire).
+LOGICAL_BASE = WORD
+
+FlushSink = Callable[[bytes], None]
+
+
+class OutputBuffer:
+    """A per-destination, per-thread native output buffer."""
+
+    def __init__(
+        self,
+        destination: str,
+        capacity: int = 256 * 1024,
+        sink: Optional[FlushSink] = None,
+    ) -> None:
+        if capacity < 64:
+            raise ValueError("output buffer capacity too small")
+        self.destination = destination
+        self.capacity = capacity
+        self._data = bytearray()
+        #: Next logical address to hand out (paper: ob.allocableAddr).
+        self.allocable_addr = LOGICAL_BASE
+        #: Logical bytes already streamed out (paper: ob.flushedBytes).
+        self.flushed_bytes = LOGICAL_BASE
+        self._sink = sink
+        self._pending_segments: List[bytes] = []
+        self.flush_count = 0
+
+    # -- allocation -------------------------------------------------------------
+
+    def reserve(self, size: int) -> int:
+        """Claim ``size`` bytes at the next logical address (pre-announced
+        during traversal, before the object is actually cloned)."""
+        aligned = align_up(size, OBJECT_ALIGNMENT)
+        addr = self.allocable_addr
+        self.allocable_addr += aligned
+        return addr
+
+    def write_object(self, logical_addr: int, payload: bytes) -> None:
+        """Clone object bytes at ``logical_addr`` (Algorithm 2's
+        CLONEINBUFFER).  Flushes first if the object would overflow the
+        physical buffer; objects larger than the whole buffer stream
+        through in one oversized segment."""
+        if logical_addr < self.flushed_bytes:
+            raise ValueError(
+                f"logical address {logical_addr} was already flushed"
+            )
+        offset = logical_addr - self.flushed_bytes
+        end = offset + len(payload)
+        if offset == len(self._data):
+            if end > self.capacity:
+                self.flush()
+                offset = logical_addr - self.flushed_bytes
+                end = offset + len(payload)
+            self._data.extend(payload)
+            if len(self._data) >= self.capacity:
+                self.flush()
+            return
+        # Out-of-order completion within the resident window (can happen
+        # for padding differences) — plain in-place write.
+        if end > len(self._data):
+            self._data.extend(bytes(end - len(self._data)))
+        self._data[offset:end] = payload
+
+    def patch_word(self, logical_addr: int, value: int) -> bool:
+        """Rewrite one word if it is still resident; returns False if that
+        region was already flushed (the caller must have relativized it
+        before commit — this is why Algorithm 2 fills references when the
+        *referencing* object is cloned, not later)."""
+        offset = logical_addr - self.flushed_bytes
+        if offset < 0:
+            return False
+        if offset + WORD > len(self._data):
+            return False
+        self._data[offset : offset + WORD] = (value & (2**64 - 1)).to_bytes(8, "little")
+        return True
+
+    # -- streaming ------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Stream the resident bytes to the sink and reset the window."""
+        if not self._data:
+            return
+        segment = bytes(self._data)
+        self.flushed_bytes += len(segment)
+        self._data = bytearray()
+        self.flush_count += 1
+        if self._sink is not None:
+            self._sink(segment)
+        else:
+            self._pending_segments.append(segment)
+
+    def drain_segments(self) -> List[bytes]:
+        """Segments accumulated while no sink was attached."""
+        out, self._pending_segments = self._pending_segments, []
+        return out
+
+    def set_sink(self, sink: FlushSink) -> None:
+        self._sink = sink
+        for segment in self.drain_segments():
+            sink(segment)
+
+    @property
+    def resident_bytes(self) -> int:
+        return len(self._data)
+
+    @property
+    def logical_size(self) -> int:
+        """Total logical bytes committed so far (excludes the null word)."""
+        return self.allocable_addr - LOGICAL_BASE
+
+    def clear(self) -> None:
+        """Reset for a new shuffle phase (paper: buffers are cleared after
+        their objects are sent / at shuffleStart)."""
+        self._data = bytearray()
+        self._pending_segments = []
+        self.allocable_addr = LOGICAL_BASE
+        self.flushed_bytes = LOGICAL_BASE

@@ -1,0 +1,156 @@
+"""Receiving an object graph (paper §4.3).
+
+"With the careful design on sending, the receiving logic is much simpler":
+
+1. **Placement** (streaming): as segments arrive they are parsed object by
+   object — the klass slot holds a tID, which the registry view resolves
+   (loading the class if this JVM never saw it) to learn each object's size
+   — and copied into in-heap input-buffer chunks.
+2. **Absolutization** (after end-of-stream): one linear scan rewrites each
+   object's tID back to the local klass pointer and each relativized
+   reference to an absolute heap address via the chunk arithmetic.
+3. **GC integration**: the freshly filled chunks are bulk-marked in the
+   card table so the received pointers are visible to minor collections.
+4. Registered **update functions** (paper §3.3's ``registerUpdate``) run
+   against matching objects after the transfer.
+
+Computation on a buffer must not start until its absolutization pass is
+done; :class:`ObjectGraphReceiver` enforces that by only exposing roots
+from :meth:`finish`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.input_buffer import InputBuffer, InputBufferError
+from repro.core.type_registry import RegistryView
+from repro.heap.handles import Handle
+from repro.heap.heap import NULL
+from repro.heap.layout import KLASS_OFFSET
+from repro.jvm.jvm import JVM
+
+#: An update hook: (jvm, object_address) -> new field value.
+UpdateFunction = Callable[[JVM, int], object]
+
+
+class ReceiveError(RuntimeError):
+    pass
+
+
+class ObjectGraphReceiver:
+    """One receiving stream: segments in, absolutized heap objects out."""
+
+    def __init__(
+        self,
+        jvm: JVM,
+        registry_view: RegistryView,
+        chunk_size: int = 64 * 1024,
+        update_functions: Optional[Dict[str, List[Tuple[str, UpdateFunction]]]] = None,
+    ) -> None:
+        self.jvm = jvm
+        self.view = registry_view
+        self.buffer = InputBuffer(jvm.heap, chunk_size=chunk_size)
+        self._update_functions = update_functions or {}
+        #: (physical address, klass) per placed object, in logical order.
+        self._placed: List[Tuple[int, object]] = []
+        self._finished = False
+        self.objects_received = 0
+        self.bytes_received = 0
+
+    # ------------------------------------------------------------------
+    # streaming placement
+    # ------------------------------------------------------------------
+
+    def feed(self, segment: bytes) -> None:
+        """Parse and place one flushed segment (whole objects only)."""
+        if self._finished:
+            raise ReceiveError("stream already finished")
+        cost = self.jvm.cost_model
+        pos = 0
+        n = len(segment)
+        while pos < n:
+            if pos + KLASS_OFFSET + 8 > n:
+                raise ReceiveError(
+                    f"truncated object header at segment offset {pos}"
+                )
+            tid = int.from_bytes(segment[pos + KLASS_OFFSET : pos + KLASS_OFFSET + 8],
+                                 "little")
+            klass = self._klass_for_tid(tid)
+            if klass.is_array:
+                lo = pos + self.jvm.layout.array_length_offset
+                length = int.from_bytes(segment[lo : lo + 4], "little")
+                size = klass.object_size(length)
+            else:
+                size = klass.object_size()
+            if pos + size > n:
+                raise ReceiveError(
+                    f"object of {size} bytes overruns segment at {pos}"
+                )
+            address = self.buffer.place(segment[pos : pos + size])
+            self._placed.append((address, klass))
+            self.objects_received += 1
+            self.bytes_received += size
+            self.jvm.clock.charge(cost.memcpy(size))
+            pos += size
+
+    def _klass_for_tid(self, tid: int):
+        """tID -> local klass, loading the class if it is missing here
+        (paper: "Skyway instructs the class loader to load the missing
+        class since the type registry knows the full class name")."""
+        name = self.view.name_for(tid)
+        return self.jvm.loader.load(name)
+
+    # ------------------------------------------------------------------
+    # absolutization
+    # ------------------------------------------------------------------
+
+    def finish(self, root_offsets: List[int]) -> List[Handle]:
+        """End of stream: run the linear absolutization scan, update the
+        card table, apply registered updates, and pin the top objects."""
+        if self._finished:
+            raise ReceiveError("stream already finished")
+        self._finished = True
+        self.buffer.freeze()
+        heap = self.jvm.heap
+        cost = self.jvm.cost_model
+
+        for address, klass in self._placed:
+            self.jvm.clock.charge(cost.skyway_receive_object)
+            if klass.klass_id is None:  # pragma: no cover - loader invariant
+                raise ReceiveError(f"klass {klass.name} not installed")
+            heap.write_klass_word(address, klass.klass_id)
+            for offset in heap.reference_offsets(address):
+                relative = heap.read_word(address + offset)
+                self.jvm.clock.charge(cost.skyway_pointer_fixup)
+                if relative == 0:
+                    continue
+                heap.write_word(address + offset, self.buffer.translate(relative))
+
+        # GC integration: make the new pointers card-table visible.
+        for chunk in self.buffer.chunks:
+            heap.card_table.mark_range(chunk.physical_start, chunk.filled)
+            self.jvm.clock.charge(cost.card_table_update)
+
+        self._apply_updates()
+        return [self.jvm.pin(self._root_address(off)) for off in root_offsets]
+
+    def _root_address(self, logical_offset: int) -> int:
+        if logical_offset == 0:
+            return NULL
+        try:
+            return self.buffer.translate(logical_offset)
+        except InputBufferError as exc:
+            raise ReceiveError(f"bad top-mark offset {logical_offset:#x}") from exc
+
+    def _apply_updates(self) -> None:
+        """Run ``registerUpdate`` hooks on matching received objects
+        (paper §3.3: e.g. re-initializing a timestamp field)."""
+        if not self._update_functions:
+            return
+        for address, klass in self._placed:
+            hooks = self._update_functions.get(klass.name)
+            if not hooks:
+                continue
+            for field_name, fn in hooks:
+                self.jvm.set_field(address, field_name, fn(self.jvm, address))

@@ -1,0 +1,243 @@
+"""Skyway's developer-facing stream API (paper §3.3).
+
+``SkywayObjectOutputStream`` / ``SkywayObjectInputStream`` are the
+Java-serializer-compatible entry points: ``write_object(o)`` on one side,
+``read_object()`` on the other, with file and socket variants.  Switching a
+program to Skyway is "instantiate stream to be a SkywayFileOutputStream
+object instead of any other type of ObjectOutputStream" — the call sites do
+not change.
+
+Wire framing (this reproduction's equivalent of the paper's stream
+protocol): a sequence of varint-length-prefixed segments (each a flush of
+the output buffer, containing whole objects), a zero terminator, then a
+trailer carrying the top marks — the sender-side root index that saves the
+receiver a graph traversal (§4.2 "Root Object Recognition") — and the total
+logical size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.compact import CompactSegmentCodec
+from repro.core.receiver import ObjectGraphReceiver
+from repro.core.runtime import SkywayRuntime
+from repro.core.sender import ObjectGraphSender
+from repro.heap.handles import Handle
+from repro.heap.layout import HeapLayout
+from repro.net.cluster import Cluster, Node
+from repro.net.disk import Disk
+from repro.net.streams import ByteInputStream, ByteOutputStream
+
+
+class SkywayStreamError(RuntimeError):
+    pass
+
+
+class SkywayObjectOutputStream:
+    """Object-writing side, framing flushed segments into a byte stream.
+
+    ``compress_headers`` enables the compact transfer encoding (the §5.2
+    future-work option): headers/padding are deflated per segment at extra
+    per-field CPU cost.  The frame's first byte carries the codec id so
+    receivers self-configure.
+    """
+
+    def __init__(
+        self,
+        runtime: SkywayRuntime,
+        destination: str,
+        thread_id: int = 0,
+        target_layout: Optional[HeapLayout] = None,
+        compress_headers: bool = False,
+    ) -> None:
+        self.runtime = runtime
+        self._frame = ByteOutputStream()
+        self.sender: ObjectGraphSender = runtime.new_sender(
+            destination, thread_id=thread_id, target_layout=target_layout,
+            fresh_buffer=True,
+        )
+        self._codec: Optional[CompactSegmentCodec] = None
+        if compress_headers:
+            self._codec = CompactSegmentCodec(
+                runtime.jvm, runtime.view, self.sender.target_layout
+            )
+        self._frame.write_u8(1 if compress_headers else 0)
+        self.sender.buffer.set_sink(self._on_flush)
+        self._closed = False
+
+    def _on_flush(self, segment: bytes) -> None:
+        if self._codec is not None:
+            segment = self._codec.compress(segment)
+        self._frame.write_varint(len(segment))
+        self._frame.write_bytes(segment)
+
+    def write_object(self, root: int) -> int:
+        """Paper-compatible ``stream.writeObject(o)``."""
+        if self._closed:
+            raise SkywayStreamError("stream is closed")
+        return self.sender.write_object(root)
+
+    def close(self) -> bytes:
+        """Flush, append the trailer, and return the framed bytes."""
+        if self._closed:
+            raise SkywayStreamError("stream already closed")
+        self._closed = True
+        self.sender.buffer.flush()
+        self._frame.write_varint(0)  # segment terminator
+        self._frame.write_varint(len(self.sender.top_marks))
+        for mark in self.sender.top_marks:
+            self._frame.write_varint(mark)
+        self._frame.write_varint(self.sender.buffer.logical_size)
+        return self._frame.getvalue()
+
+    @property
+    def bytes_written(self) -> int:
+        return len(self._frame)
+
+
+class SkywayObjectInputStream:
+    """Object-reading side: feed framed bytes, then pop root objects."""
+
+    def __init__(self, runtime: SkywayRuntime) -> None:
+        self.runtime = runtime
+        self.receiver: ObjectGraphReceiver = runtime.new_receiver()
+        self._roots: List[Handle] = []
+        self._cursor = 0
+        self._finished = False
+        self._buffer_token: Optional[int] = None
+
+    def accept(self, data: bytes) -> None:
+        """Consume a complete framed byte stream (segments + trailer)."""
+        if self._finished:
+            raise SkywayStreamError("stream already finished")
+        inp = ByteInputStream(data)
+        codec: Optional[CompactSegmentCodec] = None
+        if inp.read_u8():
+            codec = CompactSegmentCodec(
+                self.runtime.jvm, self.runtime.view, self.runtime.jvm.layout
+            )
+        while True:
+            seg_len = inp.read_varint()
+            if seg_len == 0:
+                break
+            segment = inp.read_bytes(seg_len)
+            if codec is not None:
+                segment = codec.decompress(segment)
+            self.receiver.feed(segment)
+        n_roots = inp.read_varint()
+        marks = [inp.read_varint() for _ in range(n_roots)]
+        expected = inp.read_varint()
+        if self.receiver.buffer.logical_size != expected:
+            raise SkywayStreamError(
+                f"stream carried {self.receiver.buffer.logical_size} logical "
+                f"bytes, trailer promised {expected}"
+            )
+        self._roots = self.receiver.finish(marks)
+        self._buffer_token = self.runtime.track_input_buffer(
+            self.receiver, self._roots
+        )
+        self._finished = True
+
+    def read_object(self) -> int:
+        """Paper-compatible ``stream.readObject()``: next top object."""
+        if not self._finished:
+            raise SkywayStreamError(
+                "read_object before the stream finished (absolutization "
+                "must complete first, paper §4.3)"
+            )
+        if self._cursor >= len(self._roots):
+            raise SkywayStreamError("no more top objects in this stream")
+        root = self._roots[self._cursor]
+        self._cursor += 1
+        return root.address
+
+    def has_next(self) -> bool:
+        return self._finished and self._cursor < len(self._roots)
+
+    def close(self) -> None:
+        """Free this stream's input buffer (the explicit API of §3.2)."""
+        if self._buffer_token is not None:
+            self.runtime.free_input_buffer(self._buffer_token)
+            self._buffer_token = None
+        self._roots = []
+
+
+# ---------------------------------------------------------------------------
+# file variants
+# ---------------------------------------------------------------------------
+
+class SkywayFileOutputStream(SkywayObjectOutputStream):
+    """Writes the framed stream to a simulated disk file on close."""
+
+    def __init__(
+        self,
+        runtime: SkywayRuntime,
+        disk: Disk,
+        filename: str,
+        thread_id: int = 0,
+        target_layout: Optional[HeapLayout] = None,
+    ) -> None:
+        super().__init__(
+            runtime, destination=f"file:{filename}", thread_id=thread_id,
+            target_layout=target_layout,
+        )
+        self._disk = disk
+        self._filename = filename
+
+    def close(self) -> bytes:
+        data = super().close()
+        self._disk.write_file(self._filename, data)
+        return data
+
+
+class SkywayFileInputStream(SkywayObjectInputStream):
+    """Reads a framed stream from a simulated disk file."""
+
+    def __init__(self, runtime: SkywayRuntime, disk: Disk, filename: str) -> None:
+        super().__init__(runtime)
+        self.accept(disk.read_file(filename))
+
+
+# ---------------------------------------------------------------------------
+# socket variants
+# ---------------------------------------------------------------------------
+
+class SkywaySocketOutputStream(SkywayObjectOutputStream):
+    """Streams over the cluster network to a peer node on close."""
+
+    def __init__(
+        self,
+        runtime: SkywayRuntime,
+        cluster: Cluster,
+        src: Node,
+        dst: Node,
+        thread_id: int = 0,
+        target_layout: Optional[HeapLayout] = None,
+    ) -> None:
+        if target_layout is None:
+            # Consult the cluster format config (paper §3.1) so senders
+            # re-format clones for destinations with different layouts.
+            target_layout = runtime.layout_for_destination(dst.name)
+        super().__init__(
+            runtime, destination=f"node:{dst.name}", thread_id=thread_id,
+            target_layout=target_layout,
+        )
+        self._cluster = cluster
+        self._src = src
+        self._dst = dst
+        self.sent_bytes: Optional[bytes] = None
+
+    def close(self) -> bytes:
+        data = super().close()
+        self._cluster.transfer(self._src, self._dst, len(data))
+        self.sent_bytes = data
+        return data
+
+
+class SkywaySocketInputStream(SkywayObjectInputStream):
+    """Receiving end of a socket transfer."""
+
+    def __init__(self, runtime: SkywayRuntime, data: bytes) -> None:
+        super().__init__(runtime)
+        self.accept(data)

@@ -1,0 +1,173 @@
+"""Global class numbering (paper §4.1, Algorithm 1).
+
+The driver JVM owns the complete *type registry* mapping every class-name
+string to a cluster-unique integer ID.  Each worker holds a *registry view*
+(a subset) and a pull-based protocol keeps it sufficient:
+
+* ``REQUEST_VIEW`` at worker startup copies the driver's current registry —
+  "most classes that will be needed by this worker JVM are likely already
+  registered... getting their IDs in a batch is much more efficient";
+* ``LOOKUP`` on a class-load miss sends the class name and receives (or
+  creates) its ID;
+* ``LOOKUP_BY_ID`` is the receive-path complement: a worker may receive a
+  tID registered by *another* worker after its view snapshot, and must
+  recover the class name to load the missing class ("if we encounter an
+  unloaded class on the worker JVM, Skyway instructs the class loader to
+  load the missing class since the type registry knows the full class
+  name").
+
+Message costs are charged through the cluster's control-message path; the
+ID lands in the klass meta-object's ``tID`` field (``WRITETID``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.heap.klass import Klass
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.cluster import Cluster, Node
+
+
+class TypeRegistryError(RuntimeError):
+    pass
+
+
+#: Approximate wire size of a control message envelope.
+_ENVELOPE_BYTES = 64
+
+
+class DriverRegistry:
+    """The complete registry on the driver JVM (Algorithm 1, driver part)."""
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        self._names: Dict[int, str] = {}
+        self._next_id = 0
+        self.lookup_requests = 0
+        self.view_requests = 0
+
+    def bootstrap_from(self, loaded: list) -> None:
+        """Populate from the driver's own loaded classes at JVM startup."""
+        for klass in loaded:
+            klass.tid = self.register(klass.name)
+
+    def register(self, name: str) -> int:
+        existing = self._ids.get(name)
+        if existing is not None:
+            return existing
+        tid = self._next_id
+        self._next_id += 1
+        self._ids[name] = tid
+        self._names[tid] = name
+        return tid
+
+    # -- protocol handlers (driver daemon thread, Algorithm 1 part 2) -------
+
+    def handle_request_view(self) -> Dict[str, int]:
+        self.view_requests += 1
+        return dict(self._ids)
+
+    def handle_lookup(self, name: str) -> int:
+        self.lookup_requests += 1
+        return self.register(name)
+
+    def handle_lookup_by_id(self, tid: int) -> str:
+        try:
+            return self._names[tid]
+        except KeyError:
+            raise TypeRegistryError(f"no class registered with tID {tid}") from None
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ids
+
+
+class RegistryView:
+    """A worker's (or the driver's own) view of the registry.
+
+    Bound to one node; remote calls charge network time on the cluster.
+    The driver's own view answers locally with no messages.
+    """
+
+    def __init__(
+        self,
+        driver_registry: DriverRegistry,
+        cluster: Optional["Cluster"] = None,
+        node: Optional["Node"] = None,
+        driver_node: Optional["Node"] = None,
+    ) -> None:
+        self._driver = driver_registry
+        self._cluster = cluster
+        self._node = node
+        self._driver_node = driver_node
+        self._ids: Dict[str, int] = {}
+        self._names: Dict[int, str] = {}
+        self.remote_lookups = 0
+
+    @property
+    def is_remote(self) -> bool:
+        return (
+            self._cluster is not None
+            and self._node is not None
+            and self._node is not self._driver_node
+        )
+
+    def _charge_message(self, payload_bytes: int) -> None:
+        if self.is_remote:
+            assert self._cluster and self._node and self._driver_node
+            self._cluster.send_message(
+                self._node, self._driver_node, _ENVELOPE_BYTES + payload_bytes
+            )
+
+    # -- worker protocol (Algorithm 1, worker part) ---------------------------
+
+    def request_view(self) -> None:
+        """REQUEST_VIEW at startup: batch-fetch the current registry."""
+        snapshot = self._driver.handle_request_view()
+        self._charge_message(sum(len(n) + 4 for n in snapshot))
+        self._install(snapshot)
+
+    def _install(self, mapping: Dict[str, int]) -> None:
+        for name, tid in mapping.items():
+            self._ids[name] = tid
+            self._names[tid] = name
+
+    def id_for(self, name: str) -> int:
+        """The tID for a class, pulling from the driver on a miss."""
+        existing = self._ids.get(name)
+        if existing is not None:
+            return existing
+        self.remote_lookups += 1
+        self._charge_message(len(name))
+        tid = self._driver.handle_lookup(name)
+        self._charge_message(4)
+        self._ids[name] = tid
+        self._names[tid] = name
+        return tid
+
+    def name_for(self, tid: int) -> str:
+        """The class name for a tID, pulling from the driver on a miss."""
+        existing = self._names.get(tid)
+        if existing is not None:
+            return existing
+        self.remote_lookups += 1
+        self._charge_message(4)
+        name = self._driver.handle_lookup_by_id(tid)
+        self._charge_message(len(name))
+        self._ids[name] = tid
+        self._names[tid] = name
+        return name
+
+    def on_class_load(self, klass: Klass) -> None:
+        """The class-loader hook: obtain the tID and WRITETID it."""
+        klass.tid = self.id_for(klass.name)
+
+    def knows(self, name: str) -> bool:
+        return name in self._ids
+
+    def __len__(self) -> int:
+        return len(self._ids)

@@ -1,0 +1,24 @@
+"""Synthetic datasets standing in for the paper's inputs.
+
+The paper evaluates over four real graphs (Table 1) and TPC-H data; neither
+is shippable here, so generators produce synthetic equivalents with the
+*shape* properties the experiments depend on: power-law degree skew (drives
+shuffle volume imbalance) and published vertex/edge ratios, at a documented
+scale-down.  Every generator is seeded and deterministic.
+"""
+
+from repro.datasets.graphs import (
+    GRAPH_PROFILES,
+    GraphProfile,
+    generate_graph,
+    table1_rows,
+)
+from repro.datasets.text import generate_text_corpus
+
+__all__ = [
+    "GraphProfile",
+    "GRAPH_PROFILES",
+    "generate_graph",
+    "table1_rows",
+    "generate_text_corpus",
+]

@@ -1,0 +1,39 @@
+"""Synthetic text corpus for WordCount: Zipf-distributed word frequencies,
+matching natural-language shape (a few very hot keys, a long tail) so the
+reduceByKey combiner behaves as it would on real text."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+_SYLLABLES = [
+    "da", "ta", "lo", "re", "mi", "ka", "shu", "fle", "spar", "ky",
+    "way", "heap", "net", "ser", "de", "graph", "node", "map", "red", "uce",
+]
+
+
+def _vocabulary(size: int, rng: random.Random) -> List[str]:
+    words = []
+    for i in range(size):
+        n = 1 + (i % 3)
+        words.append("".join(rng.choice(_SYLLABLES) for _ in range(n)) + str(i % 97))
+    return words
+
+
+def generate_text_corpus(
+    lines: int = 2000,
+    words_per_line: int = 12,
+    vocabulary_size: int = 800,
+    seed: int = 7,
+) -> List[str]:
+    """Deterministic Zipfian text: line ``i`` holds ``words_per_line``
+    samples from a rank-skewed vocabulary."""
+    rng = random.Random(seed)
+    vocab = _vocabulary(vocabulary_size, rng)
+    weights = [1.0 / (rank + 1) for rank in range(vocabulary_size)]
+    out = []
+    for _ in range(lines):
+        picked = rng.choices(vocab, weights=weights, k=words_per_line)
+        out.append(" ".join(picked))
+    return out

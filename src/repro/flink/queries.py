@@ -1,0 +1,288 @@
+"""The five TPC-H-derived queries of the paper's Table 3.
+
+=====  ==========================================================================
+Query  Description (paper Table 3)
+=====  ==========================================================================
+QA     Report pricing details for all items shipped within the last 120 days.
+QB     List the minimum cost supplier for each region for each item.
+QC     Retrieve the shipping priority and potential revenue of pending orders.
+QD     Count the number of late orders in each quarter of a given year.
+QE     Report all items returned by customers sorted by the lost revenue.
+=====  ==========================================================================
+
+Each query is written against the DataSet engine (shuffles exercise the
+configured serializer) with accessed-field lists driving Flink's lazy
+deserialization.  Each also has a plain-Python reference implementation so
+tests can verify result equality under every serializer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.flink.engine import DataSet, FlinkEnvironment
+from repro.flink.tpch import MAX_DATE, TpchDataset, YEAR
+from repro.flink.types import FieldKind as K, RowType
+
+Row = Tuple[Any, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class QuerySpec:
+    key: str
+    description: str
+    run: Callable[[FlinkEnvironment, TpchDataset], List[Row]]
+    reference: Callable[[TpchDataset], List[Row]]
+
+
+# ---------------------------------------------------------------------------
+# QA — pricing summary for items shipped in the last 120 days (TPC-H Q1 style)
+# ---------------------------------------------------------------------------
+
+_QA_CUTOFF = MAX_DATE - 120
+
+_QA_OUT = RowType.of(
+    "qa_out", ("flag", K.STRING), ("status", K.STRING),
+    ("sum_qty", K.DOUBLE), ("sum_price", K.DOUBLE),
+    ("sum_disc_price", K.DOUBLE), ("count", K.LONG),
+)
+
+
+def _qa_run(env: FlinkEnvironment, data: TpchDataset) -> List[Row]:
+    lineitem = env.from_table(data.lineitem)
+    recent = lineitem.filter(lambda r: r[9] >= _QA_CUTOFF)
+    grouped = recent.group_by(
+        lambda r: (r[7], r[8]),
+        accessed_fields=[3, 4, 5, 7, 8],  # qty, price, discount, flag, status
+    )
+
+    def agg(key, rows):
+        flag, status = key
+        sq = sum(r[3] for r in rows)
+        sp = sum(r[4] for r in rows)
+        sdp = sum(r[4] * (1 - r[5]) for r in rows)
+        return (flag, status, round(sq, 2), round(sp, 2), round(sdp, 2),
+                len(rows))
+
+    return sorted(grouped.aggregate(agg, _QA_OUT).collect())
+
+
+def _qa_reference(data: TpchDataset) -> List[Row]:
+    groups: Dict[Tuple[str, str], List[Row]] = {}
+    for r in data.lineitem.rows:
+        if r[9] >= _QA_CUTOFF:
+            groups.setdefault((r[7], r[8]), []).append(r)
+    out = []
+    for (flag, status), rows in groups.items():
+        out.append((
+            flag, status,
+            round(sum(r[3] for r in rows), 2),
+            round(sum(r[4] for r in rows), 2),
+            round(sum(r[4] * (1 - r[5]) for r in rows), 2),
+            len(rows),
+        ))
+    return sorted(out)
+
+
+# ---------------------------------------------------------------------------
+# QB — minimum-cost supplier per (region, part) (TPC-H Q2 style)
+# ---------------------------------------------------------------------------
+
+_QB_OUT = RowType.of(
+    "qb_out", ("region", K.STRING), ("part", K.LONG),
+    ("min_cost", K.DOUBLE), ("supplier", K.STRING),
+)
+
+
+def _qb_run(env: FlinkEnvironment, data: TpchDataset) -> List[Row]:
+    # partsupp ⋈ supplier on suppkey.
+    ps = env.from_table(data.partsupp)
+    supplier = env.from_table(data.supplier)
+    ps_s = ps.join(supplier, left_key=1, right_key=0,
+                   accessed_left=[0, 1, 3], accessed_right=[0, 1, 2])
+    # ... ⋈ nation on s_nationkey (field 4+2=6 in joined row).
+    nation = env.from_table(data.nation)
+    ps_s_n = ps_s.join(nation, left_key=6, right_key=0)
+    # nation carries regionkey; map to region name via broadcast-side dict
+    # (region has 5 rows: Flink would broadcast it).
+    region_names = {r[0]: r[1] for r in data.region.rows}
+    grouped = ps_s_n.group_by(lambda r: (region_names[r[10]], r[0]))
+
+    def agg(key, rows):
+        region, part = key
+        best = min(rows, key=lambda r: (r[3], r[5]))
+        return (region, part, round(best[3], 2), best[5])
+
+    return sorted(grouped.aggregate(agg, _QB_OUT).collect())
+
+
+def _qb_reference(data: TpchDataset) -> List[Row]:
+    suppliers = {s[0]: s for s in data.supplier.rows}
+    nations = {n[0]: n for n in data.nation.rows}
+    regions = {r[0]: r[1] for r in data.region.rows}
+    best: Dict[Tuple[str, int], Tuple[float, str]] = {}
+    for ps in data.partsupp.rows:
+        s = suppliers[ps[1]]
+        region = regions[nations[s[2]][2]]
+        key = (region, ps[0])
+        cand = (ps[3], s[1])
+        if key not in best or cand < best[key]:
+            best[key] = cand
+    return sorted(
+        (region, part, round(cost, 2), name)
+        for (region, part), (cost, name) in best.items()
+    )
+
+
+# ---------------------------------------------------------------------------
+# QC — shipping priority / potential revenue of pending orders (Q3 style)
+# ---------------------------------------------------------------------------
+
+_QC_DATE = 4 * YEAR  # orders not yet shipped as of this date
+
+_QC_OUT = RowType.of(
+    "qc_out", ("orderkey", K.LONG), ("revenue", K.DOUBLE),
+    ("orderdate", K.DATE), ("shippriority", K.INT),
+)
+
+
+def _qc_run(env: FlinkEnvironment, data: TpchDataset) -> List[Row]:
+    orders = env.from_table(data.orders).filter(lambda r: r[4] < _QC_DATE)
+    lineitem = env.from_table(data.lineitem).filter(lambda r: r[9] > _QC_DATE)
+    joined = orders.join(lineitem, left_key=0, right_key=0,
+                         accessed_left=[0, 4, 6], accessed_right=[0, 4, 5])
+    grouped = joined.group_by(lambda r: (r[0], r[4], r[6]))
+
+    def agg(key, rows):
+        orderkey, orderdate, shippriority = key
+        revenue = sum(r[11] * (1 - r[12]) for r in rows)
+        return (orderkey, round(revenue, 2), orderdate, shippriority)
+
+    result = grouped.aggregate(agg, _QC_OUT).collect()
+    return sorted(result, key=lambda r: (-r[1], r[2], r[0]))[:10]
+
+
+def _qc_reference(data: TpchDataset) -> List[Row]:
+    orders = {o[0]: o for o in data.orders.rows if o[4] < _QC_DATE}
+    revenue: Dict[int, float] = {}
+    for li in data.lineitem.rows:
+        if li[9] > _QC_DATE and li[0] in orders:
+            revenue[li[0]] = revenue.get(li[0], 0.0) + li[4] * (1 - li[5])
+    rows = [
+        (ok, round(rev, 2), orders[ok][4], orders[ok][6])
+        for ok, rev in revenue.items()
+    ]
+    return sorted(rows, key=lambda r: (-r[1], r[2], r[0]))[:10]
+
+
+# ---------------------------------------------------------------------------
+# QD — late orders per quarter of a given year (Q4 style)
+# ---------------------------------------------------------------------------
+
+_QD_YEAR = 3  # year index 3 = 1995
+
+_QD_OUT = RowType.of("qd_out", ("quarter", K.INT), ("late_orders", K.LONG))
+
+
+def _qd_run(env: FlinkEnvironment, data: TpchDataset) -> List[Row]:
+    orders = env.from_table(data.orders).filter(
+        lambda r: _QD_YEAR * YEAR <= r[4] < (_QD_YEAR + 1) * YEAR
+    )
+    late_lines = env.from_table(data.lineitem).filter(
+        lambda r: r[11] > r[10]  # receiptdate > commitdate
+    ).project([0], name="late_keys")
+    joined = orders.join(late_lines, left_key=0, right_key=0,
+                         accessed_left=[0, 4], accessed_right=[0])
+    grouped = joined.group_by(lambda r: (r[4] % YEAR) // 92)
+
+    def agg(quarter, rows):
+        return (int(quarter), len({r[0] for r in rows}))
+
+    return sorted(grouped.aggregate(agg, _QD_OUT).collect())
+
+
+def _qd_reference(data: TpchDataset) -> List[Row]:
+    late_orders = {li[0] for li in data.lineitem.rows if li[11] > li[10]}
+    counts: Dict[int, set] = {}
+    for o in data.orders.rows:
+        if _QD_YEAR * YEAR <= o[4] < (_QD_YEAR + 1) * YEAR and o[0] in late_orders:
+            counts.setdefault((o[4] % YEAR) // 92, set()).add(o[0])
+    return sorted((int(q), len(oks)) for q, oks in counts.items())
+
+
+# ---------------------------------------------------------------------------
+# QE — returned items by lost revenue (Q10 style)
+# ---------------------------------------------------------------------------
+
+_QE_OUT = RowType.of(
+    "qe_out", ("custkey", K.LONG), ("name", K.STRING),
+    ("lost_revenue", K.DOUBLE),
+)
+
+
+def _qe_run(env: FlinkEnvironment, data: TpchDataset) -> List[Row]:
+    returned = env.from_table(data.lineitem).filter(lambda r: r[7] == "R")
+    orders = env.from_table(data.orders)
+    li_orders = returned.join(orders, left_key=0, right_key=0,
+                              accessed_left=[0, 4, 5], accessed_right=[0, 1])
+    customer = env.from_table(data.customer)
+    # joined row: lineitem(12) + orders(7); o_custkey at index 13.
+    full = li_orders.join(customer, left_key=13, right_key=0,
+                          accessed_right=[0, 1])
+    grouped = full.group_by(lambda r: (r[19], r[20]))
+
+    def agg(key, rows):
+        custkey, name = key
+        lost = sum(r[4] * (1 - r[5]) for r in rows)
+        return (custkey, name, round(lost, 2))
+
+    result = grouped.aggregate(agg, _QE_OUT).collect()
+    return sorted(result, key=lambda r: (-r[2], r[0]))
+
+
+def _qe_reference(data: TpchDataset) -> List[Row]:
+    orders = {o[0]: o for o in data.orders.rows}
+    customers = {c[0]: c for c in data.customer.rows}
+    lost: Dict[int, float] = {}
+    for li in data.lineitem.rows:
+        if li[7] == "R":
+            cust = orders[li[0]][1]
+            lost[cust] = lost.get(cust, 0.0) + li[4] * (1 - li[5])
+    rows = [
+        (ck, customers[ck][1], round(v, 2)) for ck, v in lost.items()
+    ]
+    return sorted(rows, key=lambda r: (-r[2], r[0]))
+
+
+QUERIES: Dict[str, QuerySpec] = {
+    "QA": QuerySpec(
+        "QA",
+        "Report pricing details for all items shipped within the last 120 days.",
+        _qa_run, _qa_reference,
+    ),
+    "QB": QuerySpec(
+        "QB",
+        "List the minimum cost supplier for each region for each item in the database.",
+        _qb_run, _qb_reference,
+    ),
+    "QC": QuerySpec(
+        "QC",
+        "Retrieve the shipping priority and potential revenue of all pending orders.",
+        _qc_run, _qc_reference,
+    ),
+    "QD": QuerySpec(
+        "QD",
+        "Count the number of late orders in each quarter of a given year.",
+        _qd_run, _qd_reference,
+    ),
+    "QE": QuerySpec(
+        "QE",
+        "Report all items returned by customers sorted by the lost revenue.",
+        _qe_run, _qe_reference,
+    ),
+}
+
+
+def run_query(key: str, env: FlinkEnvironment, data: TpchDataset) -> List[Row]:
+    return QUERIES[key].run(env, data)

@@ -1,0 +1,82 @@
+"""Card table for the old generation.
+
+The Parallel Scavenge collector (the default in OpenJDK 8, which the paper
+modifies) finds old→young pointers via a card table: the old generation is
+divided into fixed-size cards and a card is dirtied whenever a reference is
+stored into it.  Skyway's receiver must "update the card table appropriately
+to represent new pointers generated from each data transfer" (paper §4.3) —
+that call site is :meth:`mark_range`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+
+class CardTable:
+    """Dirty-card tracking over ``[start, end)`` with fixed-size cards."""
+
+    def __init__(self, start: int, end: int, card_size: int = 512) -> None:
+        if card_size <= 0 or card_size & (card_size - 1):
+            raise ValueError(f"card size must be a power of two: {card_size}")
+        if end < start:
+            raise ValueError("end before start")
+        self.start = start
+        self.end = end
+        self.card_size = card_size
+        self._cards: List[bool] = [False] * self._card_count()
+        self.marks = 0
+
+    def _card_count(self) -> int:
+        span = self.end - self.start
+        return (span + self.card_size - 1) // self.card_size
+
+    def card_index(self, address: int) -> int:
+        if not self.start <= address < self.end:
+            raise ValueError(f"address {address:#x} outside card-table span")
+        return (address - self.start) // self.card_size
+
+    def mark(self, address: int) -> None:
+        """Dirty the card containing ``address``."""
+        self._cards[self.card_index(address)] = True
+        self.marks += 1
+
+    def mark_range(self, address: int, nbytes: int) -> None:
+        """Dirty every card overlapping ``[address, address + nbytes)`` —
+        the receive-side bulk update for a freshly filled input buffer."""
+        if nbytes <= 0:
+            return
+        first = self.card_index(address)
+        last = self.card_index(min(address + nbytes - 1, self.end - 1))
+        for i in range(first, last + 1):
+            self._cards[i] = True
+        self.marks += last - first + 1
+
+    def is_dirty(self, address: int) -> bool:
+        return self._cards[self.card_index(address)]
+
+    def dirty_ranges(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(start_address, end_address)`` for each maximal run of
+        dirty cards."""
+        i = 0
+        n = len(self._cards)
+        while i < n:
+            if not self._cards[i]:
+                i += 1
+                continue
+            j = i
+            while j < n and self._cards[j]:
+                j += 1
+            yield (
+                self.start + i * self.card_size,
+                min(self.start + j * self.card_size, self.end),
+            )
+            i = j
+
+    def clear(self) -> None:
+        for i in range(len(self._cards)):
+            self._cards[i] = False
+
+    @property
+    def dirty_count(self) -> int:
+        return sum(self._cards)

@@ -1,0 +1,61 @@
+"""GC-stable handles.
+
+Objects move during collection, so code that must hold an object across a
+potential GC holds a :class:`Handle` registered with the JVM's
+:class:`HandleTable` (the root set).  The collector updates handle addresses
+when it moves objects — mirroring JNI global refs / HotSpot ``Handle``\\ s.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.heap.heap import NULL
+
+
+class Handle:
+    """A movable reference to a heap object (or null)."""
+
+    __slots__ = ("address",)
+
+    def __init__(self, address: int = NULL) -> None:
+        self.address = address
+
+    @property
+    def is_null(self) -> bool:
+        return self.address == NULL
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Handle({self.address:#x})"
+
+
+class HandleTable:
+    """The root set: every live handle the mutator holds."""
+
+    def __init__(self) -> None:
+        self._handles: List[Handle] = []
+
+    def create(self, address: int = NULL) -> Handle:
+        handle = Handle(address)
+        self._handles.append(handle)
+        return handle
+
+    def register(self, handle: Handle) -> Handle:
+        if handle not in self._handles:
+            self._handles.append(handle)
+        return handle
+
+    def release(self, handle: Handle) -> None:
+        try:
+            self._handles.remove(handle)
+        except ValueError:
+            pass
+
+    def __iter__(self) -> Iterator[Handle]:
+        return iter(self._handles)
+
+    def __len__(self) -> int:
+        return len(self._handles)
+
+    def roots(self) -> List[Handle]:
+        return [h for h in self._handles if not h.is_null]

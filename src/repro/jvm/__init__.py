@@ -1,0 +1,14 @@
+"""The JVM process abstraction: heap + loader + clock + GC in one object.
+
+A :class:`JVM` is one managed runtime in the simulated cluster.  Engines and
+serializers interact with object graphs through it: allocation with
+GC-on-demand, identity hashcodes cached in mark words, reflective access
+(:mod:`repro.jvm.reflection`) for the baseline serializers, and the
+Python↔heap marshalling bridge (:mod:`repro.jvm.marshal`).
+"""
+
+from repro.jvm.jvm import JVM
+from repro.jvm.reflection import Reflection
+from repro.jvm.marshal import to_heap, from_heap, HeapValueError
+
+__all__ = ["JVM", "Reflection", "to_heap", "from_heap", "HeapValueError"]

@@ -1,0 +1,335 @@
+"""Simulated java.util collections: HashMap and ArrayList.
+
+``HashMap`` matters to the reproduction: its bucket layout is a function of
+*cached hashcodes*.  Ordinary serializers must re-insert ("reshuffle
+key/value pairs... because the hash values of keys may have changed" —
+paper §1) every entry on the receiving node, while Skyway transfers each
+node's header verbatim, preserving identity hashcodes, so the received table
+is immediately valid (§4.2 "Header Update").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.heap.heap import NULL
+from repro.jvm.jvm import JVM
+from repro.types import corelib
+
+_DEFAULT_CAPACITY = 16
+_LOAD_FACTOR = 0.75
+
+
+def java_hash_of(jvm: JVM, address: int) -> int:
+    """``Object.hashCode()`` semantics: value hash for String and the boxes,
+    identity hash (cached in the mark word) for everything else."""
+    if address == NULL:
+        return 0
+    name = jvm.klass_of(address).name
+    if name == corelib.STRING:
+        return _as_int32(jvm.get_field(address, "hash"))
+    if name in (corelib.INTEGER, corelib.BOOLEAN):
+        return _as_int32(int(jvm.get_field(address, "value")))
+    if name == corelib.LONG:
+        v = jvm.get_field(address, "value")
+        return _as_int32((v ^ (v >> 32)) & 0xFFFFFFFF)
+    if name == corelib.DOUBLE:
+        import struct as _struct
+
+        bits = _struct.unpack("<q", _struct.pack("<d", jvm.get_field(address, "value")))[0]
+        return _as_int32((bits ^ (bits >> 32)) & 0xFFFFFFFF)
+    return jvm.identity_hash(address)
+
+
+def _as_int32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value >= 1 << 31 else value
+
+
+def _spread(h: int) -> int:
+    """HashMap.hash(): xor the high bits down (Java 8)."""
+    h &= 0xFFFFFFFF
+    return (h ^ (h >> 16)) & 0xFFFFFFFF
+
+
+def _keys_equal(jvm: JVM, a: int, b: int) -> bool:
+    """``equals()``: value equality for core value classes, identity else."""
+    if a == b:
+        return True
+    if a == NULL or b == NULL:
+        return False
+    ka, kb = jvm.klass_of(a).name, jvm.klass_of(b).name
+    if ka != kb:
+        return False
+    if ka == corelib.STRING:
+        return jvm.read_string(a) == jvm.read_string(b)
+    if ka in (corelib.INTEGER, corelib.LONG, corelib.DOUBLE, corelib.BOOLEAN):
+        return jvm.get_field(a, "value") == jvm.get_field(b, "value")
+    return False
+
+
+class HashMapOps:
+    """Operations over simulated ``java.util.HashMap`` instances."""
+
+    def __init__(self, jvm: JVM) -> None:
+        self.jvm = jvm
+
+    def new(self, capacity: int = _DEFAULT_CAPACITY) -> int:
+        capacity = max(4, _next_pow2(capacity))
+        jvm = self.jvm
+        map_addr = jvm.new_instance(corelib.HASHMAP)
+        pin = jvm.pin(map_addr)
+        try:
+            table = jvm.new_array(f"L{corelib.HASHMAP_NODE};", capacity)
+            jvm.set_field(pin.address, "table", table)
+            jvm.set_field(pin.address, "size", 0)
+            jvm.set_field(pin.address, "threshold", int(capacity * _LOAD_FACTOR))
+            return pin.address
+        finally:
+            jvm.unpin(pin)
+
+    def put(self, map_addr: int, key: int, value: int, charge_hash: bool = False) -> int:
+        """Insert/replace; returns the map address (which may have moved is
+        not modeled — addresses here are only stable between GCs, so callers
+        pin around bulk operations)."""
+        jvm = self.jvm
+        if charge_hash:
+            jvm.clock.charge(jvm.cost_model.hash_insert)
+        h = _spread(java_hash_of(jvm, key) & 0xFFFFFFFF)
+        table = jvm.get_field(map_addr, "table")
+        cap = jvm.heap.array_length(table)
+        idx = h & (cap - 1)
+        node = jvm.heap.read_element(table, idx)
+        while node != NULL:
+            if jvm.get_field(node, "hash") == _as_int32(h) and _keys_equal(
+                jvm, jvm.get_field(node, "key"), key
+            ):
+                jvm.set_field(node, "value", value)
+                return map_addr
+            node = jvm.get_field(node, "next")
+
+        pins = [jvm.pin(a) for a in (map_addr, key, value, table)]
+        try:
+            new_node = jvm.new_instance(corelib.HASHMAP_NODE)
+            map_addr, key, value, table = (p.address for p in pins)
+            jvm.set_field(new_node, "hash", _as_int32(h))
+            jvm.set_field(new_node, "key", key)
+            jvm.set_field(new_node, "value", value)
+            head = jvm.heap.read_element(table, idx)
+            jvm.set_field(new_node, "next", head)
+            jvm.heap.write_element(table, idx, new_node)
+            size = jvm.get_field(map_addr, "size") + 1
+            jvm.set_field(map_addr, "size", size)
+            if size > jvm.get_field(map_addr, "threshold"):
+                map_addr = self._resize(map_addr)
+            return map_addr
+        finally:
+            for p in pins:
+                jvm.unpin(p)
+
+    def get(self, map_addr: int, key: int) -> int:
+        """Lookup using cached node hashes — works immediately after a
+        Skyway transfer, fails (by design) if hashes were invalidated."""
+        jvm = self.jvm
+        h = _spread(java_hash_of(jvm, key) & 0xFFFFFFFF)
+        table = jvm.get_field(map_addr, "table")
+        cap = jvm.heap.array_length(table)
+        node = jvm.heap.read_element(table, h & (cap - 1))
+        while node != NULL:
+            if jvm.get_field(node, "hash") == _as_int32(h) and _keys_equal(
+                jvm, jvm.get_field(node, "key"), key
+            ):
+                return jvm.get_field(node, "value")
+            node = jvm.get_field(node, "next")
+        return NULL
+
+    def size(self, map_addr: int) -> int:
+        return self.jvm.get_field(map_addr, "size")
+
+    def contains_key(self, map_addr: int, key: int) -> bool:
+        jvm = self.jvm
+        h = _spread(java_hash_of(jvm, key) & 0xFFFFFFFF)
+        table = jvm.get_field(map_addr, "table")
+        node = jvm.heap.read_element(table, h & (jvm.heap.array_length(table) - 1))
+        while node != NULL:
+            if jvm.get_field(node, "hash") == _as_int32(h) and _keys_equal(
+                jvm, jvm.get_field(node, "key"), key
+            ):
+                return True
+            node = jvm.get_field(node, "next")
+        return False
+
+    def remove(self, map_addr: int, key: int) -> int:
+        """Unlink the entry for ``key``; returns the removed value (NULL if
+        absent)."""
+        jvm = self.jvm
+        h = _spread(java_hash_of(jvm, key) & 0xFFFFFFFF)
+        table = jvm.get_field(map_addr, "table")
+        idx = h & (jvm.heap.array_length(table) - 1)
+        node = jvm.heap.read_element(table, idx)
+        prev = NULL
+        while node != NULL:
+            if jvm.get_field(node, "hash") == _as_int32(h) and _keys_equal(
+                jvm, jvm.get_field(node, "key"), key
+            ):
+                value = jvm.get_field(node, "value")
+                nxt = jvm.get_field(node, "next")
+                if prev == NULL:
+                    jvm.heap.write_element(table, idx, nxt)
+                else:
+                    jvm.set_field(prev, "next", nxt)
+                jvm.set_field(map_addr, "size",
+                              jvm.get_field(map_addr, "size") - 1)
+                return value
+            prev = node
+            node = jvm.get_field(node, "next")
+        return NULL
+
+    def entries(self, map_addr: int) -> Iterator[Tuple[int, int]]:
+        jvm = self.jvm
+        table = jvm.get_field(map_addr, "table")
+        for i in range(jvm.heap.array_length(table)):
+            node = jvm.heap.read_element(table, i)
+            while node != NULL:
+                yield jvm.get_field(node, "key"), jvm.get_field(node, "value")
+                node = jvm.get_field(node, "next")
+
+    def rehash_in_place(self, map_addr: int, charge: bool = True) -> None:
+        """What a deserializer must do when hashcodes were not preserved:
+        recompute every node's hash from the (new) key hashcodes and relink
+        the nodes into their buckets (paper §1: "reshuffle key/value pairs to
+        correctly recreate the key-value array").  Charges ``hash_insert``
+        per entry when ``charge`` is set."""
+        jvm = self.jvm
+        # Detach every node, then relink with freshly computed hashes.
+        nodes: List[int] = []
+        table = jvm.get_field(map_addr, "table")
+        cap = jvm.heap.array_length(table)
+        for i in range(cap):
+            node = jvm.heap.read_element(table, i)
+            while node != NULL:
+                nodes.append(node)
+                node = jvm.get_field(node, "next")
+            jvm.heap.write_element(table, i, NULL)
+        for node in nodes:
+            if charge:
+                jvm.clock.charge(jvm.cost_model.hash_insert)
+            key = jvm.get_field(node, "key")
+            h = _spread(java_hash_of(jvm, key) & 0xFFFFFFFF)
+            idx = h & (cap - 1)
+            jvm.set_field(node, "hash", _as_int32(h))
+            jvm.set_field(node, "next", jvm.heap.read_element(table, idx))
+            jvm.heap.write_element(table, idx, node)
+
+    def _resize(self, map_addr: int) -> int:
+        jvm = self.jvm
+        old_entries = list(self.entries(map_addr))
+        old_table = jvm.get_field(map_addr, "table")
+        new_cap = jvm.heap.array_length(old_table) * 2
+        pin = jvm.pin(map_addr)
+        try:
+            new_table = jvm.new_array(f"L{corelib.HASHMAP_NODE};", new_cap)
+            map_addr = pin.address
+            jvm.set_field(map_addr, "table", new_table)
+            jvm.set_field(map_addr, "threshold", int(new_cap * _LOAD_FACTOR))
+            jvm.set_field(map_addr, "size", 0)
+            for key, value in old_entries:
+                jvm.set_field(map_addr, "size", jvm.get_field(map_addr, "size"))
+                self._relink_one(map_addr, key, value)
+            jvm.set_field(map_addr, "size", len(old_entries))
+            return map_addr
+        finally:
+            jvm.unpin(pin)
+
+    def _relink_one(self, map_addr: int, key: int, value: int) -> None:
+        jvm = self.jvm
+        pins = [jvm.pin(a) for a in (map_addr, key, value)]
+        try:
+            node = jvm.new_instance(corelib.HASHMAP_NODE)
+            map_addr, key, value = (p.address for p in pins)
+            table = jvm.get_field(map_addr, "table")
+            cap = jvm.heap.array_length(table)
+            h = _spread(java_hash_of(jvm, key) & 0xFFFFFFFF)
+            jvm.set_field(node, "hash", _as_int32(h))
+            jvm.set_field(node, "key", key)
+            jvm.set_field(node, "value", value)
+            idx = h & (cap - 1)
+            jvm.set_field(node, "next", jvm.heap.read_element(table, idx))
+            jvm.heap.write_element(table, idx, node)
+        finally:
+            for p in pins:
+                jvm.unpin(p)
+
+
+class ArrayListOps:
+    """Operations over simulated ``java.util.ArrayList`` instances."""
+
+    def __init__(self, jvm: JVM) -> None:
+        self.jvm = jvm
+
+    def new(self, capacity: int = 8) -> int:
+        jvm = self.jvm
+        lst = jvm.new_instance(corelib.ARRAYLIST)
+        pin = jvm.pin(lst)
+        try:
+            data = jvm.new_array("Ljava.lang.Object;", max(1, capacity))
+            jvm.set_field(pin.address, "elementData", data)
+            jvm.set_field(pin.address, "size", 0)
+            return pin.address
+        finally:
+            jvm.unpin(pin)
+
+    def append(self, lst: int, element: int) -> None:
+        jvm = self.jvm
+        size = jvm.get_field(lst, "size")
+        data = jvm.get_field(lst, "elementData")
+        cap = jvm.heap.array_length(data)
+        if size == cap:
+            pins = [jvm.pin(lst), jvm.pin(element), jvm.pin(data)]
+            try:
+                new_data = jvm.new_array("Ljava.lang.Object;", cap * 2)
+                lst, element, data = (p.address for p in pins)
+                for i in range(size):
+                    jvm.heap.write_element(new_data, i, jvm.heap.read_element(data, i))
+                jvm.set_field(lst, "elementData", new_data)
+                data = new_data
+            finally:
+                for p in pins:
+                    jvm.unpin(p)
+        jvm.heap.write_element(data, size, element)
+        jvm.set_field(lst, "size", size + 1)
+
+    def get(self, lst: int, index: int) -> int:
+        jvm = self.jvm
+        size = jvm.get_field(lst, "size")
+        if not 0 <= index < size:
+            raise IndexError(f"index {index} out of bounds for size {size}")
+        return jvm.heap.read_element(jvm.get_field(lst, "elementData"), index)
+
+    def size(self, lst: int) -> int:
+        return self.jvm.get_field(lst, "size")
+
+    def items(self, lst: int) -> Iterator[int]:
+        for i in range(self.size(lst)):
+            yield self.get(lst, i)
+
+    def set(self, lst: int, index: int, element: int) -> None:
+        jvm = self.jvm
+        size = jvm.get_field(lst, "size")
+        if not 0 <= index < size:
+            raise IndexError(f"index {index} out of bounds for size {size}")
+        jvm.heap.write_element(jvm.get_field(lst, "elementData"), index, element)
+
+    def index_of(self, lst: int, element: int) -> int:
+        """First index holding exactly ``element`` (identity), or -1."""
+        for i, item in enumerate(self.items(lst)):
+            if item == element:
+                return i
+        return -1
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p

@@ -1,0 +1,418 @@
+"""Marshalling between Python values and simulated heap object graphs.
+
+The dataflow engines compute over plain Python values for speed, but every
+byte that crosses a shuffle boundary must exist as a real heap object graph
+(that is what serializers and Skyway operate on).  ``to_heap`` materializes
+a Python value as objects; ``from_heap`` reads a graph back.
+
+Mapping:
+
+==================  =========================================
+Python              simulated heap
+==================  =========================================
+``None``            null
+``bool``            ``java.lang.Boolean``
+``int``             ``java.lang.Long``
+``float``           ``java.lang.Double``
+``str``             ``java.lang.String`` (char[] backed)
+``bytes``           ``byte[]``
+``tuple``           ``repro.runtime.TupleN`` (reference fields)
+``list``            ``java.util.ArrayList``
+``dict``            ``java.util.HashMap`` (bucketed nodes)
+``Obj``             an instance of a user-registered class
+==================  =========================================
+
+``Obj`` lets workloads use domain classes (the paper's ``Date``/``Year4D``,
+JSBS's ``MediaContent``, TPC-H rows) with primitive fields laid out exactly
+as a Java object would be.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.heap.heap import NULL
+from repro.jvm.collections import ArrayListOps, HashMapOps
+from repro.jvm.jvm import JVM
+from repro.types import corelib, descriptors
+
+
+class HeapValueError(TypeError):
+    """A Python value that has no heap mapping (or vice versa)."""
+
+
+@dataclasses.dataclass
+class Obj:
+    """A Python-side description of an instance of a registered class."""
+
+    class_name: str
+    fields: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> Any:
+        return self.fields[name]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.fields.get(name, default)
+
+
+def to_heap(jvm: JVM, value: Any, charge: bool = False) -> int:
+    """Materialize ``value`` as a heap object graph; returns its address.
+
+    ``charge`` controls whether allocations charge the cost model (engines
+    charge materialization to computation; tests usually do not care).
+    The returned address is only GC-stable if the caller pins it.
+    """
+    return _Marshaller(jvm, charge).to_heap(value)
+
+
+def to_heap_many(jvm: JVM, values, charge: bool = False):
+    """Materialize several values with one shared memo, so repeated
+    sub-values (interned flag strings, shared keys) become shared heap
+    objects — as they are in a real JVM.  Returns a list of addresses; the
+    caller must pin what it keeps."""
+    marshaller = _Marshaller(jvm, charge)
+    try:
+        return [marshaller._convert(v) for v in values]
+    finally:
+        for pin in marshaller._pins:
+            jvm.unpin(pin)
+
+
+def from_heap(jvm: JVM, address: int) -> Any:
+    """Read a heap object graph back into Python values."""
+    return _Unmarshaller(jvm).from_heap(address)
+
+
+class _Marshaller:
+    def __init__(self, jvm: JVM, charge: bool) -> None:
+        self.jvm = jvm
+        self.charge = charge
+        self._memo: Dict[int, int] = {}  # id(py value) -> handle index
+        self._pins: List[Any] = []
+
+    def to_heap(self, value: Any) -> int:
+        try:
+            return self._convert(value)
+        finally:
+            for pin in self._pins:
+                self.jvm.unpin(pin)
+
+    def _convert(self, value: Any) -> int:
+        jvm = self.jvm
+        if value is None:
+            return NULL
+        key = id(value)
+        if key in self._memo:
+            return self._pins[self._memo[key]].address
+        if isinstance(value, bool):
+            return self._box(corelib.BOOLEAN, value)
+        if isinstance(value, int):
+            return self._box(corelib.LONG, value)
+        if isinstance(value, float):
+            return self._box(corelib.DOUBLE, value)
+        if isinstance(value, str):
+            return self._pin_memo(value, jvm.new_string(value, charge=self.charge))
+        if isinstance(value, bytes):
+            return self._byte_array(value)
+        if isinstance(value, tuple):
+            return self._tuple(value)
+        if isinstance(value, list):
+            prim = _primitive_kind(value)
+            if prim is not None:
+                return self._primitive_array(value, prim)
+            return self._list(value)
+        if isinstance(value, (set, frozenset)):
+            prim = _primitive_kind(value)
+            if prim is not None:
+                return self._primitive_set(value, prim)
+            return self._set(value)
+        if isinstance(value, dict):
+            return self._dict(value)
+        if isinstance(value, Obj):
+            return self._obj(value)
+        raise HeapValueError(f"no heap mapping for {type(value).__name__}")
+
+    def _pin_memo(self, value: Any, address: int) -> int:
+        pin = self.jvm.pin(address)
+        self._memo[id(value)] = len(self._pins)
+        self._pins.append(pin)
+        return address
+
+    def _box(self, class_name: str, value: Any) -> int:
+        addr = self.jvm.new_instance(class_name, charge=self.charge)
+        self.jvm.set_field(addr, "value", value)
+        return self._pin_memo(value, addr)
+
+    def _byte_array(self, data: bytes) -> int:
+        addr = self.jvm.new_array("B", len(data), charge=self.charge)
+        pin_index = len(self._pins)
+        self._pin_memo(data, addr)
+        addr = self._pins[pin_index].address
+        for i, b in enumerate(data):
+            self.jvm.heap.write_element(addr, i, b - 256 if b >= 128 else b)
+        return addr
+
+    def _tuple(self, value: Tuple[Any, ...]) -> int:
+        signature = _specialization_of(value)
+        if signature is not None:
+            return self._specialized_tuple(value, signature)
+        name = corelib.tuple_class_name(len(value))
+        addr = self.jvm.new_instance(name, charge=self.charge)
+        idx = len(self._pins)
+        self._pin_memo(value, addr)
+        for i, item in enumerate(value):
+            item_addr = self._convert(item)
+            self.jvm.set_field(self._pins[idx].address, f"f{i}", item_addr)
+        return self._pins[idx].address
+
+    def _specialized_tuple(self, value: Tuple[Any, ...], signature: str) -> int:
+        """Scala-style specialized tuple: primitive fields, no boxes."""
+        name = corelib.specialized_tuple_name(signature)
+        addr = self.jvm.new_instance(name, charge=self.charge)
+        idx = len(self._pins)
+        self._pin_memo(value, addr)
+        for i, (letter, item) in enumerate(zip(signature, value)):
+            if letter == "L":
+                item_addr = self._convert(item)
+                self.jvm.set_field(self._pins[idx].address, f"f{i}", item_addr)
+            else:
+                self.jvm.set_field(self._pins[idx].address, f"f{i}", item)
+        return self._pins[idx].address
+
+    def _primitive_array(self, value, kind: str) -> int:
+        """Homogeneous numeric lists become primitive arrays (long[] /
+        double[]) — how Spark/GraphX actually represents adjacency and
+        rank data on the heap."""
+        items = list(value)
+        addr = self.jvm.new_array(kind, len(items), charge=self.charge)
+        idx = len(self._pins)
+        self._pin_memo(value, addr)
+        arr = self._pins[idx].address
+        for i, item in enumerate(items):
+            self.jvm.heap.write_element(arr, i, item)
+        return arr
+
+    def _primitive_set(self, value, kind: str) -> int:
+        wrapper_name = corelib.LONGSET if kind == "J" else corelib.DOUBLESET
+        addr = self.jvm.new_instance(wrapper_name, charge=self.charge)
+        idx = len(self._pins)
+        self._pin_memo(value, addr)
+        items = sorted(value)
+        arr = self.jvm.new_array(kind, len(items), charge=self.charge)
+        self.jvm.set_field(self._pins[idx].address, "elements", arr)
+        for i, item in enumerate(items):
+            self.jvm.heap.write_element(arr, i, item)
+        return self._pins[idx].address
+
+    def _list(self, value: List[Any]) -> int:
+        ops = ArrayListOps(self.jvm)
+        addr = ops.new(capacity=max(1, len(value)))
+        idx = len(self._pins)
+        self._pin_memo(value, addr)
+        for item in value:
+            item_addr = self._convert(item)
+            ops.append(self._pins[idx].address, item_addr)
+        return self._pins[idx].address
+
+    def _set(self, value) -> int:
+        """Sets become java.util.HashSet: an element array in sorted-repr
+        order (deterministic layout for byte-level comparisons)."""
+        jvm = self.jvm
+        ordered = sorted(value, key=repr)
+        addr = jvm.new_instance(corelib.HASHSET, charge=self.charge)
+        idx = len(self._pins)
+        self._pin_memo(value, addr)
+        data = jvm.new_array("Ljava.lang.Object;", max(1, len(ordered)))
+        jvm.set_field(self._pins[idx].address, "elementData", data)
+        jvm.set_field(self._pins[idx].address, "size", len(ordered))
+        for i, item in enumerate(ordered):
+            item_addr = self._convert(item)
+            arr = jvm.get_field(self._pins[idx].address, "elementData")
+            jvm.heap.write_element(arr, i, item_addr)
+        return self._pins[idx].address
+
+    def _dict(self, value: Dict[Any, Any]) -> int:
+        ops = HashMapOps(self.jvm)
+        addr = ops.new(capacity=max(4, int(len(value) / 0.75) + 1))
+        idx = len(self._pins)
+        self._pin_memo(value, addr)
+        for k, v in value.items():
+            k_addr = self._convert(k)
+            k_pin = self.jvm.pin(k_addr)
+            v_addr = self._convert(v)
+            ops.put(self._pins[idx].address, k_pin.address, v_addr)
+            self.jvm.unpin(k_pin)
+        return self._pins[idx].address
+
+    def _obj(self, value: Obj) -> int:
+        jvm = self.jvm
+        klass = jvm.loader.load(value.class_name)
+        addr = jvm.new_instance(value.class_name, charge=self.charge)
+        idx = len(self._pins)
+        self._pin_memo(value, addr)
+        for field_name, field_value in value.fields.items():
+            field = klass.field(field_name)
+            if descriptors.is_reference(field.descriptor):
+                ref = self._convert(field_value)
+                jvm.set_field(self._pins[idx].address, field_name, ref)
+            else:
+                jvm.set_field(self._pins[idx].address, field_name, field_value)
+        return self._pins[idx].address
+
+
+def _primitive_kind(values) -> "Optional[str]":
+    """``"J"``/``"D"`` when every element is a plain int/float (bool
+    excluded), else None."""
+    items = list(values)
+    if not items:
+        return None
+    if all(type(v) is int for v in items):
+        return "J"
+    if all(type(v) is float for v in items):
+        return "D"
+    return None
+
+
+def _specialization_of(value: Tuple[Any, ...]):
+    """The specialized signature for a tuple, or None for the generic class.
+
+    bool is excluded (it would round-trip as int); a tuple qualifies when
+    at least one field is a primitive int/float and arity is small.
+    """
+    if not 1 <= len(value) <= corelib.SPECIALIZED_ARITY_LIMIT:
+        return None
+    letters = []
+    for item in value:
+        if isinstance(item, bool):
+            return None
+        if isinstance(item, int):
+            letters.append("J")
+        elif isinstance(item, float):
+            letters.append("D")
+        else:
+            letters.append("L")
+    signature = "".join(letters)
+    if signature == "L" * len(value):
+        return None
+    return signature
+
+
+class _Unmarshaller:
+    def __init__(self, jvm: JVM) -> None:
+        self.jvm = jvm
+        self._memo: Dict[int, Any] = {}
+
+    def from_heap(self, address: int) -> Any:
+        jvm = self.jvm
+        if address == NULL:
+            return None
+        if address in self._memo:
+            return self._memo[address]
+        klass = jvm.klass_of(address)
+        name = klass.name
+
+        if name == corelib.STRING:
+            value = jvm.read_string(address)
+            self._memo[address] = value
+            return value
+        if name == corelib.BOOLEAN:
+            value = bool(jvm.get_field(address, "value"))
+            self._memo[address] = value
+            return value
+        if name in (corelib.INTEGER, corelib.LONG):
+            value = int(jvm.get_field(address, "value"))
+            self._memo[address] = value
+            return value
+        if name == corelib.DOUBLE:
+            value = float(jvm.get_field(address, "value"))
+            self._memo[address] = value
+            return value
+        if name == corelib.ARRAYLIST:
+            result: List[Any] = []
+            self._memo[address] = result
+            ops = ArrayListOps(jvm)
+            for item in ops.items(address):
+                result.append(self.from_heap(item))
+            return result
+        if name in (corelib.LONGSET, corelib.DOUBLESET):
+            arr = jvm.get_field(address, "elements")
+            length = jvm.heap.array_length(arr) if arr else 0
+            items = frozenset(
+                jvm.heap.read_element(arr, i) for i in range(length)
+            )
+            self._memo[address] = items
+            return items
+        if name == corelib.HASHSET:
+            size = jvm.get_field(address, "size")
+            data = jvm.get_field(address, "elementData")
+            items = [
+                self.from_heap(jvm.heap.read_element(data, i)) for i in range(size)
+            ]
+            result = frozenset(items)
+            self._memo[address] = result
+            return result
+        if name == corelib.HASHMAP:
+            mapping: Dict[Any, Any] = {}
+            self._memo[address] = mapping
+            ops = HashMapOps(jvm)
+            for k, v in ops.entries(address):
+                mapping[self.from_heap(k)] = self.from_heap(v)
+            return mapping
+        if name.startswith(corelib.TUPLE_PREFIX):
+            suffix = name[len(corelib.TUPLE_PREFIX):]
+            if "$" in suffix:
+                _, signature = suffix.split("$", 1)
+                items_list = []
+                for i, letter in enumerate(signature):
+                    raw = jvm.get_field(address, f"f{i}")
+                    if letter == "L":
+                        items_list.append(self.from_heap(raw))
+                    elif letter == "D":
+                        items_list.append(float(raw))
+                    else:
+                        items_list.append(int(raw))
+                items = tuple(items_list)
+                self._memo[address] = items
+                return items
+            arity = int(suffix)
+            items = tuple(
+                self.from_heap(jvm.get_field(address, f"f{i}")) for i in range(arity)
+            )
+            self._memo[address] = items
+            return items
+        if klass.is_array:
+            return self._array(address, klass)
+        return self._obj(address, klass)
+
+    def _array(self, address: int, klass) -> Any:
+        jvm = self.jvm
+        length = jvm.heap.array_length(address)
+        elem = klass.element_descriptor
+        if elem == "B":
+            raw = bytes(
+                (jvm.heap.read_element(address, i)) & 0xFF for i in range(length)
+            )
+            self._memo[address] = raw
+            return raw
+        items: List[Any] = []
+        self._memo[address] = items
+        for i in range(length):
+            value = jvm.heap.read_element(address, i)
+            if descriptors.is_reference(elem or ""):
+                items.append(self.from_heap(value))
+            else:
+                items.append(value)
+        return items
+
+    def _obj(self, address: int, klass) -> Obj:
+        jvm = self.jvm
+        result = Obj(klass.name, {})
+        self._memo[address] = result
+        for field in klass.all_fields():
+            raw = jvm.heap.read_field(address, field)
+            if descriptors.is_reference(field.descriptor):
+                result.fields[field.name] = self.from_heap(raw)
+            else:
+                result.fields[field.name] = raw
+        return result

@@ -1,0 +1,65 @@
+"""Reflective object access — the expensive path baseline serializers take.
+
+The paper's first inefficiency (§1): "An S/D library needs to invoke
+reflective functions such as Reflection.getField and Reflection.setField to
+enumerate and access every field... Reflection is a very expensive runtime
+operation [involving] time-consuming string lookups."
+
+Every call here performs the same work the direct API performs *plus* a
+charge from the cost model, so the Java-serializer baseline genuinely pays
+per-field reflection costs while Skyway pays none.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.heap.klass import FieldInfo, Klass
+from repro.jvm.jvm import JVM
+
+
+class Reflection:
+    """Reflective services bound to one JVM."""
+
+    def __init__(self, jvm: JVM) -> None:
+        self.jvm = jvm
+
+    def _charge(self, seconds: float) -> None:
+        self.jvm.clock.charge(seconds)
+
+    # -- field access -------------------------------------------------------
+
+    def get_field(self, address: int, field_name: str):
+        """``Reflection.getField``: string lookup + checked access."""
+        self._charge(self.jvm.cost_model.reflective_access)
+        klass = self.jvm.klass_of(address)
+        return self.jvm.heap.read_field(address, klass.field(field_name))
+
+    def set_field(self, address: int, field_name: str, value) -> None:
+        """``Reflection.setField``."""
+        self._charge(self.jvm.cost_model.reflective_access)
+        klass = self.jvm.klass_of(address)
+        self.jvm.heap.write_field(address, klass.field(field_name), value)
+
+    def fields_of(self, klass: Klass) -> List[FieldInfo]:
+        """Enumerate instance fields (``Class.getDeclaredFields`` walk)."""
+        self._charge(self.jvm.cost_model.reflective_access)
+        return list(klass.all_fields())
+
+    # -- type resolution ------------------------------------------------------
+
+    def class_for_name(self, name: str) -> Klass:
+        """``Class.forName``: resolve a type from its string."""
+        self._charge(self.jvm.cost_model.reflective_type_resolve)
+        return self.jvm.loader.load(name)
+
+    def new_instance(self, klass: Klass) -> int:
+        """Reflective instantiation (``Constructor.newInstance``)."""
+        self._charge(self.jvm.cost_model.constructor_call)
+        if klass.is_array:
+            raise TypeError("use new_array for arrays")
+        return self.jvm.new_instance(klass.name)
+
+    def new_array(self, element_descriptor: str, length: int) -> int:
+        self._charge(self.jvm.cost_model.constructor_call)
+        return self.jvm.new_array(element_descriptor, length)

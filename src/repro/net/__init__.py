@@ -1,0 +1,21 @@
+"""Simulated cluster: nodes, network links, disks, and byte streams.
+
+Stands in for the paper's testbed (11 Xeon nodes, 1000 Mb/s Ethernet, one
+SSD per node).  Time is charged through each node's :class:`SimClock`
+following the paper's accounting: disk writes to WRITE_IO on the writer,
+disk reads to READ_IO on the reader, and network transfer to NETWORK on the
+*receiver* ("the network cost is negligible and included in the read I/O").
+"""
+
+from repro.net.disk import Disk, SimFile
+from repro.net.cluster import Cluster, Node
+from repro.net.streams import ByteInputStream, ByteOutputStream
+
+__all__ = [
+    "Disk",
+    "SimFile",
+    "Cluster",
+    "Node",
+    "ByteInputStream",
+    "ByteOutputStream",
+]

@@ -1,0 +1,111 @@
+"""The simulated cluster: nodes holding a JVM + disk, connected by links.
+
+Mirrors the paper's evaluation testbed: a driver node plus workers on a
+1000 Mb/s Ethernet.  Transfers are byte-counted per direction (local vs.
+remote, matching Figure 3(b)'s "Local Bytes"/"Remote Bytes") and charged to
+the receiver's clock under NETWORK, which reports fold into read I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.jvm.jvm import JVM
+from repro.net.disk import Disk
+from repro.simtime import Category, CostModel, DEFAULT_COST_MODEL, SimClock
+
+
+class Node:
+    """One machine: a JVM, a disk, and a clock shared by both."""
+
+    def __init__(self, name: str, jvm: JVM, cost_model: CostModel) -> None:
+        self.name = name
+        self.jvm = jvm
+        self.clock = jvm.clock
+        self.disk = Disk(self.clock, cost_model)
+        self.local_bytes_fetched = 0
+        self.remote_bytes_fetched = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Node({self.name})"
+
+
+class Cluster:
+    """A set of named nodes with a designated driver."""
+
+    def __init__(
+        self,
+        jvm_factory: Callable[[str], JVM],
+        worker_count: int = 3,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        driver_name: str = "driver",
+    ) -> None:
+        self.cost_model = cost_model
+        self.driver = Node(driver_name, jvm_factory(driver_name), cost_model)
+        self.workers: List[Node] = [
+            Node(f"worker-{i}", jvm_factory(f"worker-{i}"), cost_model)
+            for i in range(worker_count)
+        ]
+        self._by_name: Dict[str, Node] = {self.driver.name: self.driver}
+        for w in self.workers:
+            self._by_name[w.name] = w
+        self.messages_sent = 0
+        self.message_bytes = 0
+
+    # -- topology ------------------------------------------------------------
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no node named {name!r}") from None
+
+    def nodes(self) -> Iterator[Node]:
+        yield self.driver
+        yield from self.workers
+
+    def __len__(self) -> int:
+        return 1 + len(self.workers)
+
+    # -- data movement ---------------------------------------------------------
+
+    def transfer(self, src: Node, dst: Node, nbytes: int) -> None:
+        """Bulk data movement; the receiver pays the network time.
+
+        A node fetching from itself is a local read (no network charge) —
+        this is how shuffle distinguishes local from remote partitions.
+        """
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        if src is dst:
+            dst.local_bytes_fetched += nbytes
+            return
+        dst.remote_bytes_fetched += nbytes
+        dst.clock.charge(self.cost_model.network_transfer(nbytes), Category.NETWORK)
+
+    def send_message(self, src: Node, dst: Node, nbytes: int) -> None:
+        """Small control message (type-registry traffic); sender pays."""
+        self.messages_sent += 1
+        self.message_bytes += nbytes
+        if src is not dst:
+            src.clock.charge(self.cost_model.network_transfer(nbytes), Category.NETWORK)
+
+    # -- metrics -----------------------------------------------------------------
+
+    def total_clock(self) -> SimClock:
+        """All nodes' clocks folded together (cluster CPU-seconds)."""
+        total = SimClock("cluster")
+        for node in self.nodes():
+            total.merge(node.clock)
+        return total
+
+    def reset_clocks(self) -> None:
+        for node in self.nodes():
+            node.clock.reset()
+            node.local_bytes_fetched = 0
+            node.remote_bytes_fetched = 0
+
+    def max_node_time(self) -> float:
+        """The slowest node's total — the wall-clock proxy for one job
+        under the paper's single-executor-per-node setup."""
+        return max(node.clock.total() for node in self.nodes())

@@ -1,0 +1,79 @@
+"""Per-node disk model: named files with bandwidth-based read/write costs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.simtime import Category, CostModel, SimClock
+
+
+class SimFile:
+    """A file on a simulated disk (bytes plus a name)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.data = bytearray()
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+class Disk:
+    """One node's SSD.
+
+    Writes charge :data:`Category.WRITE_IO` and reads charge
+    :data:`Category.READ_IO` on the owning node's clock, at the cost model's
+    sequential bandwidths plus a per-file overhead.
+    """
+
+    def __init__(self, clock: SimClock, cost_model: CostModel) -> None:
+        self._clock = clock
+        self._cost = cost_model
+        self._files: Dict[str, SimFile] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def create(self, name: str) -> SimFile:
+        if name in self._files:
+            raise FileExistsError(name)
+        f = SimFile(name)
+        self._files[name] = f
+        self._clock.charge(self._cost.disk_file_overhead, Category.WRITE_IO)
+        return f
+
+    def append(self, f: SimFile, data: bytes) -> None:
+        f.data.extend(data)
+        self.bytes_written += len(data)
+        self._clock.charge(
+            len(data) * self._cost.disk_write_per_byte, Category.WRITE_IO
+        )
+
+    def write_file(self, name: str, data: bytes) -> SimFile:
+        f = self.create(name)
+        self.append(f, data)
+        return f
+
+    def read_file(self, name: str) -> bytes:
+        f = self.open(name)
+        self.bytes_read += f.size
+        self._clock.charge(self._cost.disk_read(f.size), Category.READ_IO)
+        return bytes(f.data)
+
+    def open(self, name: str) -> SimFile:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundError(name) from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        self._files.pop(name, None)
+
+    def listdir(self, prefix: str = "") -> List[str]:
+        return sorted(n for n in self._files if n.startswith(prefix))
+
+    def size_of(self, name: str) -> int:
+        return self.open(name).size

@@ -1,0 +1,159 @@
+"""Byte streams: the substrate under every serializer.
+
+``ByteOutputStream``/``ByteInputStream`` provide the primitive encode/decode
+operations S/D libraries use (fixed-width ints, varints, UTF-8 strings).
+They do **not** charge simulated time themselves — each serializer charges
+according to its own mechanism (a schema-compiled serializer does not pay
+the Java serializer's costs for the same bytes).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+
+class StreamError(RuntimeError):
+    pass
+
+
+class ByteOutputStream:
+    """An append-only byte sink with primitive encoders."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    # -- raw ---------------------------------------------------------------
+
+    def write_bytes(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    def write_u8(self, v: int) -> None:
+        self._buf.append(v & 0xFF)
+
+    def write_u16(self, v: int) -> None:
+        self._buf.extend(struct.pack("<H", v & 0xFFFF))
+
+    def write_u32(self, v: int) -> None:
+        self._buf.extend(struct.pack("<I", v & 0xFFFFFFFF))
+
+    def write_u64(self, v: int) -> None:
+        self._buf.extend(struct.pack("<Q", v & (2**64 - 1)))
+
+    def write_i32(self, v: int) -> None:
+        self._buf.extend(struct.pack("<i", v))
+
+    def write_i64(self, v: int) -> None:
+        self._buf.extend(struct.pack("<q", v))
+
+    def write_f32(self, v: float) -> None:
+        self._buf.extend(struct.pack("<f", v))
+
+    def write_f64(self, v: float) -> None:
+        self._buf.extend(struct.pack("<d", v))
+
+    def write_varint(self, v: int) -> int:
+        """LEB128 unsigned varint; returns encoded byte count."""
+        if v < 0:
+            raise StreamError(f"varint must be non-negative: {v}")
+        n = 0
+        while True:
+            b = v & 0x7F
+            v >>= 7
+            if v:
+                self._buf.append(b | 0x80)
+                n += 1
+            else:
+                self._buf.append(b)
+                return n + 1
+
+    def write_utf(self, text: str) -> int:
+        """Length-prefixed UTF-8 string; returns payload byte count."""
+        data = text.encode("utf-8")
+        self.write_varint(len(data))
+        self.write_bytes(data)
+        return len(data)
+
+    # -- results --------------------------------------------------------------
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    @property
+    def position(self) -> int:
+        return len(self._buf)
+
+
+class ByteInputStream:
+    """A cursor over bytes with primitive decoders."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise StreamError(
+                f"stream underflow: need {n} bytes at {self._pos}, "
+                f"have {len(self._data)}"
+            )
+        chunk = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return chunk
+
+    def read_bytes(self, n: int) -> bytes:
+        return self._take(n)
+
+    def read_u8(self) -> int:
+        return self._take(1)[0]
+
+    def read_u16(self) -> int:
+        return struct.unpack("<H", self._take(2))[0]
+
+    def read_u32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def read_u64(self) -> int:
+        return struct.unpack("<Q", self._take(8))[0]
+
+    def read_i32(self) -> int:
+        return struct.unpack("<i", self._take(4))[0]
+
+    def read_i64(self) -> int:
+        return struct.unpack("<q", self._take(8))[0]
+
+    def read_f32(self) -> float:
+        return struct.unpack("<f", self._take(4))[0]
+
+    def read_f64(self) -> float:
+        return struct.unpack("<d", self._take(8))[0]
+
+    def read_varint(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            b = self.read_u8()
+            result |= (b & 0x7F) << shift
+            if not b & 0x80:
+                return result
+            shift += 7
+            if shift > 70:
+                raise StreamError("varint too long")
+
+    def read_utf(self) -> str:
+        n = self.read_varint()
+        return self._take(n).decode("utf-8")
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._data)

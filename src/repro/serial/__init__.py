@@ -1,0 +1,32 @@
+"""Serialization/deserialization libraries (the paper's baselines).
+
+Every library implements :class:`~repro.serial.base.Serializer` over the
+simulated heap: it walks a real object graph, produces real bytes, and
+charges simulated time according to its own mechanism — reflection for the
+Java serializer, registered IDs + hand-written functions for Kryo.  Skyway's
+drop-in adapter lives in :mod:`repro.core.adapter` and implements the same
+interface.
+"""
+
+from repro.serial.base import (
+    DeserializationStream,
+    SerializationError,
+    SerializationStream,
+    Serializer,
+)
+from repro.serial.java_serializer import JavaSerializer
+from repro.serial.kryo import KryoRegistrator, KryoSerializer, UnregisteredClassError
+from repro.serial.schema_compiled import CycleError, SchemaCompiledSerializer
+
+__all__ = [
+    "Serializer",
+    "SerializationStream",
+    "DeserializationStream",
+    "SerializationError",
+    "JavaSerializer",
+    "KryoSerializer",
+    "KryoRegistrator",
+    "UnregisteredClassError",
+    "SchemaCompiledSerializer",
+    "CycleError",
+]

@@ -1,0 +1,167 @@
+"""The serializer interface all S/D libraries (and Skyway) implement.
+
+Two granularities, matching how Spark uses serializers:
+
+* one-shot: ``serialize(jvm, root) -> bytes`` / ``deserialize(jvm, data)``;
+* streaming: ``new_stream(jvm)`` returning a :class:`SerializationStream`
+  that accepts many root objects (shuffle records) into one file, and
+  ``new_reader(jvm, data)`` returning a :class:`DeserializationStream`.
+
+Implementations charge the owning JVM's clock under whatever category the
+caller pushed (engines wrap calls in ``clock.phase(SERIALIZATION)`` /
+``phase(DESERIALIZATION)``), so one serializer works for closure transfer,
+shuffle files, and the JSBS harness alike.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional
+
+from repro.jvm.jvm import JVM
+from repro.net.streams import ByteInputStream, ByteOutputStream
+
+
+class SerializationError(RuntimeError):
+    pass
+
+
+class Serializer(abc.ABC):
+    """One S/D library."""
+
+    #: Short name used in reports ("java", "kryo", "skyway", ...).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def new_stream(self, jvm: JVM, thread_id: int = 0) -> "SerializationStream":
+        """A fresh output stream bound to the sender JVM.
+
+        ``thread_id`` identifies the sending thread for serializers with
+        per-thread state (Skyway's per-thread output buffers and baddr
+        ownership, paper §4.2); stateless serializers ignore it.
+        """
+
+    @abc.abstractmethod
+    def new_reader(self, jvm: JVM, data: bytes) -> "DeserializationStream":
+        """A reader over ``data`` bound to the receiver JVM."""
+
+    # -- one-shot convenience ------------------------------------------------
+
+    def serialize(self, jvm: JVM, root: int) -> bytes:
+        stream = self.new_stream(jvm)
+        stream.write_object(root)
+        return stream.close()
+
+    def deserialize(self, jvm: JVM, data: bytes) -> int:
+        reader = self.new_reader(jvm, data)
+        try:
+            root = reader.read_object()
+        finally:
+            reader.close()
+        return root
+
+    def serialize_many(self, jvm: JVM, roots: Iterable[int]) -> bytes:
+        stream = self.new_stream(jvm)
+        for root in roots:
+            stream.write_object(root)
+        return stream.close()
+
+    def deserialize_all(self, jvm: JVM, data: bytes) -> List[int]:
+        reader = self.new_reader(jvm, data)
+        out: List[int] = []
+        try:
+            while reader.has_next():
+                out.append(reader.read_object())
+        finally:
+            reader.close()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name})"
+
+
+class SerializationStream(abc.ABC):
+    """Stateful writer for a sequence of root objects (one shuffle file)."""
+
+    @abc.abstractmethod
+    def write_object(self, root: int) -> None:
+        ...
+
+    @abc.abstractmethod
+    def close(self) -> bytes:
+        """Finish and return the encoded bytes."""
+
+    @property
+    @abc.abstractmethod
+    def bytes_written(self) -> int:
+        ...
+
+
+class DeserializationStream(abc.ABC):
+    """Stateful reader yielding root objects.
+
+    Implementations pin every object they hand out until :meth:`close`, so
+    the caller can safely allocate (and trigger GC) between reads as long
+    as it re-pins what it keeps.
+    """
+
+    @abc.abstractmethod
+    def read_object(self) -> int:
+        ...
+
+    @abc.abstractmethod
+    def has_next(self) -> bool:
+        ...
+
+    def close(self) -> None:
+        """Release any pins held on behalf of the caller."""
+
+
+# -- primitive codec helpers shared by byte-oriented serializers -------------
+
+def write_primitive(out: ByteOutputStream, descriptor: str, value) -> int:
+    """Encode one primitive; returns encoded size in bytes."""
+    if descriptor == "Z":
+        out.write_u8(1 if value else 0)
+        return 1
+    if descriptor == "B":
+        out.write_u8(value & 0xFF)
+        return 1
+    if descriptor in ("C", "S"):
+        out.write_u16(value & 0xFFFF)
+        return 2
+    if descriptor == "I":
+        out.write_i32(value)
+        return 4
+    if descriptor == "J":
+        out.write_i64(value)
+        return 8
+    if descriptor == "F":
+        out.write_f32(value)
+        return 4
+    if descriptor == "D":
+        out.write_f64(value)
+        return 8
+    raise SerializationError(f"not a primitive descriptor: {descriptor}")
+
+
+def read_primitive(inp: ByteInputStream, descriptor: str):
+    if descriptor == "Z":
+        return inp.read_u8()
+    if descriptor == "B":
+        v = inp.read_u8()
+        return v - 256 if v >= 128 else v
+    if descriptor == "C":
+        return inp.read_u16()
+    if descriptor == "S":
+        v = inp.read_u16()
+        return v - 65536 if v >= 32768 else v
+    if descriptor == "I":
+        return inp.read_i32()
+    if descriptor == "J":
+        return inp.read_i64()
+    if descriptor == "F":
+        return inp.read_f32()
+    if descriptor == "D":
+        return inp.read_f64()
+    raise SerializationError(f"not a primitive descriptor: {descriptor}")

@@ -1,0 +1,296 @@
+"""The Kryo serializer model.
+
+Reproduces Kryo's mechanism as the paper describes it (§1, §2.1):
+
+* developers **manually register** classes in a consistent order across all
+  nodes, turning types into small integer IDs — the stream carries no type
+  strings;
+* developers provide (or Kryo generates) per-class read/write functions; no
+  reflection is paid per field, but one S/D *function invocation* per
+  object and one generated accessor call per field remain — "the
+  user-defined functions need to be invoked for every transferred object
+  at both the sender side and the receiver side";
+* on deserialization objects are created with plain ``new`` (a generated
+  ``switch`` over IDs) — cheap — but hash structures must still be rebuilt
+  entry by entry.
+
+Unregistered classes raise by default, matching Spark's
+``spark.kryo.registrationRequired``; with ``registration_required=False``
+Kryo falls back to writing the class-name string (its real behavior).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.heap.handles import Handle
+from repro.heap.heap import NULL
+from repro.jvm.collections import HashMapOps
+from repro.jvm.jvm import JVM
+from repro.net.streams import ByteInputStream, ByteOutputStream
+from repro.serial.base import (
+    DeserializationStream,
+    SerializationError,
+    SerializationStream,
+    Serializer,
+    read_primitive,
+    write_primitive,
+)
+from repro.types import corelib, descriptors
+
+_ID_NULL = 0
+_ID_BACKREF = 1
+_ID_UNREGISTERED = 2
+_ID_BASE = 3  # registered class ids start here on the wire
+
+
+class UnregisteredClassError(SerializationError):
+    pass
+
+
+class KryoRegistrator:
+    """The class registry the developer must maintain (paper §2.1's
+    ``MyRegistrator``).  Registration order defines the integer IDs, so it
+    must be identical on every node — the registrator object is shared by
+    construction here, exactly like shipping the same jar everywhere."""
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        self._names: List[str] = []
+        # Kryo pre-registers primitives/boxes/String and arrays of them.
+        for name in (
+            corelib.STRING, corelib.INTEGER, corelib.LONG, corelib.DOUBLE,
+            corelib.BOOLEAN, "java.lang.Number", corelib.HASHMAP,
+            corelib.HASHMAP_NODE, corelib.ARRAYLIST, corelib.HASHSET,
+            corelib.LONGSET, corelib.DOUBLESET,
+            "java.lang.Object",
+            "[B", "[C", "[I", "[J", "[D", "[Ljava.lang.Object;",
+            f"[L{corelib.HASHMAP_NODE};",
+        ):
+            self.register(name)
+        for arity in range(1, corelib.MAX_TUPLE_ARITY + 1):
+            self.register(corelib.tuple_class_name(arity))
+        import itertools as _it
+        for arity in range(1, corelib.SPECIALIZED_ARITY_LIMIT + 1):
+            for sig in _it.product("JDL", repeat=arity):
+                signature = "".join(sig)
+                if signature != "L" * arity:
+                    self.register(corelib.specialized_tuple_name(signature))
+
+    def register(self, class_name: str) -> int:
+        existing = self._ids.get(class_name)
+        if existing is not None:
+            return existing
+        class_id = len(self._names)
+        self._ids[class_name] = class_id
+        self._names.append(class_name)
+        return class_id
+
+    def id_of(self, class_name: str) -> Optional[int]:
+        return self._ids.get(class_name)
+
+    def name_of(self, class_id: int) -> str:
+        try:
+            return self._names[class_id]
+        except IndexError:
+            raise SerializationError(f"unknown kryo class id {class_id}") from None
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+
+class KryoSerializer(Serializer):
+    name = "kryo"
+
+    def __init__(
+        self,
+        registrator: Optional[KryoRegistrator] = None,
+        registration_required: bool = True,
+    ) -> None:
+        self.registrator = registrator if registrator is not None else KryoRegistrator()
+        self.registration_required = registration_required
+
+    def new_stream(self, jvm: JVM, thread_id: int = 0) -> "KryoSerializationStream":
+        return KryoSerializationStream(jvm, self)
+
+    def new_reader(self, jvm: JVM, data: bytes) -> "KryoDeserializationStream":
+        return KryoDeserializationStream(jvm, self, data)
+
+
+class KryoSerializationStream(SerializationStream):
+    def __init__(self, jvm: JVM, serializer: KryoSerializer) -> None:
+        self.jvm = jvm
+        self.serializer = serializer
+        self.out = ByteOutputStream()
+        self._handles: Dict[int, int] = {}
+
+    def write_object(self, root: int) -> None:
+        self._write_value(root)
+
+    def close(self) -> bytes:
+        return self.out.getvalue()
+
+    @property
+    def bytes_written(self) -> int:
+        return len(self.out)
+
+    # -- internals ------------------------------------------------------------
+
+    def _write_value(self, address: int) -> None:
+        out = self.out
+        cost = self.jvm.cost_model
+        if address == NULL:
+            out.write_varint(_ID_NULL)
+            return
+        handle = self._handles.get(address)
+        if handle is not None:
+            out.write_varint(_ID_BACKREF)
+            out.write_varint(handle)
+            return
+        klass = self.jvm.klass_of(address)
+        class_id = self.serializer.registrator.id_of(klass.name)
+        if class_id is None:
+            if self.serializer.registration_required:
+                raise UnregisteredClassError(
+                    f"class {klass.name} is not registered with Kryo"
+                )
+            out.write_varint(_ID_UNREGISTERED)
+            out.write_utf(klass.name)
+            self.jvm.clock.charge(cost.string_cost(klass.name))
+        else:
+            out.write_varint(class_id + _ID_BASE)
+        self._handles[address] = len(self._handles)
+
+        # One user/generated write-function dispatch per object.
+        self.jvm.clock.charge(cost.sd_function_call)
+
+        if klass.name == corelib.STRING:
+            text = self.jvm.read_string(address)
+            self.jvm.clock.charge(cost.string_cost(text))
+            out.write_utf(text)
+            return
+        if klass.is_array:
+            self._write_array(address, klass)
+            return
+        for field in klass.all_fields():
+            # Generated accessor, not reflection.
+            self.jvm.clock.charge(cost.generated_access)
+            value = self.jvm.heap.read_field(address, field)
+            if field.is_reference:
+                self._write_value(value)
+            else:
+                write_primitive(out, field.descriptor, value)
+                self.jvm.clock.charge(cost.stream_bytes(field.size))
+
+    def _write_array(self, address: int, klass) -> None:
+        out = self.out
+        cost = self.jvm.cost_model
+        heap = self.jvm.heap
+        length = heap.array_length(address)
+        out.write_varint(length)
+        elem = klass.element_descriptor or ""
+        if descriptors.is_reference(elem):
+            for i in range(length):
+                self.jvm.clock.charge(cost.generated_access)
+                self._write_value(heap.read_element(address, i))
+        else:
+            nbytes = length * klass.element_size
+            self.jvm.clock.charge(cost.stream_bytes(nbytes))
+            for i in range(length):
+                write_primitive(out, elem, heap.read_element(address, i))
+
+
+class KryoDeserializationStream(DeserializationStream):
+    def __init__(self, jvm: JVM, serializer: KryoSerializer, data: bytes) -> None:
+        self.jvm = jvm
+        self.serializer = serializer
+        self.inp = ByteInputStream(data)
+        self._handles: List[Handle] = []
+        self._all_pins: List[Handle] = []
+
+    def has_next(self) -> bool:
+        return not self.inp.at_end()
+
+    def read_object(self) -> int:
+        return self._read_value()
+
+    def close(self) -> None:
+        for pin in self._all_pins:
+            self.jvm.unpin(pin)
+        self._all_pins.clear()
+
+    # -- internals ----------------------------------------------------------
+
+    def _pin(self, address: int) -> Handle:
+        handle = self.jvm.pin(address)
+        self._all_pins.append(handle)
+        return handle
+
+    def _read_value(self) -> int:
+        cost = self.jvm.cost_model
+        wire_id = self.inp.read_varint()
+        if wire_id == _ID_NULL:
+            return NULL
+        if wire_id == _ID_BACKREF:
+            return self._handles[self.inp.read_varint()].address
+        if wire_id == _ID_UNREGISTERED:
+            name = self.inp.read_utf()
+            self.jvm.clock.charge(cost.string_cost(name))
+            klass = self.jvm.loader.load(name)
+        else:
+            name = self.serializer.registrator.name_of(wire_id - _ID_BASE)
+            # The generated `switch(id) { case n: return new C(); }` —
+            # no reflection (paper §2.1).
+            klass = self.jvm.loader.load(name)
+
+        # One user/generated read-function dispatch per object.
+        self.jvm.clock.charge(cost.sd_function_call)
+
+        if klass.name == corelib.STRING:
+            text = self.inp.read_utf()
+            self.jvm.clock.charge(cost.string_cost(text))
+            address = self.jvm.new_string(text)
+            self._handles.append(self._pin(address))
+            return address
+        if klass.is_array:
+            return self._read_array(klass)
+        return self._read_instance(klass)
+
+    def _read_array(self, klass) -> int:
+        cost = self.jvm.cost_model
+        length = self.inp.read_varint()
+        elem = klass.element_descriptor or ""
+        self.jvm.clock.charge(cost.constructor_call)
+        address = self.jvm.new_array(elem, length)
+        pin = self._pin(address)
+        self._handles.append(pin)
+        heap = self.jvm.heap
+        if descriptors.is_reference(elem):
+            for i in range(length):
+                self.jvm.clock.charge(cost.generated_access)
+                heap.write_element(pin.address, i, self._read_value())
+        else:
+            self.jvm.clock.charge(cost.stream_bytes(length * klass.element_size))
+            for i in range(length):
+                heap.write_element(pin.address, i, read_primitive(self.inp, elem))
+        return pin.address
+
+    def _read_instance(self, klass) -> int:
+        cost = self.jvm.cost_model
+        self.jvm.clock.charge(cost.constructor_call)
+        address = self.jvm.new_instance(klass.name)
+        pin = self._pin(address)
+        self._handles.append(pin)
+        for field in klass.all_fields():
+            self.jvm.clock.charge(cost.generated_access)
+            if field.is_reference:
+                value = self._read_value()
+                self.jvm.heap.write_field(pin.address, field, value)
+            else:
+                value = read_primitive(self.inp, field.descriptor)
+                self.jvm.clock.charge(cost.stream_bytes(field.size))
+                self.jvm.heap.write_field(pin.address, field, value)
+        if klass.name == corelib.HASHMAP:
+            # Kryo's MapSerializer re-puts entries on read.
+            HashMapOps(self.jvm).rehash_in_place(pin.address, charge=True)
+        return pin.address

@@ -1,0 +1,22 @@
+"""Simulated time substrate: per-node clocks and the calibrated cost model.
+
+The paper measures wall-clock seconds on a Xeon cluster.  This reproduction
+replaces wall-clock with *simulated* time: every operation the evaluated
+systems perform (a reflective field lookup, a memcpy, a disk write, a network
+transfer) charges a cost, in simulated seconds, to a per-node
+:class:`SimClock` under one of the five categories of the paper's Figure 3
+breakdown.  All constants live in :mod:`repro.simtime.costmodel` so the
+calibration is auditable in one place.
+"""
+
+from repro.simtime.clock import Category, SimClock
+from repro.simtime.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.simtime.breakdown import Breakdown
+
+__all__ = [
+    "Category",
+    "SimClock",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "Breakdown",
+]

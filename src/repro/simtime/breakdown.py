@@ -1,0 +1,123 @@
+"""Breakdown: an immutable summary of per-category simulated time.
+
+Experiments report :class:`Breakdown` rows that mirror the paper's stacked
+bars (computation / serialization / write I/O / deserialization / read I/O)
+plus total bytes written/shuffled, so tables like Table 2 and Table 4 can be
+computed with simple arithmetic over them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Mapping
+
+from repro.simtime.clock import Category
+
+
+@dataclasses.dataclass(frozen=True)
+class Breakdown:
+    """Per-category simulated seconds, plus byte counters.
+
+    ``read_io`` includes network time, matching the paper ("The network cost
+    is negligible and included in the read I/O").
+    """
+
+    computation: float = 0.0
+    serialization: float = 0.0
+    write_io: float = 0.0
+    deserialization: float = 0.0
+    read_io: float = 0.0
+    network: float = 0.0
+    bytes_written: int = 0
+    local_bytes: int = 0
+    remote_bytes: int = 0
+
+    @classmethod
+    def from_totals(
+        cls,
+        totals: Mapping[Category, float],
+        bytes_written: int = 0,
+        local_bytes: int = 0,
+        remote_bytes: int = 0,
+    ) -> "Breakdown":
+        return cls(
+            computation=totals.get(Category.COMPUTATION, 0.0),
+            serialization=totals.get(Category.SERIALIZATION, 0.0),
+            write_io=totals.get(Category.WRITE_IO, 0.0),
+            deserialization=totals.get(Category.DESERIALIZATION, 0.0),
+            read_io=totals.get(Category.READ_IO, 0.0)
+            + totals.get(Category.NETWORK, 0.0),
+            network=totals.get(Category.NETWORK, 0.0),
+            bytes_written=bytes_written,
+            local_bytes=local_bytes,
+            remote_bytes=remote_bytes,
+        )
+
+    @property
+    def total(self) -> float:
+        """End-to-end simulated runtime (network already inside read_io)."""
+        return (
+            self.computation
+            + self.serialization
+            + self.write_io
+            + self.deserialization
+            + self.read_io
+        )
+
+    @property
+    def sd_fraction(self) -> float:
+        """Fraction of runtime spent inside S/D functions (paper: ~30%)."""
+        if self.total == 0:
+            return 0.0
+        return (self.serialization + self.deserialization) / self.total
+
+    def add(self, other: "Breakdown") -> "Breakdown":
+        return Breakdown(
+            computation=self.computation + other.computation,
+            serialization=self.serialization + other.serialization,
+            write_io=self.write_io + other.write_io,
+            deserialization=self.deserialization + other.deserialization,
+            read_io=self.read_io + other.read_io,
+            network=self.network + other.network,
+            bytes_written=self.bytes_written + other.bytes_written,
+            local_bytes=self.local_bytes + other.local_bytes,
+            remote_bytes=self.remote_bytes + other.remote_bytes,
+        )
+
+    @staticmethod
+    def sum(items: Iterable["Breakdown"]) -> "Breakdown":
+        acc = Breakdown()
+        for item in items:
+            acc = acc.add(item)
+        return acc
+
+    def normalized_to(self, baseline: "Breakdown") -> Dict[str, float]:
+        """Ratios vs. a baseline run, in Table 2 / Table 4 column order."""
+
+        def ratio(mine: float, theirs: float) -> float:
+            if theirs == 0:
+                return 0.0 if mine == 0 else float("inf")
+            return mine / theirs
+
+        return {
+            "overall": ratio(self.total, baseline.total),
+            "ser": ratio(self.serialization, baseline.serialization),
+            "write": ratio(self.write_io, baseline.write_io),
+            "des": ratio(self.deserialization, baseline.deserialization),
+            "read": ratio(self.read_io, baseline.read_io),
+            "size": ratio(float(self.bytes_written), float(baseline.bytes_written)),
+        }
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "computation": self.computation,
+            "serialization": self.serialization,
+            "write_io": self.write_io,
+            "deserialization": self.deserialization,
+            "read_io": self.read_io,
+            "network": self.network,
+            "total": self.total,
+            "bytes_written": float(self.bytes_written),
+            "local_bytes": float(self.local_bytes),
+            "remote_bytes": float(self.remote_bytes),
+        }

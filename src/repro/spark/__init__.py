@@ -1,0 +1,17 @@
+"""A Spark-like RDD engine over the simulated cluster (paper §2, §5.2).
+
+The engine reproduces exactly the boundary where S/D cost arises in Spark:
+narrow transformations pipeline within a stage on each partition's executor;
+wide transformations cut stages and run a **sort-based shuffle** — map tasks
+sort and serialize records into per-reducer disk files, reducers fetch them
+(locally or over the network) and deserialize.  The data serializer is
+pluggable (Java / Kryo / Skyway), closures always travel via the Java
+serializer (as in the paper's setup), and every phase charges the owning
+node's clock so Figure 3/Figure 8-style breakdowns fall out of the run.
+"""
+
+from repro.spark.context import SparkConfig, SparkContext
+from repro.spark.rdd import RDD
+from repro.spark.metrics import JobMetrics
+
+__all__ = ["SparkContext", "SparkConfig", "RDD", "JobMetrics"]

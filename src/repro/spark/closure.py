@@ -1,0 +1,77 @@
+"""Closure serialization (paper §2.1).
+
+Spark ships each stage's task closure from the driver to every executor
+that runs one of its tasks; everything the lambda captures rides along
+(the paper's ``DateParser``).  Closures always travel via the **Java
+serializer**, including in the paper's Skyway configuration ("Since data
+serialization in Spark shuffles orders of magnitude more data than closure
+serialization, we only used Skyway for data serialization").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple, TYPE_CHECKING
+
+from repro.jvm.marshal import Obj, to_heap
+from repro.serial.java_serializer import JavaSerializer
+from repro.simtime import Category
+from repro.types.classdef import ClassPath
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.cluster import Node
+    from repro.spark.context import SparkContext
+
+CLOSURE_CLASS = "repro.spark.TaskClosure"
+
+
+def ensure_closure_class(classpath: ClassPath) -> None:
+    if CLOSURE_CLASS not in classpath:
+        classpath.define(
+            CLOSURE_CLASS,
+            [
+                ("stageId", "J"),
+                ("rddId", "J"),
+                ("funcName", "Ljava.lang.String;"),
+                ("captured", "Ljava.lang.Object;"),
+            ],
+        )
+
+
+class ClosureShipper:
+    """Serializes one closure per (stage, executor) pair."""
+
+    def __init__(self, sc: "SparkContext") -> None:
+        self.sc = sc
+        self._serializer = JavaSerializer()
+        self._shipped: Set[Tuple[int, str]] = set()
+        self.closures_shipped = 0
+        for node in sc.cluster.nodes():
+            ensure_closure_class(node.jvm.classpath)
+
+    def ship(self, stage_id: int, rdd_id: int, func_name: str, node: "Node") -> None:
+        """Ship the stage closure to ``node`` unless already there."""
+        key = (stage_id, node.name)
+        if key in self._shipped:
+            return
+        self._shipped.add(key)
+        self.closures_shipped += 1
+
+        driver = self.sc.cluster.driver
+        closure = Obj(
+            CLOSURE_CLASS,
+            {
+                "stageId": stage_id,
+                "rddId": rdd_id,
+                "funcName": func_name,
+                # A small captured environment, like Figure 2's parser.
+                "captured": (func_name, float(rdd_id)),
+            },
+        )
+        addr = to_heap(driver.jvm, closure)
+        with driver.clock.phase(Category.SERIALIZATION):
+            data = self._serializer.serialize(driver.jvm, addr)
+        self.sc.cluster.transfer(driver, node, len(data))
+        with node.clock.phase(Category.DESERIALIZATION):
+            reader = self._serializer.new_reader(node.jvm, data)
+            reader.read_object()
+            reader.close()

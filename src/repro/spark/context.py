@@ -1,0 +1,129 @@
+"""SparkContext: the driver-side entry point of the RDD engine."""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from repro.jvm.marshal import from_heap, to_heap
+from repro.net.cluster import Cluster, Node
+from repro.serial.base import Serializer
+from repro.serial.java_serializer import JavaSerializer
+from repro.simtime import Category
+from repro.spark.closure import ClosureShipper
+from repro.spark.events import EventLog
+from repro.spark.rdd import ParallelizedRDD, RDD
+from repro.spark.shuffle import ShuffleService
+
+
+@dataclasses.dataclass(frozen=True)
+class SparkConfig:
+    """Engine knobs (the relevant subset of spark.* configuration).
+
+    The per-record op cost calibrates the computation share of runtime so
+    that S/D lands near the paper's ~30% under Kryo/Java (Figure 3).
+    """
+
+    #: Simulated seconds of user computation per record per narrow op.
+    record_op_cost: float = 2200e-9
+    #: Simulated seconds per comparison in the sort-based shuffle.
+    sort_compare_cost: float = 60e-9
+    #: Serializer-independent per-record shuffle-write machinery
+    #: (SerializationStream wrapper, batching, spill bookkeeping): charged
+    #: to serialization for every serializer, which is why Spark-level S/D
+    #: ratios between libraries are far more compressed than JSBS
+    #: micro-benchmark ratios (paper Table 2 vs Figure 7).
+    record_ser_overhead: float = 800e-9
+    #: Serializer-independent per-record shuffle-read machinery.
+    record_des_overhead: float = 350e-9
+    #: Simulated sender threads per map task.  Each reduce bucket is
+    #: written by thread (bucket mod threads), exercising Skyway's
+    #: per-thread buffers and shared-object handling (paper §4.2).
+    shuffle_threads: int = 1
+    #: Map-side combine for reduceByKey (Spark default: on).
+    map_side_combine: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
+class Broadcast:
+    """A broadcast variable: the driver's value, readable on any executor."""
+
+    value: Any
+    wire_bytes: int
+
+
+class SparkContext:
+    """The driver program's handle on the cluster.
+
+    ``serializer`` is the *data* serializer (``spark.serializer``); closures
+    always use the Java serializer, as in the paper's experimental setup.
+    """
+
+    _id_counter = itertools.count()
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        serializer: Serializer,
+        default_parallelism: Optional[int] = None,
+        config: Optional[SparkConfig] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.serializer = serializer
+        self.config = config if config is not None else SparkConfig()
+        self.default_parallelism = (
+            default_parallelism
+            if default_parallelism is not None
+            else 2 * len(cluster.workers)
+        )
+        self.app_id = next(self._id_counter)
+        self._rdd_ids = itertools.count()
+        self.shuffle = ShuffleService(self)
+        self.closures = ClosureShipper(self)
+        self.events = EventLog()
+        #: (stage, partition) pairs executed, for test introspection.
+        self.tasks_run = 0
+
+    # -- RDD creation -----------------------------------------------------------
+
+    def parallelize(
+        self, data: Iterable[Any], num_partitions: Optional[int] = None
+    ) -> RDD:
+        items = list(data)
+        n = num_partitions if num_partitions is not None else self.default_parallelism
+        n = max(1, min(n, max(1, len(items))))
+        return ParallelizedRDD(self, items, n)
+
+    def text_file(self, lines: Sequence[str], num_partitions: Optional[int] = None) -> RDD:
+        """The moral equivalent of ``sc.textFile``: a pre-read line list."""
+        return self.parallelize(list(lines), num_partitions)
+
+    # -- infrastructure used by RDDs -----------------------------------------------
+
+    def next_rdd_id(self) -> int:
+        return next(self._rdd_ids)
+
+    def broadcast(self, value: Any) -> "Broadcast":
+        """Ship a read-only value to every executor once (Spark broadcast
+        variables travel through the closure/JavaSerializer path)."""
+        serializer = JavaSerializer()
+        driver = self.cluster.driver
+        addr = to_heap(driver.jvm, value)
+        with driver.clock.phase(Category.SERIALIZATION):
+            data = serializer.serialize(driver.jvm, addr)
+        for worker in self.cluster.workers:
+            self.cluster.transfer(driver, worker, len(data))
+            with worker.clock.phase(Category.DESERIALIZATION):
+                reader = serializer.new_reader(worker.jvm, data)
+                received = reader.read_object()
+                local = from_heap(worker.jvm, received)
+                reader.close()
+        return Broadcast(value, len(data))
+
+    def node_for_partition(self, partition: int) -> Node:
+        workers = self.cluster.workers
+        return workers[partition % len(workers)]
+
+    def charge_compute(self, node: Node, records: int, ops: int = 1) -> None:
+        node.clock.charge(records * ops * self.config.record_op_cost)

@@ -1,0 +1,73 @@
+"""Engine event log: the simulator's equivalent of Spark's UI/event data.
+
+Every task execution and shuffle file movement appends a structured event;
+tests and debugging tools read them to check *how* a job executed (task
+placement, shuffle fan-out, cache hits), not just what it produced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    kind: str
+    details: Dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.details[key]
+
+
+class EventLog:
+    """Append-only event record for one SparkContext."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def emit(self, kind: str, **details: Any) -> None:
+        self._events.append(Event(kind, details))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [e for e in self._events if e.kind == kind]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    # -- summaries -----------------------------------------------------------
+
+    def task_counts_by_node(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.of_kind("task"):
+            node = event["node"]
+            counts[node] = counts.get(node, 0) + 1
+        return counts
+
+    def shuffle_fanout(self, shuffle_id: int) -> Dict[str, int]:
+        """files written / fetched / remote fetches for one shuffle."""
+        writes = [e for e in self.of_kind("shuffle_write")
+                  if e["shuffle_id"] == shuffle_id]
+        fetches = [e for e in self.of_kind("shuffle_fetch")
+                   if e["shuffle_id"] == shuffle_id]
+        return {
+            "files_written": len(writes),
+            "bytes_written": sum(e["bytes"] for e in writes),
+            "fetches": len(fetches),
+            "remote_fetches": sum(1 for e in fetches if e["remote"]),
+        }
+
+    def render(self, limit: int = 50) -> str:
+        lines = [f"event log ({len(self._events)} events)"]
+        for event in self._events[:limit]:
+            detail = " ".join(f"{k}={v}" for k, v in event.details.items())
+            lines.append(f"  {event.kind:<14} {detail}")
+        if len(self._events) > limit:
+            lines.append(f"  ... {len(self._events) - limit} more")
+        return "\n".join(lines)

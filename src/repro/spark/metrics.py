@@ -1,0 +1,61 @@
+"""Job metrics: turning cluster clocks into the paper's breakdowns."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Tuple, TypeVar
+
+from repro.net.cluster import Cluster
+from repro.simtime import Breakdown, Category, SimClock
+
+T = TypeVar("T")
+
+
+@dataclasses.dataclass(frozen=True)
+class JobMetrics:
+    """Aggregate cluster cost of one job, plus per-direction byte counts."""
+
+    breakdown: Breakdown
+    local_bytes: int
+    remote_bytes: int
+    shuffle_bytes: int
+
+    @property
+    def total(self) -> float:
+        return self.breakdown.total
+
+
+def measure_job(cluster: Cluster, action: Callable[[], T],
+                shuffle_bytes_source: Callable[[], int] = lambda: 0,
+                ) -> Tuple[T, JobMetrics]:
+    """Run ``action`` and report the cluster-wide cost delta it caused."""
+    snapshots = {node.name: node.clock.snapshot() for node in cluster.nodes()}
+    local_before = sum(n.local_bytes_fetched for n in cluster.nodes())
+    remote_before = sum(n.remote_bytes_fetched for n in cluster.nodes())
+    disk_before = sum(n.disk.bytes_written for n in cluster.nodes())
+    shuffle_before = shuffle_bytes_source()
+
+    result = action()
+
+    total = SimClock("job")
+    for node in cluster.nodes():
+        delta = node.clock.since(snapshots[node.name])
+        for category, value in delta.items():
+            total.charge(value, category)
+    local = sum(n.local_bytes_fetched for n in cluster.nodes()) - local_before
+    remote = sum(n.remote_bytes_fetched for n in cluster.nodes()) - remote_before
+    written = sum(n.disk.bytes_written for n in cluster.nodes()) - disk_before
+    shuffled = shuffle_bytes_source() - shuffle_before
+
+    breakdown = Breakdown.from_totals(
+        total.totals(),
+        bytes_written=written if shuffled == 0 else shuffled,
+        local_bytes=local,
+        remote_bytes=remote,
+    )
+    return result, JobMetrics(
+        breakdown=breakdown,
+        local_bytes=local,
+        remote_bytes=remote,
+        shuffle_bytes=shuffled,
+    )

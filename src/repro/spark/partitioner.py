@@ -1,0 +1,63 @@
+"""Hash partitioning with a process-stable hash.
+
+Python's builtin ``hash`` is salted per process; shuffle placement must be
+deterministic across runs (and across the simulated JVMs), so keys are
+hashed with CRC32 over a canonical encoding — playing the role of Java's
+stable ``Object.hashCode`` for value types.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any
+
+
+def stable_hash(key: Any) -> int:
+    """A deterministic 32-bit hash of a record key."""
+    return zlib.crc32(_canonical_bytes(key)) & 0x7FFFFFFF
+
+
+def _canonical_bytes(key: Any) -> bytes:
+    if key is None:
+        return b"\x00N"
+    if isinstance(key, bool):
+        return b"\x01T" if key else b"\x01F"
+    if isinstance(key, int):
+        return b"\x02" + key.to_bytes((key.bit_length() + 8) // 8 + 1,
+                                      "little", signed=True)
+    if isinstance(key, float):
+        return b"\x03" + struct.pack("<d", key)
+    if isinstance(key, str):
+        return b"\x04" + key.encode("utf-8")
+    if isinstance(key, bytes):
+        return b"\x05" + key
+    if isinstance(key, tuple):
+        out = [b"\x06", len(key).to_bytes(4, "little")]
+        for item in key:
+            part = _canonical_bytes(item)
+            out.append(len(part).to_bytes(4, "little"))
+            out.append(part)
+        return b"".join(out)
+    raise TypeError(f"unhashable shuffle key type: {type(key).__name__}")
+
+
+class HashPartitioner:
+    """Spark's default partitioner: ``hash(key) mod numPartitions``."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ValueError("need at least one partition")
+        self.num_partitions = num_partitions
+
+    def partition_of(self, key: Any) -> int:
+        return stable_hash(key) % self.num_partitions
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, HashPartitioner)
+            and other.num_partitions == self.num_partitions
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - trivial
+        return hash(("HashPartitioner", self.num_partitions))

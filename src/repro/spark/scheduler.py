@@ -1,0 +1,109 @@
+"""DAG analysis: splitting an RDD lineage into stages.
+
+The engine executes recursively (a shuffle parent forces its map stage),
+so scheduling is implicit; this module makes the DAG structure *explicit*
+for introspection and tests — the same decomposition Spark's DAGScheduler
+performs: a stage is a maximal chain of narrow dependencies, and every
+shuffle dependency is a stage boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Set
+
+from repro.spark.rdd import RDD, ShuffledRDD
+
+
+@dataclasses.dataclass
+class Stage:
+    """A pipelined set of RDDs executed together per partition."""
+
+    id: int
+    rdds: List[RDD]
+    #: Stages whose shuffle output this stage reads.
+    parents: List["Stage"]
+    #: True for the final stage of a job (produces the action's result).
+    is_result: bool = False
+
+    @property
+    def num_tasks(self) -> int:
+        return self.rdds[0].num_partitions if self.rdds else 0
+
+    def describe(self) -> str:
+        names = " <- ".join(
+            getattr(r, "name", None) or getattr(r, "op_name", None)
+            or type(r).__name__
+            for r in self.rdds
+        )
+        deps = ",".join(str(p.id) for p in self.parents) or "-"
+        return f"Stage {self.id} ({self.num_tasks} tasks, parents: {deps}): {names}"
+
+
+def build_stages(final_rdd: RDD) -> List[Stage]:
+    """Decompose the lineage ending at ``final_rdd`` into stages, parents
+    first (topological order); the last stage is the result stage."""
+    stage_of: Dict[int, Stage] = {}
+    order: List[Stage] = []
+    counter = [0]
+
+    def stage_for(rdd: RDD, is_result: bool) -> Stage:
+        existing = stage_of.get(rdd.id)
+        if existing is not None:
+            return existing
+        # Walk back through narrow dependencies.
+        chain: List[RDD] = []
+        parents: List[Stage] = []
+        node = rdd
+        while True:
+            chain.append(node)
+            stage_parents = node._parents()
+            if isinstance(node, ShuffledRDD):
+                # Shuffle boundary: the map side is a parent stage.
+                for parent in stage_parents:
+                    parents.append(stage_for(parent, is_result=False))
+                break
+            if not stage_parents:
+                break
+            if len(stage_parents) > 1:
+                # Union/join fan-in: each side gets its own stage chain.
+                for parent in stage_parents:
+                    parents.append(stage_for(parent, is_result=False))
+                break
+            node = stage_parents[0]
+
+        stage = Stage(id=counter[0], rdds=chain, parents=parents,
+                      is_result=is_result)
+        counter[0] += 1
+        for r in chain:
+            stage_of[r.id] = stage
+        order.append(stage)
+        return stage
+
+    stage_for(final_rdd, is_result=True)
+    # ``order`` is completion order of the recursion = parents first.
+    return order
+
+
+def count_shuffles(final_rdd: RDD) -> int:
+    """Number of distinct shuffle boundaries in a lineage."""
+    seen: Set[int] = set()
+    shuffles = 0
+    stack = [final_rdd]
+    while stack:
+        node = stack.pop()
+        if node.id in seen:
+            continue
+        seen.add(node.id)
+        if isinstance(node, ShuffledRDD):
+            shuffles += 1
+        stack.extend(node._parents())
+    return shuffles
+
+
+def describe_job(final_rdd: RDD) -> str:
+    stages = build_stages(final_rdd)
+    lines = [f"job over RDD #{final_rdd.id}: {len(stages)} stages, "
+             f"{count_shuffles(final_rdd)} shuffles"]
+    lines.extend(stage.describe() for stage in stages)
+    return "\n".join(lines)

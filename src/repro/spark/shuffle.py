@@ -1,0 +1,166 @@
+"""The sort-based shuffle (paper §2.2: "Tungsten sort was used").
+
+Map side, per map partition: records are sorted by key, split into
+per-reducer buckets, materialized as heap object graphs, serialized with
+the configured data serializer into one disk file per (map, reduce) pair.
+Reduce side, per reduce partition: every map's bucket file is fetched —
+local or remote (the Figure 3(b) "Local/Remote Bytes" distinction) — and
+deserialized back into records.
+
+Phase accounting matches the paper's breakdown exactly:
+
+* sorting and bucketing → computation (map node);
+* turning records into bytes → serialization (map node);
+* writing bucket files → write I/O (map node);
+* fetching files → read I/O + network (reduce node);
+* turning bytes back into records → deserialization (reduce node).
+
+When the serializer is Skyway, each map task opens a shuffling phase
+(``shuffle_start``), mirroring the paper's one-line integration point.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Dict, List, Sequence, Tuple, TYPE_CHECKING
+
+from repro.jvm.marshal import from_heap, to_heap
+from repro.simtime import Category
+from repro.spark.partitioner import HashPartitioner, stable_hash
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.cluster import Node
+    from repro.spark.context import SparkContext
+
+Record = Tuple[Any, Any]
+
+
+class ShuffleService:
+    """Writes and serves shuffle files across the cluster."""
+
+    def __init__(self, sc: "SparkContext") -> None:
+        self.sc = sc
+        self._ids = itertools.count()
+        #: shuffle id -> {(map_partition, reduce_partition): (node, file)}
+        self._index: Dict[int, Dict[Tuple[int, int], Tuple["Node", str]]] = {}
+        self.records_shuffled = 0
+        self.bytes_shuffled = 0
+
+    def new_shuffle_id(self) -> int:
+        return next(self._ids)
+
+    # ------------------------------------------------------------------
+    # map side
+    # ------------------------------------------------------------------
+
+    def write_map_output(
+        self,
+        shuffle_id: int,
+        map_partition: int,
+        records: Sequence[Record],
+        partitioner: HashPartitioner,
+    ) -> None:
+        sc = self.sc
+        node = sc.node_for_partition(map_partition)
+        jvm = node.jvm
+
+        # Sort by key hash (Tungsten sorts binary prefixes), charged as
+        # comparisons to computation.
+        n = len(records)
+        if n > 1:
+            node.clock.charge(
+                n * max(1.0, math.log2(n)) * sc.config.sort_compare_cost,
+                Category.COMPUTATION,
+            )
+        ordered = sorted(records, key=lambda kv: stable_hash(kv[0]))
+
+        buckets: List[List[Record]] = [[] for _ in range(partitioner.num_partitions)]
+        for key, value in ordered:
+            buckets[partitioner.partition_of(key)].append((key, value))
+
+        files = self._index.setdefault(shuffle_id, {})
+        if jvm.skyway is not None and self.sc.serializer.name == "skyway":
+            # The paper's integration point: mark the shuffling phase.
+            jvm.skyway.shuffle_start()
+        for reduce_partition, bucket in enumerate(buckets):
+            thread_id = reduce_partition % max(1, self.sc.config.shuffle_threads)
+            data = self._serialize_bucket(node, bucket, thread_id)
+            filename = f"shuffle-{sc.app_id}-{shuffle_id}-{map_partition}-{reduce_partition}"
+            node.disk.write_file(filename, data)
+            files[(map_partition, reduce_partition)] = (node, filename)
+            self.records_shuffled += len(bucket)
+            self.bytes_shuffled += len(data)
+            sc.events.emit(
+                "shuffle_write", shuffle_id=shuffle_id,
+                map_partition=map_partition,
+                reduce_partition=reduce_partition,
+                node=node.name, records=len(bucket), bytes=len(data),
+            )
+
+    def _serialize_bucket(self, node: "Node", bucket: Sequence[Record],
+                          thread_id: int = 0) -> bytes:
+        jvm = node.jvm
+        with node.clock.phase(Category.COMPUTATION):
+            # Records exist as objects before serialization in real Spark;
+            # materialization is charged as (cheap) computation here.
+            pins = [jvm.pin(to_heap(jvm, record, charge=True)) for record in bucket]
+        try:
+            with node.clock.phase(Category.SERIALIZATION):
+                node.clock.charge(len(pins) * self.sc.config.record_ser_overhead)
+                stream = self.sc.serializer.new_stream(jvm, thread_id=thread_id)
+                for pin in pins:
+                    stream.write_object(pin.address)
+                return stream.close()
+        finally:
+            for pin in pins:
+                jvm.unpin(pin)
+
+    # ------------------------------------------------------------------
+    # reduce side
+    # ------------------------------------------------------------------
+
+    def read_reduce_input(
+        self, shuffle_id: int, reduce_partition: int, num_map_partitions: int
+    ) -> List[Record]:
+        sc = self.sc
+        dst = sc.node_for_partition(reduce_partition)
+        out: List[Record] = []
+        files = self._index.get(shuffle_id, {})
+        for map_partition in range(num_map_partitions):
+            entry = files.get((map_partition, reduce_partition))
+            if entry is None:
+                continue
+            src, filename = entry
+            data = self._fetch(src, dst, filename)
+            sc.events.emit(
+                "shuffle_fetch", shuffle_id=shuffle_id,
+                map_partition=map_partition,
+                reduce_partition=reduce_partition,
+                src=src.name, dst=dst.name, bytes=len(data),
+                remote=src is not dst,
+            )
+            out.extend(self._deserialize_bucket(dst, data))
+        return out
+
+    def _fetch(self, src: "Node", dst: "Node", filename: str) -> bytes:
+        data = bytes(src.disk.open(filename).data)
+        # The reducer pays the read; remote fetches also pay the network
+        # (folded into read I/O in reports, as in the paper).
+        dst.clock.charge(dst.disk._cost.disk_read(len(data)), Category.READ_IO)
+        dst.disk.bytes_read += len(data)
+        self.sc.cluster.transfer(src, dst, len(data))
+        return data
+
+    def _deserialize_bucket(self, node: "Node", data: bytes) -> List[Record]:
+        jvm = node.jvm
+        records: List[Record] = []
+        with node.clock.phase(Category.DESERIALIZATION):
+            reader = self.sc.serializer.new_reader(jvm, data)
+            try:
+                while reader.has_next():
+                    records.append(from_heap(jvm, reader.read_object()))
+            finally:
+                reader.close()
+            node.clock.charge(len(records) * self.sc.config.record_des_overhead)
+        return records

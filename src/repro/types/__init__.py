@@ -1,0 +1,51 @@
+"""Type system: field descriptors, class definitions, and class loading.
+
+Classes are described by :class:`~repro.types.classdef.ClassDef` (the
+"class file"), published on a :class:`~repro.types.classdef.ClassPath`
+shared by the cluster, and loaded per-JVM by a
+:class:`~repro.types.loader.ClassLoader` into
+:class:`~repro.heap.klass.Klass` meta-objects with concrete field offsets.
+Skyway's global type numbering (paper §4.1) hooks the loader.
+"""
+
+from repro.types.descriptors import (
+    ARRAY_PREFIX,
+    PRIMITIVE_DESCRIPTORS,
+    alignment_of,
+    component_of,
+    is_array,
+    is_primitive,
+    is_reference,
+    object_descriptor,
+    referenced_class,
+    size_of,
+)
+from repro.types.classdef import ClassDef, ClassPath, FieldDef
+
+
+def __getattr__(name):
+    # Lazy: the loader depends on repro.heap, which depends on this
+    # package's descriptors module — a direct top-level import would cycle.
+    if name in ("ClassLoader", "ClassNotFoundError"):
+        from repro.types import loader
+
+        return getattr(loader, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ARRAY_PREFIX",
+    "PRIMITIVE_DESCRIPTORS",
+    "alignment_of",
+    "component_of",
+    "is_array",
+    "is_primitive",
+    "is_reference",
+    "object_descriptor",
+    "referenced_class",
+    "size_of",
+    "ClassDef",
+    "ClassPath",
+    "FieldDef",
+    "ClassLoader",
+    "ClassNotFoundError",
+]

@@ -1,0 +1,117 @@
+"""Class definitions and the cluster-wide class path.
+
+A :class:`ClassDef` is the loader-independent description of a class (what a
+``.class`` file is to a JVM): a name, a superclass name, and declared fields.
+A :class:`ClassPath` is the set of definitions visible to every node in the
+cluster — the paper assumes "the sender and the receiver use the same
+version of each transfer-related class" (§3.1), which a shared class path
+models directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.types import descriptors
+
+OBJECT_CLASS = "java.lang.Object"
+
+
+@dataclasses.dataclass(frozen=True)
+class FieldDef:
+    """A declared field: name plus JVM descriptor."""
+
+    name: str
+    descriptor: str
+
+    def __post_init__(self) -> None:
+        descriptors.validate(self.descriptor)
+        if not self.name:
+            raise ValueError("field name must be non-empty")
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassDef:
+    """A loader-independent class description."""
+
+    name: str
+    super_name: Optional[str] = OBJECT_CLASS
+    fields: Tuple[FieldDef, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("class name must be non-empty")
+        seen = set()
+        for f in self.fields:
+            if f.name in seen:
+                raise ValueError(f"duplicate field {f.name!r} in {self.name}")
+            seen.add(f.name)
+
+    @classmethod
+    def define(
+        cls,
+        name: str,
+        fields: Sequence[Tuple[str, str]] = (),
+        super_name: Optional[str] = OBJECT_CLASS,
+    ) -> "ClassDef":
+        """Convenience constructor from ``(name, descriptor)`` pairs."""
+        return cls(
+            name=name,
+            super_name=super_name,
+            fields=tuple(FieldDef(n, d) for n, d in fields),
+        )
+
+    @property
+    def field_pairs(self) -> List[Tuple[str, str]]:
+        return [(f.name, f.descriptor) for f in self.fields]
+
+
+class DuplicateClassError(ValueError):
+    pass
+
+
+class ClassPath:
+    """All class definitions visible to the cluster's JVMs."""
+
+    def __init__(self, defs: Iterable[ClassDef] = ()) -> None:
+        self._defs: Dict[str, ClassDef] = {}
+        self.add(ClassDef(OBJECT_CLASS, super_name=None))
+        for d in defs:
+            self.add(d)
+
+    def add(self, classdef: ClassDef) -> ClassDef:
+        existing = self._defs.get(classdef.name)
+        if existing is not None:
+            if existing == classdef:
+                return existing
+            raise DuplicateClassError(
+                f"conflicting definitions for {classdef.name}"
+            )
+        if classdef.super_name is not None and classdef.super_name == classdef.name:
+            raise ValueError(f"{classdef.name} cannot be its own superclass")
+        self._defs[classdef.name] = classdef
+        return classdef
+
+    def define(
+        self,
+        name: str,
+        fields: Sequence[Tuple[str, str]] = (),
+        super_name: Optional[str] = OBJECT_CLASS,
+    ) -> ClassDef:
+        return self.add(ClassDef.define(name, fields, super_name))
+
+    def get(self, name: str) -> Optional[ClassDef]:
+        return self._defs.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._defs
+
+    def __iter__(self) -> Iterator[ClassDef]:
+        return iter(self._defs.values())
+
+    def __len__(self) -> int:
+        return len(self._defs)
+
+    def names(self) -> List[str]:
+        return list(self._defs)

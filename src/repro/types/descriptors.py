@@ -1,0 +1,125 @@
+"""JVM-style field type descriptors.
+
+The simulated heap uses the JVM's descriptor grammar:
+
+===========  =============  =====  =========
+descriptor   Java type      bytes  alignment
+===========  =============  =====  =========
+``Z``        boolean        1      1
+``B``        byte           1      1
+``C``        char           2      2
+``S``        short          2      2
+``I``        int            4      4
+``F``        float          4      4
+``J``        long           8      8
+``D``        double         8      8
+``L<name>;`` reference      8      8
+``[<desc>``  array (ref)    8      8
+===========  =============  =====  =========
+
+References are 8 bytes (64-bit HotSpot without compressed oops, matching the
+paper's Figure 6 which shows an ``Integer[3]`` payload of three 8-byte
+references).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Reference (pointer) width in bytes.
+REFERENCE_SIZE = 8
+
+ARRAY_PREFIX = "["
+
+#: Primitive descriptor -> (size, java name).
+PRIMITIVE_DESCRIPTORS: Dict[str, int] = {
+    "Z": 1,
+    "B": 1,
+    "C": 2,
+    "S": 2,
+    "I": 4,
+    "F": 4,
+    "J": 8,
+    "D": 8,
+}
+
+_PRIMITIVE_NAMES = {
+    "Z": "boolean",
+    "B": "byte",
+    "C": "char",
+    "S": "short",
+    "I": "int",
+    "F": "float",
+    "J": "long",
+    "D": "double",
+}
+
+
+def is_primitive(descriptor: str) -> bool:
+    return descriptor in PRIMITIVE_DESCRIPTORS
+
+
+def is_array(descriptor: str) -> bool:
+    return descriptor.startswith(ARRAY_PREFIX)
+
+
+def is_reference(descriptor: str) -> bool:
+    """True for object references and arrays (both stored as pointers)."""
+    return descriptor.startswith("L") or is_array(descriptor)
+
+
+def validate(descriptor: str) -> None:
+    if is_primitive(descriptor):
+        return
+    if descriptor.startswith("L") and descriptor.endswith(";") and len(descriptor) > 2:
+        return
+    if is_array(descriptor):
+        validate(descriptor[1:])
+        return
+    raise ValueError(f"malformed field descriptor: {descriptor!r}")
+
+
+def size_of(descriptor: str) -> int:
+    """Storage size of a field of this type, in bytes."""
+    if is_primitive(descriptor):
+        return PRIMITIVE_DESCRIPTORS[descriptor]
+    validate(descriptor)
+    return REFERENCE_SIZE
+
+
+def alignment_of(descriptor: str) -> int:
+    """Natural alignment equals size for primitives; 8 for references."""
+    return size_of(descriptor)
+
+
+def object_descriptor(class_name: str) -> str:
+    """Descriptor for a reference to ``class_name`` (dotted form kept)."""
+    if not class_name:
+        raise ValueError("empty class name")
+    return f"L{class_name};"
+
+
+def referenced_class(descriptor: str) -> str:
+    """Class name inside an ``L...;`` descriptor (arrays resolve to their
+    array-class name, e.g. ``[I`` -> ``[I``, ``[Ljava.lang.Integer;`` kept)."""
+    if descriptor.startswith("L") and descriptor.endswith(";"):
+        return descriptor[1:-1]
+    if is_array(descriptor):
+        return descriptor
+    raise ValueError(f"not a reference descriptor: {descriptor!r}")
+
+
+def component_of(array_descriptor: str) -> str:
+    """Element descriptor of an array descriptor (``[I`` -> ``I``)."""
+    if not is_array(array_descriptor):
+        raise ValueError(f"not an array descriptor: {array_descriptor!r}")
+    return array_descriptor[1:]
+
+
+def java_name(descriptor: str) -> str:
+    """Human-readable Java name (``[I`` -> ``int[]``)."""
+    if is_primitive(descriptor):
+        return _PRIMITIVE_NAMES[descriptor]
+    if is_array(descriptor):
+        return java_name(component_of(descriptor)) + "[]"
+    return referenced_class(descriptor)

@@ -1,0 +1,126 @@
+"""Per-JVM class loading.
+
+Each JVM owns a :class:`ClassLoader` that turns :class:`ClassDef`\\ s from the
+cluster class path into :class:`~repro.heap.klass.Klass` meta-objects with
+concrete offsets for that JVM's heap layout.  Loading is lazy (on first
+reference) and recursive (superclasses first), and fires *load hooks* — the
+mechanism Skyway's type registry uses to assign a global type ID at class
+load time (paper §4.1: "We modify the class loader on each worker JVM so
+that during the loading of a class, the loader obtains the ID for the
+class").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional
+
+from repro.heap.klass import Klass
+from repro.heap.layout import HeapLayout
+from repro.types import descriptors
+from repro.types.classdef import ClassPath, OBJECT_CLASS
+
+LoadHook = Callable[[Klass], None]
+
+
+class ClassNotFoundError(KeyError):
+    """Raised when a class name cannot be resolved on the class path."""
+
+
+class ClassLoader:
+    """Loads classes for one JVM and assigns per-JVM klass IDs.
+
+    Klass IDs are deliberately distinct across JVMs (they start from a
+    per-loader base) so that a raw klass word leaking across the wire is
+    caught immediately by tests — mirroring the real-world fact that klass
+    pointers are process-local addresses.
+    """
+
+    _instance_counter = itertools.count()
+
+    def __init__(self, classpath: ClassPath, layout: HeapLayout) -> None:
+        self.classpath = classpath
+        self.layout = layout
+        self._loaded: Dict[str, Klass] = {}
+        self._by_id: Dict[int, Klass] = {}
+        self._hooks: List[LoadHook] = []
+        # Distinct klass-id spaces per loader instance.
+        base = (next(self._instance_counter) + 1) << 32
+        self._next_id = itertools.count(base, 8)
+
+    # -- hooks --------------------------------------------------------------
+
+    def add_load_hook(self, hook: LoadHook) -> None:
+        """Register a callback fired after each class is loaded.
+
+        Hooks registered late are replayed over already-loaded classes, so
+        attaching Skyway to a warmed-up JVM still numbers every type.
+        """
+        self._hooks.append(hook)
+        for klass in list(self._loaded.values()):
+            hook(klass)
+
+    # -- loading -----------------------------------------------------------
+
+    def load(self, name: str) -> Klass:
+        """Resolve ``name`` to a Klass, loading it (and supers) if needed.
+
+        Array classes are named by their descriptor (``[I``,
+        ``[Ljava.lang.Integer;``) and are created on demand; their element
+        class is loaded too when it is a reference type.
+        """
+        existing = self._loaded.get(name)
+        if existing is not None:
+            return existing
+        if name.startswith(descriptors.ARRAY_PREFIX):
+            klass = self._load_array(name)
+        else:
+            klass = self._load_instance_class(name)
+        return klass
+
+    def is_loaded(self, name: str) -> bool:
+        return name in self._loaded
+
+    def loaded_classes(self) -> List[Klass]:
+        return list(self._loaded.values())
+
+    def by_klass_id(self, klass_id: int) -> Klass:
+        try:
+            return self._by_id[klass_id]
+        except KeyError:
+            raise ClassNotFoundError(f"no klass with id {klass_id:#x}") from None
+
+    def object_klass(self) -> Klass:
+        return self.load(OBJECT_CLASS)
+
+    # -- internals -----------------------------------------------------------
+
+    def _load_instance_class(self, name: str) -> Klass:
+        classdef = self.classpath.get(name)
+        if classdef is None:
+            raise ClassNotFoundError(name)
+        super_klass: Optional[Klass] = None
+        if classdef.super_name is not None:
+            super_klass = self.load(classdef.super_name)
+        klass = Klass.for_instance_class(
+            name, self.layout, super_klass, classdef.field_pairs
+        )
+        return self._install(klass)
+
+    def _load_array(self, name: str) -> Klass:
+        element = descriptors.component_of(name)
+        if descriptors.is_reference(element) and not descriptors.is_array(element):
+            # Ensure the element class exists (and is numbered) too.
+            self.load(descriptors.referenced_class(element))
+        elif descriptors.is_array(element):
+            self.load(element)
+        klass = Klass.for_array(element, self.layout, self.object_klass())
+        return self._install(klass)
+
+    def _install(self, klass: Klass) -> Klass:
+        klass.klass_id = next(self._next_id)
+        self._loaded[klass.name] = klass
+        self._by_id[klass.klass_id] = klass
+        for hook in self._hooks:
+            hook(klass)
+        return klass

@@ -1,0 +1,101 @@
+"""Shared fixtures: JVMs, sample class definitions, and graph builders."""
+
+import pytest
+
+from repro.jvm.jvm import JVM
+from repro.types.classdef import ClassPath
+from repro.types.corelib import install_core_classes
+
+
+def sample_classpath() -> ClassPath:
+    """A class path with the paper's running example (Figure 2's Date
+    parsing classes) plus a linked-list node for graph tests."""
+    cp = install_core_classes(ClassPath())
+    cp.define("Year4D", [("year", "I")])
+    cp.define("Month2D", [("month", "I")])
+    cp.define("Day2D", [("day", "I")])
+    cp.define(
+        "Date",
+        [("year", "LYear4D;"), ("month", "LMonth2D;"), ("day", "LDay2D;")],
+    )
+    cp.define("DateParser", [("parsed", "J")])
+    cp.define(
+        "ListNode",
+        [("payload", "J"), ("next", "LListNode;")],
+    )
+    cp.define(
+        "Mixed",
+        [
+            ("b", "B"), ("z", "Z"), ("c", "C"), ("s", "S"),
+            ("i", "I"), ("f", "F"), ("j", "J"), ("d", "D"),
+            ("ref", "Ljava.lang.Object;"),
+        ],
+    )
+    return cp
+
+
+@pytest.fixture
+def classpath() -> ClassPath:
+    return sample_classpath()
+
+
+@pytest.fixture
+def jvm(classpath) -> JVM:
+    return JVM("test-jvm", classpath=classpath)
+
+
+@pytest.fixture
+def small_jvm(classpath) -> JVM:
+    """A JVM with a tiny heap, for exercising GC paths."""
+    return JVM("small-jvm", classpath=classpath, young_bytes=48 * 1024, old_bytes=256 * 1024)
+
+
+def make_date(jvm: JVM, year: int, month: int, day: int) -> int:
+    """Build a Date object graph (root + three leaves), returning its addr."""
+    date = jvm.new_instance("Date")
+    pin = jvm.pin(date)
+    try:
+        for field, cls, inner, value in (
+            ("year", "Year4D", "year", year),
+            ("month", "Month2D", "month", month),
+            ("day", "Day2D", "day", day),
+        ):
+            leaf = jvm.new_instance(cls)
+            jvm.set_field(leaf, inner, value)
+            jvm.set_field(pin.address, field, leaf)
+        return pin.address
+    finally:
+        jvm.unpin(pin)
+
+
+def read_date(jvm: JVM, date: int) -> tuple:
+    out = []
+    for field, inner in (("year", "year"), ("month", "month"), ("day", "day")):
+        leaf = jvm.get_field(date, field)
+        out.append(jvm.get_field(leaf, inner))
+    return tuple(out)
+
+
+def make_list(jvm: JVM, payloads) -> int:
+    """Build a singly linked ListNode chain, returning the head address."""
+    head = 0
+    head_pin = jvm.pin(0)
+    try:
+        for payload in reversed(list(payloads)):
+            node = jvm.new_instance("ListNode")
+            jvm.set_field(node, "payload", payload)
+            jvm.set_field(node, "next", head_pin.address)
+            head_pin.address = node
+            head = node
+        return head
+    finally:
+        jvm.unpin(head_pin)
+
+
+def read_list(jvm: JVM, head: int):
+    out = []
+    node = head
+    while node:
+        out.append(jvm.get_field(node, "payload"))
+        node = jvm.get_field(node, "next")
+    return out

@@ -1,0 +1,164 @@
+"""Tests for the four Spark workloads, checked against reference results."""
+
+import itertools
+
+import pytest
+
+from repro.apps import connected_components, page_rank, triangle_count, word_count
+from repro.datasets import GRAPH_PROFILES, generate_graph, generate_text_corpus
+
+from tests.test_spark_engine import make_context
+
+
+def reference_triangles(edges):
+    nbrs = {}
+    for u, v in edges:
+        if u == v:
+            continue
+        nbrs.setdefault(u, set()).add(v)
+        nbrs.setdefault(v, set()).add(u)
+    count = 0
+    for u, v in {(min(e), max(e)) for e in edges if e[0] != e[1]}:
+        count += len({w for w in nbrs[u] & nbrs[v] if w > v})
+    return count
+
+
+def reference_components(edges):
+    parent = {}
+
+    def find(x):
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[max(ru, rv)] = min(ru, rv)
+    return {v: find(v) for v in parent}
+
+
+class TestWordCount:
+    def test_counts_match_python(self):
+        sc = make_context("kryo")
+        lines = ["a b a", "b c", "a"]
+        assert word_count(sc, lines) == {"a": 3, "b": 2, "c": 1}
+
+    def test_on_generated_corpus(self):
+        sc = make_context("kryo")
+        lines = generate_text_corpus(lines=60, words_per_line=5)
+        result = word_count(sc, lines)
+        flat = " ".join(lines).split()
+        assert sum(result.values()) == len(flat)
+        assert result[max(result, key=result.get)] == max(
+            flat.count(w) for w in set(flat)
+        )
+
+    @pytest.mark.parametrize("serializer", ["java", "skyway"])
+    def test_same_result_any_serializer(self, serializer):
+        sc = make_context(serializer)
+        lines = generate_text_corpus(lines=30, words_per_line=4)
+        baseline = word_count(make_context("kryo"), lines)
+        assert word_count(sc, lines) == baseline
+
+
+class TestPageRank:
+    def test_ranks_sum_is_stable(self):
+        sc = make_context("kryo")
+        edges = [(1, 2), (2, 3), (3, 1), (1, 3)]
+        ranks = page_rank(sc, edges, iterations=10)
+        assert set(ranks) == {1, 2, 3}
+        # Damped PageRank over strongly connected graph: sum ~ n.
+        assert sum(ranks.values()) == pytest.approx(3.0, rel=0.2)
+
+    def test_sink_heavy_node_ranks_higher(self):
+        sc = make_context("kryo")
+        # Everyone links to 9; enough iterations to damp the 0<->9 cycle.
+        edges = [(i, 9) for i in range(9)] + [(9, 0)]
+        ranks = page_rank(sc, edges, iterations=25)
+        assert ranks[9] == max(ranks.values())
+
+    def test_deterministic(self):
+        edges = generate_graph(GRAPH_PROFILES["LJ"], scale=0.05)
+        r1 = page_rank(make_context("kryo"), edges, iterations=2)
+        r2 = page_rank(make_context("kryo"), edges, iterations=2)
+        assert r1 == r2
+
+
+class TestConnectedComponents:
+    def test_two_components(self):
+        sc = make_context("kryo")
+        edges = [(1, 2), (2, 3), (10, 11)]
+        labels = connected_components(sc, edges)
+        assert labels[1] == labels[2] == labels[3] == 1
+        assert labels[10] == labels[11] == 10
+
+    def test_matches_union_find(self):
+        sc = make_context("kryo")
+        edges = generate_graph(GRAPH_PROFILES["LJ"], scale=0.03)
+        labels = connected_components(sc, edges)
+        expected = reference_components(edges)
+        assert labels == expected
+
+    def test_chain_converges(self):
+        sc = make_context("kryo")
+        edges = [(i, i + 1) for i in range(12)]
+        labels = connected_components(sc, edges)
+        assert set(labels.values()) == {0}
+
+
+class TestTriangleCounting:
+    def test_single_triangle(self):
+        sc = make_context("kryo")
+        assert triangle_count(sc, [(1, 2), (2, 3), (1, 3)]) == 1
+
+    def test_no_triangles(self):
+        sc = make_context("kryo")
+        assert triangle_count(sc, [(1, 2), (2, 3), (3, 4)]) == 0
+
+    def test_complete_graph_k5(self):
+        sc = make_context("kryo")
+        edges = list(itertools.combinations(range(5), 2))
+        assert triangle_count(sc, edges) == 10  # C(5,3)
+
+    def test_duplicates_and_loops_ignored(self):
+        sc = make_context("kryo")
+        edges = [(1, 2), (2, 1), (2, 3), (1, 3), (3, 3)]
+        assert triangle_count(sc, edges) == 1
+
+    def test_matches_reference_on_generated_graph(self):
+        sc = make_context("kryo")
+        edges = generate_graph(GRAPH_PROFILES["LJ"], scale=0.02)
+        assert triangle_count(sc, edges) == reference_triangles(edges)
+
+
+class TestDatasets:
+    def test_profiles_preserve_relative_sizes(self):
+        sizes = {k: p.edges for k, p in GRAPH_PROFILES.items()}
+        assert sizes["LJ"] < sizes["OR"] < sizes["UK"] < sizes["TW"]
+
+    def test_generation_deterministic(self):
+        p = GRAPH_PROFILES["LJ"]
+        assert generate_graph(p, scale=0.05) == generate_graph(p, scale=0.05)
+
+    def test_degree_skew_present(self):
+        from repro.datasets.graphs import degree_distribution
+        edges = generate_graph(GRAPH_PROFILES["TW"], scale=0.2)
+        degrees = sorted(degree_distribution(edges).values(), reverse=True)
+        # Power-law: the hottest vertex dwarfs the median.
+        assert degrees[0] > 10 * degrees[len(degrees) // 2]
+
+    def test_table1_rows_shape(self):
+        from repro.datasets import table1_rows
+        rows = table1_rows(scale=0.05)
+        assert len(rows) == 4
+        for row in rows:
+            assert row["generated_edges"] > 0
+            assert row["generated_vertices"] > 0
+
+    def test_corpus_deterministic(self):
+        a = generate_text_corpus(lines=10)
+        b = generate_text_corpus(lines=10)
+        assert a == b

@@ -1,0 +1,62 @@
+"""Tests for the old-generation card table."""
+
+import pytest
+
+from repro.heap.cardtable import CardTable
+
+
+@pytest.fixture
+def table():
+    return CardTable(start=0x1000, end=0x1000 + 8 * 512, card_size=512)
+
+
+class TestMarking:
+    def test_initially_clean(self, table):
+        assert table.dirty_count == 0
+        assert not table.is_dirty(0x1000)
+
+    def test_mark_single(self, table):
+        table.mark(0x1000 + 513)
+        assert table.is_dirty(0x1000 + 512)
+        assert not table.is_dirty(0x1000)
+
+    def test_mark_out_of_span(self, table):
+        with pytest.raises(ValueError):
+            table.mark(0x999)
+
+    def test_mark_range_spans_cards(self, table):
+        table.mark_range(0x1000 + 500, 600)  # crosses card 0 -> 2
+        assert table.is_dirty(0x1000)
+        assert table.is_dirty(0x1000 + 512)
+        assert table.is_dirty(0x1000 + 1024)
+        assert table.dirty_count == 3
+
+    def test_mark_range_zero_bytes_noop(self, table):
+        table.mark_range(0x1000, 0)
+        assert table.dirty_count == 0
+
+    def test_clear(self, table):
+        table.mark(0x1000)
+        table.clear()
+        assert table.dirty_count == 0
+
+
+class TestDirtyRanges:
+    def test_empty(self, table):
+        assert list(table.dirty_ranges()) == []
+
+    def test_single_run(self, table):
+        table.mark(0x1000 + 512)
+        table.mark(0x1000 + 1024)
+        ranges = list(table.dirty_ranges())
+        assert ranges == [(0x1000 + 512, 0x1000 + 1536)]
+
+    def test_two_runs(self, table):
+        table.mark(0x1000)
+        table.mark(0x1000 + 1536)
+        ranges = list(table.dirty_ranges())
+        assert len(ranges) == 2
+
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            CardTable(0, 1024, card_size=500)

@@ -1,0 +1,100 @@
+"""Tests for the extended collection operations and RDD lineage output."""
+
+import pytest
+
+from repro.heap.heap import NULL
+from repro.jvm.collections import ArrayListOps, HashMapOps
+from repro.jvm.marshal import to_heap
+
+from tests.test_spark_engine import make_context
+
+
+class TestHashMapExtended:
+    def test_contains_key(self, jvm):
+        ops = HashMapOps(jvm)
+        m = jvm.pin(ops.new())
+        k = jvm.pin(jvm.new_string("present"))
+        m.address = ops.put(m.address, k.address, NULL)
+        assert ops.contains_key(m.address, k.address)
+        absent = jvm.pin(jvm.new_string("absent"))
+        assert not ops.contains_key(m.address, absent.address)
+
+    def test_remove_existing(self, jvm):
+        ops = HashMapOps(jvm)
+        m = jvm.pin(ops.new())
+        k = jvm.pin(jvm.new_string("k"))
+        v = jvm.pin(jvm.new_string("v"))
+        m.address = ops.put(m.address, k.address, v.address)
+        removed = ops.remove(m.address, k.address)
+        assert jvm.read_string(removed) == "v"
+        assert ops.size(m.address) == 0
+        assert ops.get(m.address, k.address) == NULL
+
+    def test_remove_absent_returns_null(self, jvm):
+        ops = HashMapOps(jvm)
+        m = jvm.pin(ops.new())
+        k = jvm.pin(jvm.new_string("k"))
+        assert ops.remove(m.address, k.address) == NULL
+
+    def test_remove_from_chain_middle(self, jvm):
+        """Colliding keys chain; removal relinks, not truncates."""
+        ops = HashMapOps(jvm)
+        m = jvm.pin(ops.new(capacity=4))
+        keys = []
+        for i in range(12):  # force chains in a 4/8/16-bucket table
+            k = jvm.pin(jvm.new_string(f"key-{i}"))
+            v = jvm.pin(to_heap(jvm, i))
+            m.address = ops.put(m.address, k.address, v.address)
+            keys.append(k)
+        ops.remove(m.address, keys[5].address)
+        assert ops.size(m.address) == 11
+        for i, k in enumerate(keys):
+            if i == 5:
+                assert ops.get(m.address, k.address) == NULL
+            else:
+                got = ops.get(m.address, k.address)
+                assert jvm.get_field(got, "value") == i
+
+
+class TestArrayListExtended:
+    def test_set_and_index_of(self, jvm):
+        ops = ArrayListOps(jvm)
+        lst = jvm.pin(ops.new())
+        a = jvm.pin(jvm.new_string("a"))
+        b = jvm.pin(jvm.new_string("b"))
+        ops.append(lst.address, a.address)
+        ops.append(lst.address, a.address)
+        ops.set(lst.address, 1, b.address)
+        assert jvm.read_string(ops.get(lst.address, 1)) == "b"
+        assert ops.index_of(lst.address, b.address) == 1
+        assert ops.index_of(lst.address, 0xDEAD) == -1
+
+    def test_set_bounds(self, jvm):
+        ops = ArrayListOps(jvm)
+        lst = jvm.pin(ops.new())
+        with pytest.raises(IndexError):
+            ops.set(lst.address, 0, NULL)
+
+
+class TestLineageDescribe:
+    def test_shuffle_boundaries_visible(self):
+        sc = make_context("kryo")
+        rdd = (
+            sc.parallelize(range(10))
+            .map(lambda x: (x % 2, x))
+            .reduce_by_key(lambda a, b: a + b)
+            .cache()
+        )
+        text = rdd.describe()
+        assert "reduceByKey" in text
+        assert "[cached]" in text
+        assert "ParallelizedRDD" in text
+        # Lineage depth: shuffled -> mapped -> parallelized.
+        assert len(text.splitlines()) >= 3
+
+    def test_join_lineage_has_both_sides(self):
+        sc = make_context("kryo")
+        left = sc.parallelize([(1, "a")])
+        right = sc.parallelize([(1, "b")])
+        text = left.join(right).describe()
+        assert text.count("join") >= 2  # both tagged shuffle legs

@@ -1,0 +1,162 @@
+"""Tests for simulated java.util collections and Python<->heap marshalling."""
+
+import pytest
+
+from repro.heap.heap import NULL
+from repro.jvm.collections import ArrayListOps, HashMapOps, java_hash_of
+from repro.jvm.marshal import HeapValueError, Obj, from_heap, to_heap
+
+
+class TestHashMap:
+    def test_put_get(self, jvm):
+        ops = HashMapOps(jvm)
+        m = ops.new()
+        pin = jvm.pin(m)
+        k = jvm.pin(jvm.new_string("alpha"))
+        v = jvm.pin(jvm.new_string("one"))
+        ops.put(pin.address, k.address, v.address)
+        got = ops.get(pin.address, k.address)
+        assert jvm.read_string(got) == "one"
+
+    def test_get_missing_returns_null(self, jvm):
+        ops = HashMapOps(jvm)
+        m = jvm.pin(ops.new()).address
+        key = jvm.pin(jvm.new_string("nope")).address
+        assert ops.get(m, key) == NULL
+
+    def test_replace_existing_key(self, jvm):
+        ops = HashMapOps(jvm)
+        m = jvm.pin(ops.new()).address
+        k1 = jvm.pin(jvm.new_string("k")).address
+        k2 = jvm.pin(jvm.new_string("k")).address  # equal but distinct
+        ops.put(m, k1, jvm.pin(jvm.new_string("v1")).address)
+        ops.put(m, k2, jvm.pin(jvm.new_string("v2")).address)
+        assert ops.size(m) == 1
+        assert jvm.read_string(ops.get(m, k1)) == "v2"
+
+    def test_many_entries_with_resize(self, jvm):
+        ops = HashMapOps(jvm)
+        pin = jvm.pin(ops.new(capacity=4))
+        for i in range(60):
+            k = jvm.pin(jvm.new_string(f"key-{i}"))
+            v = jvm.pin(jvm.new_string(f"val-{i}"))
+            new_addr = ops.put(pin.address, k.address, v.address)
+            pin.address = new_addr
+            jvm.unpin(k)
+            jvm.unpin(v)
+        assert ops.size(pin.address) == 60
+        probe = jvm.pin(jvm.new_string("key-37"))
+        assert jvm.read_string(ops.get(pin.address, probe.address)) == "val-37"
+
+    def test_identity_keys_use_mark_word_hash(self, jvm):
+        ops = HashMapOps(jvm)
+        m = jvm.pin(ops.new()).address
+        key = jvm.pin(jvm.new_instance("Date")).address
+        val = jvm.pin(jvm.new_string("x")).address
+        ops.put(m, key, val)
+        assert java_hash_of(jvm, key) == jvm.identity_hash(key)
+        assert ops.get(m, key) != NULL
+
+    def test_rehash_in_place_restores_lookup(self, jvm):
+        """If node hashes are corrupted (as after a hash-invalidating
+        transfer), get() misses until rehash_in_place runs."""
+        ops = HashMapOps(jvm)
+        pin = jvm.pin(ops.new())
+        key = jvm.pin(jvm.new_instance("Date"))
+        val = jvm.pin(jvm.new_string("payload"))
+        pin.address = ops.put(pin.address, key.address, val.address)
+        # Corrupt: change the key's identity hash (simulating a new node
+        # receiving a fresh identity hash after ordinary deserialization).
+        from repro.heap import markword
+        mark = jvm.heap.read_mark(key.address)
+        new_mark = markword.set_hash(mark, (markword.get_hash(mark) + 12345) % (1 << 31 - 1) + 1)
+        jvm.heap.write_mark(key.address, new_mark)
+        assert ops.get(pin.address, key.address) == NULL
+        ops.rehash_in_place(pin.address)
+        assert ops.get(pin.address, key.address) != NULL
+
+    def test_rehash_charges_per_entry(self, jvm):
+        ops = HashMapOps(jvm)
+        pin = jvm.pin(ops.new())
+        for i in range(10):
+            k = jvm.pin(jvm.new_string(f"k{i}"))
+            pin.address = ops.put(pin.address, k.address, NULL)
+            jvm.unpin(k)
+        before = jvm.clock.total()
+        ops.rehash_in_place(pin.address)
+        spent = jvm.clock.total() - before
+        assert spent == pytest.approx(10 * jvm.cost_model.hash_insert)
+
+
+class TestArrayList:
+    def test_append_get(self, jvm):
+        ops = ArrayListOps(jvm)
+        lst = jvm.pin(ops.new(2))
+        for i in range(20):
+            e = jvm.pin(jvm.new_string(str(i)))
+            ops.append(lst.address, e.address)
+            jvm.unpin(e)
+        assert ops.size(lst.address) == 20
+        assert jvm.read_string(ops.get(lst.address, 13)) == "13"
+
+    def test_bounds(self, jvm):
+        ops = ArrayListOps(jvm)
+        lst = jvm.pin(ops.new()).address
+        with pytest.raises(IndexError):
+            ops.get(lst, 0)
+
+
+class TestMarshal:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, 42, -(1 << 40), 3.25, "", "héllo",
+        b"\x00\xffbytes", (1, "two", 3.0), [1, 2, 3], {"a": 1, "b": [2, 3]},
+        {"nested": {"x": (1, 2)}}, [(1, 2), (3, 4)],
+    ])
+    def test_roundtrip(self, jvm, value):
+        addr = to_heap(jvm, value)
+        assert from_heap(jvm, addr) == value
+
+    def test_obj_roundtrip(self, jvm):
+        date = Obj("Date", {
+            "year": Obj("Year4D", {"year": 2018}),
+            "month": Obj("Month2D", {"month": 3}),
+            "day": Obj("Day2D", {"day": 24}),
+        })
+        addr = to_heap(jvm, date)
+        back = from_heap(jvm, addr)
+        assert back.class_name == "Date"
+        assert back["year"]["year"] == 2018
+        assert back["day"]["day"] == 24
+
+    def test_obj_with_primitive_fields(self, jvm):
+        m = Obj("Mixed", {"i": -5, "j": 1 << 40, "d": 2.5, "z": True})
+        back = from_heap(jvm, to_heap(jvm, m))
+        assert back["i"] == -5
+        assert back["j"] == 1 << 40
+        assert back["d"] == 2.5
+        assert back["z"] == 1
+
+    def test_shared_substructure_preserved(self, jvm):
+        shared = ["s"]
+        addr = to_heap(jvm, (shared, shared))
+        back = from_heap(jvm, addr)
+        assert back[0] is back[1]
+
+    def test_unmappable_type_rejected(self, jvm):
+        with pytest.raises(HeapValueError):
+            to_heap(jvm, object())
+
+    def test_bool_is_boolean_not_long(self, jvm):
+        addr = to_heap(jvm, True)
+        assert jvm.klass_of(addr).name == "java.lang.Boolean"
+
+    def test_large_structure_survives_gc_pressure(self, classpath):
+        from repro.jvm.jvm import JVM
+        jvm = JVM("pressure", classpath=classpath,
+                  young_bytes=64 * 1024, old_bytes=4 * 1024 * 1024)
+        data = {f"key-{i}": list(range(5)) for i in range(50)}
+        addr = to_heap(jvm, data)
+        pin = jvm.pin(addr)
+        for _ in range(500):
+            jvm.new_instance("Date")  # churn
+        assert from_heap(jvm, pin.address) == data

@@ -1,0 +1,61 @@
+"""Deep and wide object graphs: where recursive serializers break.
+
+Skyway's traversal is an iterative BFS (Algorithm 2's explicit gray
+queue), so graph depth costs nothing.  Recursive serializers — the real
+``ObjectOutputStream`` famously throws ``StackOverflowError`` on deep
+linked structures — hit the (Python) stack limit here in exactly the same
+way, which this suite documents as matching behavior, not a bug.
+"""
+
+import sys
+
+import pytest
+
+from repro.core.runtime import attach_skyway
+from repro.core.adapter import SkywaySerializer
+from repro.jvm.jvm import JVM
+from repro.serial.java_serializer import JavaSerializer
+
+from tests.conftest import make_list, read_list, sample_classpath
+
+
+@pytest.fixture
+def pair():
+    cp = sample_classpath()
+    src = JVM("deep-src", classpath=cp, old_bytes=256 * 1024 * 1024)
+    dst = JVM("deep-dst", classpath=cp, old_bytes=256 * 1024 * 1024)
+    attach_skyway(src, [dst])
+    return src, dst
+
+
+class TestDeepChains:
+    def test_skyway_handles_very_deep_chain(self, pair):
+        src, dst = pair
+        depth = 5000
+        head = src.pin(make_list(src, range(depth)))
+        ser = SkywaySerializer()
+        received = ser.deserialize(dst, ser.serialize(src, head.address))
+        assert read_list(dst, received) == list(range(depth))
+
+    def test_recursive_serializer_overflows_like_the_jdk(self, pair):
+        """java.io.ObjectOutputStream throws StackOverflowError on deep
+        graphs; the model reproduces the failure mode via Python's
+        recursion limit."""
+        src, _ = pair
+        depth = sys.getrecursionlimit() * 2
+        head = src.pin(make_list(src, range(depth)))
+        with pytest.raises(RecursionError):
+            JavaSerializer().serialize(src, head.address)
+
+    def test_wide_fanout(self, pair):
+        src, dst = pair
+        hub = src.pin(src.new_array("Ljava.lang.Object;", 2000))
+        for i in range(2000):
+            leaf = src.new_instance("Day2D")
+            src.set_field(leaf, "day", i % 31)
+            src.heap.write_element(hub.address, i, leaf)
+        ser = SkywaySerializer()
+        received = ser.deserialize(dst, ser.serialize(src, hub.address))
+        assert dst.heap.array_length(received) == 2000
+        probe = dst.heap.read_element(received, 1999)
+        assert dst.get_field(probe, "day") == 1999 % 31

@@ -1,0 +1,182 @@
+"""Tests for the Flink-like engine: typed rows, lazy deser, queries QA-QE."""
+
+import pytest
+
+from repro.core.adapter import SkywaySerializer
+from repro.core.runtime import attach_skyway
+from repro.flink.engine import FlinkEnvironment, Table
+from repro.flink.queries import QUERIES, run_query
+from repro.flink.tpch import LINEITEM, generate_tpch
+from repro.flink.types import BuiltinRowSerializer, FieldKind as K, RowType
+from repro.jvm.jvm import JVM
+from repro.net.cluster import Cluster
+from repro.net.streams import ByteInputStream, ByteOutputStream
+from repro.simtime import Category
+from repro.types.corelib import standard_classpath
+
+
+def make_env(mode: str = "builtin", workers: int = 3,
+             parallelism: int = 4) -> FlinkEnvironment:
+    classpath = standard_classpath()
+    cluster = Cluster(lambda name: JVM(name, classpath=classpath),
+                      worker_count=workers)
+    serializer = None
+    if mode == "skyway":
+        attach_skyway(cluster.driver.jvm, [w.jvm for w in cluster.workers],
+                      cluster=cluster)
+        serializer = SkywaySerializer()
+    return FlinkEnvironment(cluster, mode=mode, parallelism=parallelism,
+                            skyway_serializer=serializer)
+
+
+SIMPLE = RowType.of("simple", ("id", K.LONG), ("score", K.DOUBLE),
+                    ("tag", K.STRING), ("day", K.DATE))
+
+
+class TestRowType:
+    def test_index_of(self):
+        assert SIMPLE.index_of("tag") == 2
+        with pytest.raises(KeyError):
+            SIMPLE.index_of("nope")
+
+    def test_concat_and_project(self):
+        joined = SIMPLE.concat(SIMPLE)
+        assert joined.arity == 8
+        projected = SIMPLE.project([0, 2])
+        assert [n for n, _ in projected.fields] == ["id", "tag"]
+
+
+class TestBuiltinRowSerializer:
+    def test_roundtrip(self):
+        jvm = JVM("t", classpath=standard_classpath())
+        ser = BuiltinRowSerializer(SIMPLE)
+        out = ByteOutputStream()
+        rows = [(1, 2.5, "alpha", 100), (-7, 0.0, "", 0)]
+        for row in rows:
+            ser.write_row(out, row, jvm)
+        inp = ByteInputStream(out.getvalue())
+        back = [ser.read_row(inp, jvm) for _ in rows]
+        assert back == rows
+
+    def test_no_type_tags_in_bytes(self):
+        jvm = JVM("t", classpath=standard_classpath())
+        ser = BuiltinRowSerializer(SIMPLE)
+        out = ByteOutputStream()
+        ser.write_row(out, (1, 1.0, "xy", 5), jvm)
+        # 8 + 8 + (1+2) + 4 bytes: schema is static, no tags.
+        assert len(out.getvalue()) == 23
+
+    def test_lazy_deserialization_charges_less(self):
+        jvm = JVM("t", classpath=standard_classpath())
+        ser = BuiltinRowSerializer(SIMPLE)
+        out = ByteOutputStream()
+        for _ in range(100):
+            ser.write_row(out, (1, 1.0, "tag", 5), jvm)
+        data = out.getvalue()
+
+        jvm_all = JVM("all", classpath=standard_classpath())
+        inp = ByteInputStream(data)
+        for _ in range(100):
+            ser.read_row(inp, jvm_all, accessed=None)
+        jvm_lazy = JVM("lazy", classpath=standard_classpath())
+        inp = ByteInputStream(data)
+        for _ in range(100):
+            ser.read_row(inp, jvm_lazy, accessed=[0])
+        assert jvm_lazy.clock.total() < jvm_all.clock.total()
+
+
+class TestDataSetOps:
+    def test_filter_project(self):
+        env = make_env()
+        table = Table(SIMPLE, [(i, i * 1.5, f"t{i}", i) for i in range(20)])
+        ds = env.from_table(table).filter(lambda r: r[0] % 2 == 0).project([0, 2])
+        rows = sorted(ds.collect())
+        assert rows[0] == (0, "t0")
+        assert len(rows) == 10
+
+    def test_join(self):
+        env = make_env()
+        left = Table(RowType.of("l", ("k", K.LONG), ("v", K.STRING)),
+                     [(1, "a"), (2, "b"), (2, "bb")])
+        right = Table(RowType.of("r", ("k", K.LONG), ("w", K.DOUBLE)),
+                      [(2, 9.0), (3, 1.0)])
+        joined = env.from_table(left).join(env.from_table(right), 0, 0)
+        rows = sorted(joined.collect())
+        assert rows == [(2, "b", 2, 9.0), (2, "bb", 2, 9.0)]
+
+    def test_group_aggregate(self):
+        env = make_env()
+        table = Table(RowType.of("g", ("k", K.LONG), ("v", K.DOUBLE)),
+                      [(i % 3, float(i)) for i in range(12)])
+        out_type = RowType.of("o", ("k", K.LONG), ("sum", K.DOUBLE))
+        result = (
+            env.from_table(table)
+            .group_by(lambda r: r[0])
+            .aggregate(lambda k, rows: (k, sum(r[1] for r in rows)), out_type)
+        )
+        assert dict(result.collect()) == {0: 18.0, 1: 22.0, 2: 26.0}
+
+    def test_shuffle_charges_sd_phases(self):
+        env = make_env()
+        table = Table(SIMPLE, [(i, 1.0, "x", 0) for i in range(50)])
+        env.from_table(table).group_by(lambda r: r[0] % 5).aggregate(
+            lambda k, rows: (k, float(len(rows))),
+            RowType.of("o", ("k", K.LONG), ("n", K.DOUBLE)),
+        ).collect()
+        total = env.cluster.total_clock()
+        assert total.total(Category.SERIALIZATION) > 0
+        assert total.total(Category.DESERIALIZATION) > 0
+        assert env.bytes_shuffled > 0
+
+
+class TestTpchGenerator:
+    def test_deterministic(self):
+        a, b = generate_tpch(0.2), generate_tpch(0.2)
+        assert a.lineitem.rows == b.lineitem.rows
+
+    def test_cardinality_ratios(self):
+        data = generate_tpch(1.0)
+        assert len(data.region) == 5
+        assert len(data.nation) == 25
+        assert len(data.partsupp) == 4 * len(data.part)
+        assert 1 <= len(data.lineitem) / len(data.orders) <= 7
+
+    def test_foreign_keys_valid(self):
+        data = generate_tpch(0.5)
+        orderkeys = {o[0] for o in data.orders.rows}
+        partkeys = {p[0] for p in data.part.rows}
+        suppkeys = {s[0] for s in data.supplier.rows}
+        for li in data.lineitem.rows:
+            assert li[0] in orderkeys
+            assert li[1] in partkeys
+            assert li[2] in suppkeys
+
+
+class TestQueries:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate_tpch(0.3)
+
+    @pytest.mark.parametrize("qkey", list(QUERIES))
+    def test_query_matches_reference_builtin(self, qkey, data):
+        env = make_env("builtin")
+        assert run_query(qkey, env, data) == QUERIES[qkey].reference(data)
+
+    @pytest.mark.parametrize("qkey", ["QA", "QD"])
+    def test_query_matches_reference_skyway(self, qkey, data):
+        env = make_env("skyway")
+        assert run_query(qkey, env, data) == QUERIES[qkey].reference(data)
+
+    def test_skyway_ships_more_bytes_than_builtin(self, data):
+        env_b = make_env("builtin")
+        run_query("QA", env_b, data)
+        env_s = make_env("skyway")
+        run_query("QA", env_s, data)
+        assert env_s.bytes_shuffled > 1.2 * env_b.bytes_shuffled
+
+    def test_descriptions_match_table3(self):
+        assert "120 days" in QUERIES["QA"].description
+        assert "minimum cost supplier" in QUERIES["QB"].description
+        assert "shipping priority" in QUERIES["QC"].description
+        assert "late orders" in QUERIES["QD"].description
+        assert "lost revenue" in QUERIES["QE"].description

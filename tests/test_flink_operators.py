@@ -1,0 +1,71 @@
+"""Tests for extended Flink operators and skyway-mode queries QB/QC/QE."""
+
+import pytest
+
+from repro.flink.engine import Table
+from repro.flink.queries import QUERIES, run_query
+from repro.flink.tpch import generate_tpch
+from repro.flink.types import FieldKind as K, RowType
+
+from tests.test_flink import make_env
+
+SIMPLE = RowType.of("s", ("id", K.LONG), ("v", K.DOUBLE))
+
+
+class TestUnionFirst:
+    def test_union_concatenates(self):
+        env = make_env()
+        a = env.from_table(Table(SIMPLE, [(1, 1.0), (2, 2.0)]))
+        b = env.from_table(Table(SIMPLE, [(3, 3.0)]))
+        assert sorted(a.union(b).collect()) == [(1, 1.0), (2, 2.0), (3, 3.0)]
+
+    def test_union_schema_mismatch(self):
+        env = make_env()
+        other = RowType.of("o", ("id", K.LONG), ("name", K.STRING))
+        a = env.from_table(Table(SIMPLE, [(1, 1.0)]))
+        b = env.from_table(Table(other, [(1, "x")]))
+        with pytest.raises(TypeError):
+            a.union(b)
+
+    def test_first(self):
+        env = make_env()
+        ds = env.from_table(Table(SIMPLE, [(i, float(i)) for i in range(20)]))
+        assert len(ds.first(5)) == 5
+        assert len(ds.first(100)) == 20
+
+
+class TestSkywayModeQueries:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate_tpch(0.25)
+
+    @pytest.mark.parametrize("qkey", ["QB", "QC", "QE"])
+    def test_skyway_matches_reference(self, qkey, data):
+        env = make_env("skyway")
+        assert run_query(qkey, env, data) == QUERIES[qkey].reference(data)
+
+
+class TestRuntimeStats:
+    def test_stats_shape(self, classpath):
+        from repro.core.runtime import attach_skyway
+        from repro.core.streams import (
+            SkywayObjectInputStream, SkywayObjectOutputStream,
+        )
+        from repro.jvm.jvm import JVM
+        from tests.conftest import make_date
+
+        src = JVM("stats-src", classpath=classpath)
+        dst = JVM("stats-dst", classpath=classpath)
+        attach_skyway(src, [dst])
+        out = SkywayObjectOutputStream(src.skyway, destination="p")
+        out.write_object(make_date(src, 1, 1, 1))
+        inp = SkywayObjectInputStream(dst.skyway)
+        inp.accept(out.close())
+
+        src_stats = src.skyway.stats()
+        dst_stats = dst.skyway.stats()
+        assert src_stats["is_driver"] is True
+        assert src_stats["output_buffers"] >= 1
+        assert dst_stats["retained_input_buffers"] == 1
+        assert dst_stats["retained_input_bytes"] > 0
+        assert dst_stats["registry_view_classes"] > 0

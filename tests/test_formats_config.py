@@ -1,0 +1,94 @@
+"""Tests for the cluster object-format configuration (paper §3.1)."""
+
+import pytest
+
+from repro.core.formats import ClusterFormatConfig
+from repro.core.runtime import attach_skyway
+from repro.core.streams import SkywayObjectInputStream, SkywaySocketOutputStream
+from repro.heap.layout import BASELINE_LAYOUT, SKYWAY_LAYOUT
+from repro.jvm.jvm import JVM
+from repro.net.cluster import Cluster
+
+from tests.conftest import make_date, read_date, sample_classpath
+
+
+class TestConfigParsing:
+    def test_parse_default_and_nodes(self):
+        config = ClusterFormatConfig.parse(
+            """
+            # cluster formats
+            default = skyway-64
+            node worker-1 = baseline-64
+            """
+        )
+        assert config.default is SKYWAY_LAYOUT
+        assert config.layout_for("worker-1") is BASELINE_LAYOUT
+        assert config.layout_for("worker-0") is SKYWAY_LAYOUT
+        assert "worker-1" in config and "worker-0" not in config
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown format"):
+            ClusterFormatConfig.parse("default = sparc-32")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            ClusterFormatConfig.parse("default skyway-64")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            ClusterFormatConfig.parse("machine w1 = skyway-64")
+
+    def test_dumps_roundtrip(self):
+        config = ClusterFormatConfig()
+        config.set_node_format("w2", BASELINE_LAYOUT)
+        reparsed = ClusterFormatConfig.parse(config.dumps())
+        assert reparsed.layout_for("w2") is BASELINE_LAYOUT
+        assert reparsed.default is SKYWAY_LAYOUT
+
+
+class TestConfigDrivenTransfer:
+    def test_socket_stream_uses_configured_layout(self):
+        classpath = sample_classpath()
+
+        def jvm_factory(name):
+            layout = BASELINE_LAYOUT if name == "worker-1" else SKYWAY_LAYOUT
+            return JVM(name, classpath=classpath, layout=layout)
+
+        cluster = Cluster(jvm_factory, worker_count=2)
+        config = ClusterFormatConfig()
+        config.set_node_format("worker-1", BASELINE_LAYOUT)
+        attach_skyway(cluster.driver.jvm, [w.jvm for w in cluster.workers],
+                      cluster=cluster, format_config=config)
+
+        src = cluster.driver
+        hetero_dst = cluster.workers[1]  # baseline layout
+        homo_dst = cluster.workers[0]    # skyway layout
+
+        date = make_date(src.jvm, 2018, 3, 24)
+        out = SkywaySocketOutputStream(src.jvm.skyway, cluster, src, hetero_dst)
+        assert out.sender.heterogeneous  # picked up from the config
+        out.write_object(date)
+        inp = SkywayObjectInputStream(hetero_dst.jvm.skyway)
+        inp.accept(out.close())
+        assert read_date(hetero_dst.jvm, inp.read_object()) == (2018, 3, 24)
+
+        src.jvm.skyway.shuffle_start()
+        date2 = make_date(src.jvm, 1, 2, 3)
+        out2 = SkywaySocketOutputStream(src.jvm.skyway, cluster, src, homo_dst)
+        assert not out2.sender.heterogeneous
+        out2.write_object(date2)
+        inp2 = SkywayObjectInputStream(homo_dst.jvm.skyway)
+        inp2.accept(out2.close())
+        assert read_date(homo_dst.jvm, inp2.read_object()) == (1, 2, 3)
+
+    def test_explicit_layout_overrides_config(self):
+        classpath = sample_classpath()
+        cluster = Cluster(lambda n: JVM(n, classpath=classpath), worker_count=1)
+        config = ClusterFormatConfig()  # default skyway everywhere
+        attach_skyway(cluster.driver.jvm, [w.jvm for w in cluster.workers],
+                      cluster=cluster, format_config=config)
+        out = SkywaySocketOutputStream(
+            cluster.driver.jvm.skyway, cluster, cluster.driver,
+            cluster.workers[0], target_layout=BASELINE_LAYOUT,
+        )
+        assert out.sender.heterogeneous

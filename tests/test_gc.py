@@ -1,0 +1,160 @@
+"""Tests for the generational collector: scavenge, promotion, full GC."""
+
+import pytest
+
+from repro.heap import markword
+from repro.heap.heap import NULL, OutOfMemoryError
+from repro.jvm.jvm import JVM
+
+from tests.conftest import make_date, make_list, read_date, read_list
+
+
+class TestMinorGC:
+    def test_rooted_object_survives(self, jvm):
+        date = make_date(jvm, 2018, 3, 24)
+        pin = jvm.pin(date)
+        jvm.gc.minor()
+        assert pin.address != date  # it moved
+        assert read_date(jvm, pin.address) == (2018, 3, 24)
+
+    def test_garbage_reclaimed(self, jvm):
+        for _ in range(100):
+            jvm.new_instance("Date")
+        used_before = jvm.heap.eden.used
+        jvm.gc.minor()
+        assert jvm.heap.eden.used == 0
+        assert jvm.heap.survivor_from.used == 0  # nothing live
+        assert used_before > 0
+
+    def test_linked_structure_preserved(self, jvm):
+        head = make_list(jvm, list(range(50)))
+        pin = jvm.pin(head)
+        jvm.gc.minor()
+        assert read_list(jvm, pin.address) == list(range(50))
+
+    def test_shared_object_copied_once(self, jvm):
+        shared = jvm.new_instance("ListNode")
+        jvm.set_field(shared, "payload", 77)
+        a = jvm.new_instance("ListNode")
+        jvm.set_field(a, "next", shared)
+        b = jvm.new_instance("ListNode")
+        jvm.set_field(b, "next", jvm.get_field(a, "next"))
+        pa, pb = jvm.pin(a), jvm.pin(b)
+        jvm.gc.minor()
+        assert jvm.get_field(pa.address, "next") == jvm.get_field(pb.address, "next")
+        assert jvm.get_field(jvm.get_field(pa.address, "next"), "payload") == 77
+
+    def test_cycle_survives(self, jvm):
+        a = jvm.new_instance("ListNode")
+        b = jvm.new_instance("ListNode")
+        jvm.set_field(a, "next", b)
+        jvm.set_field(b, "next", a)
+        jvm.set_field(a, "payload", 1)
+        jvm.set_field(b, "payload", 2)
+        pin = jvm.pin(a)
+        jvm.gc.minor()
+        na = pin.address
+        nb = jvm.get_field(na, "next")
+        assert jvm.get_field(nb, "next") == na
+        assert jvm.get_field(na, "payload") == 1
+        assert jvm.get_field(nb, "payload") == 2
+
+    def test_hashcode_survives_moves(self, jvm):
+        addr = jvm.new_instance("Date")
+        pin = jvm.pin(addr)
+        h = jvm.identity_hash(addr)
+        jvm.gc.minor()
+        assert jvm.identity_hash(pin.address) == h
+
+    def test_age_increments_until_promotion(self, jvm):
+        addr = jvm.new_instance("Date")
+        pin = jvm.pin(addr)
+        for _ in range(jvm.gc.tenuring_threshold):
+            jvm.gc.minor()
+        assert jvm.heap.old.contains(pin.address)
+        assert jvm.gc.stats.bytes_promoted > 0
+
+    def test_old_to_young_pointer_keeps_young_alive(self, jvm):
+        old_obj = jvm.heap.allocate(jvm.loader.load("ListNode"), old_gen=True)
+        jvm.heap.register_object  # noqa: B018 - allocate already registered it
+        young = jvm.new_instance("ListNode")
+        jvm.set_field(young, "payload", 42)
+        jvm.set_field(old_obj, "next", young)  # dirties a card
+        jvm.gc.minor()
+        moved = jvm.get_field(old_obj, "next")
+        assert moved != young
+        assert jvm.get_field(moved, "payload") == 42
+
+    def test_null_handles_ignored(self, jvm):
+        jvm.pin(NULL)
+        jvm.gc.minor()  # must not crash
+
+    def test_allocation_triggers_gc_automatically(self, classpath):
+        jvm = JVM("auto", classpath=classpath, young_bytes=48 * 1024,
+                  old_bytes=512 * 1024)
+        keep = jvm.pin(make_list(jvm, range(10)))
+        for _ in range(3000):
+            jvm.new_instance("Date")  # garbage
+        assert read_list(jvm, keep.address) == list(range(10))
+        assert jvm.gc.stats.minor_collections > 0
+
+
+class TestFullGC:
+    def test_everything_compacts_into_old(self, jvm):
+        date = make_date(jvm, 1999, 12, 31)
+        pin = jvm.pin(date)
+        jvm.gc.full()
+        assert jvm.heap.old.contains(pin.address)
+        assert jvm.heap.eden.used == 0
+        assert read_date(jvm, pin.address) == (1999, 12, 31)
+
+    def test_dead_old_objects_reclaimed(self, jvm):
+        live = jvm.pin(make_list(jvm, [1, 2, 3]))
+        for _ in range(50):
+            jvm.heap.allocate(jvm.loader.load("Date"), old_gen=True)
+        jvm.gc.full()
+        assert read_list(jvm, live.address) == [1, 2, 3]
+        # Only the three list nodes remain.
+        assert len(jvm.heap.old.object_starts) == 3
+
+    def test_full_gc_resets_age(self, jvm):
+        addr = jvm.new_instance("Date")
+        pin = jvm.pin(addr)
+        jvm.gc.minor()
+        jvm.gc.minor()
+        jvm.gc.full()
+        assert markword.get_age(jvm.heap.read_mark(pin.address)) == 0
+
+    def test_hash_survives_full_gc(self, jvm):
+        addr = jvm.new_instance("Date")
+        pin = jvm.pin(addr)
+        h = jvm.identity_hash(addr)
+        jvm.gc.full()
+        assert jvm.identity_hash(pin.address) == h
+
+    def test_card_table_cleared_after_full(self, jvm):
+        old_obj = jvm.heap.allocate(jvm.loader.load("ListNode"), old_gen=True)
+        jvm.pin(old_obj)
+        young = jvm.new_instance("ListNode")
+        jvm.set_field(old_obj, "next", young)
+        jvm.gc.full()
+        assert jvm.heap.card_table.dirty_count == 0
+
+    def test_oom_when_live_set_exceeds_old(self, classpath):
+        jvm = JVM("cramped", classpath=classpath,
+                  young_bytes=1024 * 1024, old_bytes=16 * 1024)
+        pins = [jvm.pin(jvm.new_instance("Mixed")) for _ in range(400)]
+        with pytest.raises(OutOfMemoryError):
+            jvm.gc.full()
+        assert pins  # silence lint
+
+
+class TestGCStats:
+    def test_counters_advance(self, jvm):
+        jvm.pin(make_date(jvm, 1, 2, 3))
+        jvm.gc.minor()
+        jvm.gc.full()
+        assert jvm.gc.stats.minor_collections == 1
+        assert jvm.gc.stats.full_collections == 1
+        assert jvm.gc.stats.bytes_scavenged > 0
+        assert jvm.gc.stats.bytes_compacted > 0

@@ -1,0 +1,137 @@
+"""GC configuration behavior: tenuring thresholds, survivor overflow,
+allocation fallbacks, and JVM-level diagnostics."""
+
+import pytest
+
+from repro.heap import markword
+from repro.heap.gc import GarbageCollector
+from repro.heap.heap import OutOfMemoryError
+from repro.jvm.jvm import JVM, baseline_jvm
+from repro.simtime import Category
+
+from tests.conftest import make_date, read_date
+
+
+class TestTenuringThreshold:
+    def test_low_threshold_promotes_sooner(self, classpath):
+        fast = JVM("fast", classpath=classpath)
+        fast.gc = GarbageCollector(fast.heap, fast.handles,
+                                   tenuring_threshold=1)
+        pin = fast.pin(make_date(fast, 1, 1, 1))
+        fast.gc.minor()
+        assert fast.heap.old.contains(pin.address)
+
+    def test_high_threshold_keeps_in_survivors(self, classpath):
+        slow = JVM("slow", classpath=classpath)
+        slow.gc = GarbageCollector(slow.heap, slow.handles,
+                                   tenuring_threshold=10)
+        pin = slow.pin(make_date(slow, 1, 1, 1))
+        for _ in range(3):
+            slow.gc.minor()
+        assert slow.heap.is_young(pin.address)
+        assert markword.get_age(slow.heap.read_mark(pin.address)) == 3
+
+    def test_invalid_threshold_rejected(self, jvm):
+        with pytest.raises(ValueError):
+            GarbageCollector(jvm.heap, jvm.handles, tenuring_threshold=0)
+        with pytest.raises(ValueError):
+            GarbageCollector(jvm.heap, jvm.handles,
+                             tenuring_threshold=markword.MAX_AGE + 1)
+
+
+class TestSurvivorOverflow:
+    def test_overflow_promotes_rather_than_failing(self, classpath):
+        # Survivor space is young/8; fill young with live data larger than
+        # one survivor and scavenge: the excess must land in old.
+        jvm = JVM("overflow", classpath=classpath, young_bytes=64 * 1024,
+                  old_bytes=2 * 1024 * 1024)
+        pins = []
+        for i in range(300):
+            try:
+                pins.append(jvm.pin(make_date(jvm, i, 1, 1)))
+            except OutOfMemoryError:  # pragma: no cover - sizing guard
+                break
+        jvm.gc.minor()
+        assert jvm.gc.stats.bytes_promoted > 0
+        for i, pin in enumerate(pins):
+            assert read_date(jvm, pin.address) == (i, 1, 1)
+
+
+class TestPromotionFailureRecovery:
+    def test_failed_scavenge_rolls_back_cleanly(self, classpath):
+        """With the old generation nearly full, a scavenge that cannot
+        promote must roll back (no forwarding pointers or torn roots left)
+        and a subsequent full GC must still see a consistent heap."""
+        from repro.heap.verify import verify_heap
+
+        jvm = JVM("pf", classpath=classpath, young_bytes=64 * 1024,
+                  old_bytes=96 * 1024)
+        # Nearly fill the old generation with live data.
+        old_pins = []
+        while jvm.heap.old.free > 4 * 1024:
+            old_pins.append(
+                jvm.pin(jvm.heap.allocate(jvm.loader.load("Mixed"),
+                                          old_gen=True)))
+        # Live young data exceeding survivor space plus what's left in the
+        # old generation: the scavenge must fail.
+        young_pins = [jvm.pin(make_date(jvm, i, 1, 1)) for i in range(140)]
+        with pytest.raises(OutOfMemoryError):
+            jvm.gc.minor()
+        verify_heap(jvm.heap)  # rollback left no forwarding/torn state
+        for i, pin in enumerate(young_pins):
+            assert read_date(jvm, pin.address) == (i, 1, 1)
+        # Dropping the old-gen roots lets a full collection recover.
+        for pin in old_pins:
+            jvm.unpin(pin)
+        jvm.gc.full()
+        verify_heap(jvm.heap)
+        for i, pin in enumerate(young_pins):
+            assert read_date(jvm, pin.address) == (i, 1, 1)
+
+
+class TestAllocationFallbacks:
+    def test_huge_object_goes_to_old_gen(self, classpath):
+        jvm = JVM("huge", classpath=classpath, young_bytes=64 * 1024,
+                  old_bytes=8 * 1024 * 1024)
+        big = jvm.new_array("J", 20_000)  # ~160KB > young gen
+        assert jvm.heap.old.contains(big)
+
+    def test_hard_oom_raises(self, classpath):
+        jvm = JVM("doomed", classpath=classpath, young_bytes=48 * 1024,
+                  old_bytes=64 * 1024)
+        with pytest.raises(OutOfMemoryError, match="heap exhausted"):
+            pins = []
+            for i in range(10_000):
+                pins.append(jvm.pin(jvm.new_instance("Mixed")))
+
+    def test_allocation_charges_clock(self, jvm):
+        before = jvm.clock.total(Category.COMPUTATION)
+        jvm.new_instance("Date")
+        assert jvm.clock.total(Category.COMPUTATION) == pytest.approx(
+            before + jvm.cost_model.object_alloc
+        )
+
+    def test_uncharged_allocation(self, jvm):
+        before = jvm.clock.total()
+        jvm.new_instance("Date", charge=False)
+        assert jvm.clock.total() == before
+
+
+class TestJvmDiagnostics:
+    def test_heap_usage_keys(self, jvm):
+        jvm.new_instance("Date")
+        usage = jvm.heap_usage()
+        assert set(usage) == {"eden", "survivor0", "survivor1", "old"}
+        assert usage["eden"] > 0
+
+    def test_baseline_jvm_has_smaller_objects(self, classpath):
+        sky = JVM("sky", classpath=classpath)
+        base = baseline_jvm("base", classpath=classpath)
+        assert base.loader.load("Date").instance_size < \
+            sky.loader.load("Date").instance_size
+
+    def test_baseline_jvm_has_no_baddr(self, classpath):
+        base = baseline_jvm("base2", classpath=classpath)
+        addr = base.new_instance("Date")
+        with pytest.raises(AttributeError):
+            base.heap.read_baddr(addr)

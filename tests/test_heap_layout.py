@@ -1,0 +1,120 @@
+"""Tests for object layout: headers, alignment, padding, array geometry."""
+
+import pytest
+
+from repro.heap.layout import (
+    BASELINE_LAYOUT,
+    SKYWAY_LAYOUT,
+    HeapLayout,
+    WORD,
+    align_up,
+)
+from repro.types import descriptors
+
+
+class TestAlignUp:
+    @pytest.mark.parametrize(
+        "value,alignment,expected",
+        [(0, 8, 0), (1, 8, 8), (8, 8, 8), (9, 8, 16), (17, 4, 20), (3, 2, 4)],
+    )
+    def test_values(self, value, alignment, expected):
+        assert align_up(value, alignment) == expected
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            align_up(10, 3)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            align_up(10, 0)
+
+
+class TestHeaderGeometry:
+    def test_baseline_header_is_two_words(self):
+        assert BASELINE_LAYOUT.header_size == 2 * WORD
+
+    def test_skyway_header_adds_baddr_word(self):
+        assert SKYWAY_LAYOUT.header_size == 3 * WORD
+        assert SKYWAY_LAYOUT.baddr_offset == 16
+
+    def test_baseline_has_no_baddr(self):
+        with pytest.raises(AttributeError):
+            _ = BASELINE_LAYOUT.baddr_offset
+
+
+class TestArrayGeometry:
+    def test_paper_figure6_integer_array(self):
+        """Figure 6: Integer[3] on a Skyway 64-bit JVM is 56 bytes
+        (24 header + 4 length + 4 pad + 3*8 references)."""
+        assert SKYWAY_LAYOUT.array_size("Ljava.lang.Integer;", 3) == 56
+
+    def test_byte_array_payload_starts_right_after_length(self):
+        # byte elements align to 1: payload at header+4.
+        assert SKYWAY_LAYOUT.array_payload_offset("B") == 28
+
+    def test_long_array_payload_padded_to_eight(self):
+        assert SKYWAY_LAYOUT.array_payload_offset("J") == 32
+
+    def test_array_size_padded_to_object_alignment(self):
+        size = SKYWAY_LAYOUT.array_size("B", 5)
+        assert size % 8 == 0
+        assert size >= 28 + 5
+
+    def test_zero_length_array(self):
+        assert SKYWAY_LAYOUT.array_size("I", 0) == align_up(
+            SKYWAY_LAYOUT.array_payload_offset("I"), 8
+        )
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            SKYWAY_LAYOUT.array_size("I", -1)
+
+
+class TestFieldLayout:
+    def test_fields_sorted_largest_first(self):
+        placed, size = SKYWAY_LAYOUT.compute_field_offsets(
+            SKYWAY_LAYOUT.header_size,
+            [("a", "B"), ("b", "J"), ("c", "I")],
+        )
+        by_name = {name: off for name, _, off in placed}
+        assert by_name["b"] < by_name["c"] < by_name["a"]
+
+    def test_offsets_respect_alignment(self):
+        placed, _ = SKYWAY_LAYOUT.compute_field_offsets(
+            SKYWAY_LAYOUT.header_size,
+            [("x", "B"), ("y", "J"), ("z", "S")],
+        )
+        for _, desc, offset in placed:
+            assert offset % descriptors.alignment_of(desc) == 0
+
+    def test_instance_size_padded(self):
+        _, size = SKYWAY_LAYOUT.compute_field_offsets(
+            SKYWAY_LAYOUT.header_size, [("x", "B")]
+        )
+        assert size % 8 == 0
+        assert size == 32  # 24-byte header + 1 byte + padding
+
+    def test_baseline_same_fields_smaller_object(self):
+        _, skyway_size = SKYWAY_LAYOUT.compute_field_offsets(
+            SKYWAY_LAYOUT.header_size, [("x", "J")]
+        )
+        _, baseline_size = BASELINE_LAYOUT.compute_field_offsets(
+            BASELINE_LAYOUT.header_size, [("x", "J")]
+        )
+        assert skyway_size - baseline_size == WORD
+
+    def test_inherited_fields_precede(self):
+        placed, _ = SKYWAY_LAYOUT.compute_field_offsets(40, [("x", "J")])
+        assert placed[0][2] >= 40
+
+    def test_empty_fields(self):
+        placed, size = SKYWAY_LAYOUT.compute_field_offsets(
+            SKYWAY_LAYOUT.header_size, []
+        )
+        assert placed == []
+        assert size == SKYWAY_LAYOUT.header_size
+
+    def test_deterministic_tiebreak_by_name(self):
+        a, _ = SKYWAY_LAYOUT.compute_field_offsets(24, [("b", "I"), ("a", "I")])
+        b, _ = SKYWAY_LAYOUT.compute_field_offsets(24, [("a", "I"), ("b", "I")])
+        assert a == b

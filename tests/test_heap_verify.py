@@ -1,0 +1,115 @@
+"""Tests for the heap verifier and GC stress via a random-op state machine."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.runtime import attach_skyway
+from repro.core.streams import SkywayObjectInputStream, SkywayObjectOutputStream
+from repro.heap.verify import HeapCorruptionError, reachable_from, verify_heap
+from repro.jvm.jvm import JVM
+from repro.jvm.marshal import from_heap, to_heap
+
+from tests.conftest import make_date, make_list, sample_classpath
+
+
+class TestVerifier:
+    def test_clean_heap_passes(self, jvm):
+        make_date(jvm, 1, 2, 3)
+        make_list(jvm, range(10))
+        assert verify_heap(jvm.heap) > 10
+
+    def test_detects_corrupted_klass_word(self, jvm):
+        addr = jvm.new_instance("Date")
+        jvm.heap.write_klass_word(addr, 0xDEAD)
+        with pytest.raises(HeapCorruptionError, match="unresolvable"):
+            verify_heap(jvm.heap)
+
+    def test_detects_wild_reference(self, jvm):
+        addr = jvm.new_instance("ListNode")
+        field = jvm.klass_of(addr).field("next")
+        jvm.heap.write_word(addr + field.offset, jvm.heap.base + 8)
+        with pytest.raises(HeapCorruptionError, match="not an object start"):
+            verify_heap(jvm.heap)
+
+    def test_detects_missing_card(self, jvm):
+        old_obj = jvm.heap.allocate(jvm.loader.load("ListNode"), old_gen=True)
+        young = jvm.new_instance("ListNode")
+        field = jvm.klass_of(old_obj).field("next")
+        # Bypass the write barrier deliberately.
+        jvm.heap.write_word(old_obj + field.offset, young)
+        with pytest.raises(HeapCorruptionError, match="dirty card"):
+            verify_heap(jvm.heap)
+
+    def test_passes_after_minor_and_full_gc(self, jvm):
+        pins = [jvm.pin(make_list(jvm, range(20))) for _ in range(5)]
+        jvm.gc.minor()
+        verify_heap(jvm.heap)
+        jvm.gc.full()
+        verify_heap(jvm.heap)
+        assert pins
+
+    def test_passes_after_skyway_receive(self, classpath):
+        src = JVM("v-src", classpath=classpath)
+        dst = JVM("v-dst", classpath=classpath)
+        attach_skyway(src, [dst])
+        out = SkywayObjectOutputStream(src.skyway, destination="p")
+        out.write_object(make_list(src, range(50)))
+        inp = SkywayObjectInputStream(dst.skyway)
+        inp.accept(out.close())
+        verify_heap(dst.heap)
+
+    def test_reachable_from(self, jvm):
+        head = make_list(jvm, range(5))
+        live = reachable_from(jvm.heap, [head])
+        assert len(live) == 5
+
+
+class TestGCStress:
+    """Randomized mutator: allocate, mutate, drop roots, collect — the
+    shadow model (plain Python values) must always match the heap."""
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_mutation_and_collection(self, seed):
+        rng = random.Random(seed)
+        jvm = JVM(f"stress-{seed}", classpath=sample_classpath(),
+                  young_bytes=96 * 1024, old_bytes=4 * 1024 * 1024)
+        shadow = {}  # pin -> expected python value
+        for step in range(60):
+            op = rng.randrange(6)
+            if op <= 2 or not shadow:  # allocate a new rooted value
+                value = _random_value(rng)
+                pin = jvm.pin(to_heap(jvm, value))
+                shadow[pin] = value
+            elif op == 3:  # drop a root (make garbage)
+                pin = rng.choice(list(shadow))
+                jvm.unpin(pin)
+                del shadow[pin]
+            elif op == 4:
+                jvm.gc.minor()
+            else:
+                jvm.gc.full()
+            if step % 10 == 9:
+                verify_heap(jvm.heap)
+                for pin, expected in shadow.items():
+                    assert from_heap(jvm, pin.address) == expected
+        jvm.gc.full()
+        verify_heap(jvm.heap)
+        for pin, expected in shadow.items():
+            assert from_heap(jvm, pin.address) == expected
+
+
+def _random_value(rng: random.Random):
+    kind = rng.randrange(5)
+    if kind == 0:
+        return rng.randrange(-1000, 1000)
+    if kind == 1:
+        return "s" * rng.randrange(0, 8) + str(rng.randrange(100))
+    if kind == 2:
+        return [rng.randrange(100) for _ in range(rng.randrange(6))]
+    if kind == 3:
+        return {f"k{i}": rng.random() for i in range(rng.randrange(4))}
+    return (rng.randrange(10), float(rng.randrange(10)), "x")

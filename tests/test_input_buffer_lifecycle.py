@@ -1,0 +1,67 @@
+"""Tests for input-buffer retention/free semantics (paper §3.2)."""
+
+import pytest
+
+from repro.core.runtime import attach_skyway
+from repro.core.streams import SkywayObjectInputStream, SkywayObjectOutputStream
+from repro.jvm.jvm import JVM
+
+from tests.conftest import make_list, read_list
+
+
+@pytest.fixture
+def pair(classpath):
+    src = JVM("src", classpath=classpath)
+    dst = JVM("dst", classpath=classpath,
+              young_bytes=64 * 1024, old_bytes=2 * 1024 * 1024)
+    attach_skyway(src, [dst])
+    return src, dst
+
+
+def receive_one(src, dst, payload):
+    src.skyway.shuffle_start()
+    out = SkywayObjectOutputStream(src.skyway, destination="peer")
+    out.write_object(make_list(src, payload))
+    inp = SkywayObjectInputStream(dst.skyway)
+    inp.accept(out.close())
+    return inp
+
+
+class TestRetention:
+    def test_buffers_retained_until_freed(self, pair):
+        src, dst = pair
+        streams = [receive_one(src, dst, range(20)) for _ in range(3)]
+        assert dst.skyway.retained_input_buffers == 3
+        assert dst.skyway.retained_input_bytes() > 0
+        streams[0].close()
+        assert dst.skyway.retained_input_buffers == 2
+
+    def test_retained_buffer_survives_full_gc(self, pair):
+        src, dst = pair
+        stream = receive_one(src, dst, list(range(30)))
+        dst.gc.full()
+        assert read_list(dst, stream.read_object()) == list(range(30))
+
+    def test_freed_buffer_reclaimed_by_full_gc(self, pair):
+        src, dst = pair
+        stream = receive_one(src, dst, list(range(200)))
+        dst.gc.full()
+        retained = dst.heap.old.used
+        stream.close()  # the explicit free API
+        dst.gc.full()
+        assert dst.heap.old.used < retained
+
+    def test_double_free_is_safe(self, pair):
+        src, dst = pair
+        stream = receive_one(src, dst, [1, 2, 3])
+        stream.close()
+        stream.close()
+        assert dst.skyway.retained_input_buffers == 0
+
+    def test_many_rounds_without_free_accumulate(self, pair):
+        """Spark caches all RDDs in memory, so Skyway keeps all input
+        buffers (paper §3.2) — retention grows per round."""
+        src, dst = pair
+        for i in range(5):
+            receive_one(src, dst, range(10))
+        assert dst.skyway.retained_input_buffers == 5

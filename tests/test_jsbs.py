@@ -1,0 +1,149 @@
+"""Tests for the JSBS dataset, library catalog, and harness."""
+
+import pytest
+
+from repro.jsbs.harness import run_jsbs
+from repro.jsbs.libraries import LIBRARY_CATALOG, build_serializer, catalog_by_name
+from repro.jsbs.media import (
+    install_media_classes,
+    make_media_content,
+    media_content_value,
+)
+from repro.jvm.jvm import JVM
+from repro.jvm.marshal import from_heap
+from repro.serial.kryo import KryoRegistrator
+from repro.serial.schema_compiled import CycleError, SchemaCompiledSerializer
+from repro.types.classdef import ClassPath
+from repro.types.corelib import install_core_classes
+
+
+def media_jvm(name="jsbs"):
+    cp = install_media_classes(install_core_classes(ClassPath()))
+    return JVM(name, classpath=cp)
+
+
+class TestMediaDataset:
+    def test_structure(self):
+        jvm = media_jvm()
+        addr = make_media_content(jvm, 0)
+        back = from_heap(jvm, addr)
+        assert back.class_name == "data.media.MediaContent"
+        assert back["media"]["format"] == "video/mpg4"
+        assert len(back["images"]) >= 2
+        assert back["media"]["persons"][:2] == ["Bill Gates", "Steve Jobs"]
+
+    def test_deterministic(self):
+        assert media_content_value(3).fields["media"]["duration"] == \
+            media_content_value(3).fields["media"]["duration"]
+
+    def test_varied_by_index(self):
+        a = media_content_value(0).fields["media"]["uri"]
+        b = media_content_value(1).fields["media"]["uri"]
+        assert a != b
+
+
+class TestSchemaCompiledSerializer:
+    def _reg(self):
+        reg = KryoRegistrator()
+        for n in ("data.media.MediaContent", "data.media.Media",
+                  "data.media.Image"):
+            reg.register(n)
+        return reg
+
+    def test_roundtrip_media(self):
+        src, dst = media_jvm("s"), media_jvm("d")
+        ser = SchemaCompiledSerializer()
+        addr = make_media_content(src, 1)
+        received = ser.deserialize(dst, ser.serialize(src, addr))
+        assert from_heap(dst, received).fields["media"]["bitrate"] == 262_144
+
+    def test_rejects_cycles(self):
+        cp = install_core_classes(ClassPath())
+        cp.define("Node", [("next", "LNode;")])
+        jvm = JVM("c", classpath=cp)
+        a, b = jvm.new_instance("Node"), jvm.new_instance("Node")
+        jvm.set_field(a, "next", b)
+        jvm.set_field(b, "next", a)
+        with pytest.raises(CycleError):
+            SchemaCompiledSerializer().serialize(jvm, a)
+
+    def test_more_compact_than_kryo(self):
+        from repro.serial.kryo import KryoSerializer
+        src = media_jvm("s")
+        addr = make_media_content(src, 0)
+        schema_bytes = len(SchemaCompiledSerializer().serialize(src, addr))
+        kryo_bytes = len(
+            KryoSerializer(self._reg(), registration_required=False)
+            .serialize(src, addr)
+        )
+        assert schema_bytes < kryo_bytes * 1.6  # same ballpark, no handles
+
+    def test_null_root(self):
+        src, dst = media_jvm("s"), media_jvm("d")
+        ser = SchemaCompiledSerializer()
+        assert ser.deserialize(dst, ser.serialize(src, 0)) == 0
+
+
+class TestCatalog:
+    def test_28_figure_rows_plus_references(self):
+        names = [s.name for s in LIBRARY_CATALOG]
+        assert names[0] == "skyway"
+        assert "colfer" in names
+        assert "kryo-manual" in names
+        assert "thrift" in names
+        assert len(names) == 30  # 28 figure bars + java + other-63
+
+    def test_build_every_family(self):
+        by_name = catalog_by_name()
+        for key in ("colfer", "kryo-manual", "java-built-in"):
+            serializer = build_serializer(by_name[key])
+            assert serializer.name == key or serializer.name in ("java",)
+
+    def test_scaled_kryo_roundtrip(self):
+        by_name = catalog_by_name()
+        reg = KryoRegistrator()
+        for n in ("data.media.MediaContent", "data.media.Media",
+                  "data.media.Image"):
+            reg.register(n)
+        ser = build_serializer(by_name["cbor/jackson/manual"], registrator=reg)
+        src, dst = media_jvm("s"), media_jvm("d")
+        addr = make_media_content(src, 2)
+        received = ser.deserialize(dst, ser.serialize(src, addr))
+        assert from_heap(dst, received).fields["media"]["width"] == 640
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def results(self):
+        specs = [s for s in LIBRARY_CATALOG
+                 if s.name in ("skyway", "colfer", "kryo-manual",
+                               "thrift", "java-built-in")]
+        return {r.library: r for r in
+                run_jsbs(specs, nodes=3, objects=6, rounds=1)}
+
+    def test_skyway_fastest(self, results):
+        skyway = results["skyway"]
+        for name, r in results.items():
+            if name != "skyway":
+                assert skyway.total < r.total, name
+
+    def test_figure7_ratios(self, results):
+        """Kryo-manual ~2.2x, colfer ~1.5x, java >> 10x slower on S/D."""
+        sky = results["skyway"].serialization + results["skyway"].deserialization
+        kryo = results["kryo-manual"].serialization + results["kryo-manual"].deserialization
+        colfer = results["colfer"].serialization + results["colfer"].deserialization
+        java = results["java-built-in"].serialization + results["java-built-in"].deserialization
+        assert 1.4 < kryo / sky < 4.0
+        assert 1.1 < colfer / sky < 3.0
+        assert java / sky > 10
+        assert colfer.real if False else colfer < kryo  # colfer beats kryo
+
+    def test_skyway_larger_payload(self, results):
+        assert results["skyway"].bytes_per_object > \
+            results["colfer"].bytes_per_object
+
+    def test_components_positive(self, results):
+        for r in results.values():
+            assert r.serialization > 0
+            assert r.deserialization > 0
+            assert r.network > 0

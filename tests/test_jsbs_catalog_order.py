@@ -1,0 +1,55 @@
+"""Full-catalog JSBS ranking: the figure's family ordering must hold."""
+
+import pytest
+
+from repro.jsbs.harness import run_jsbs
+from repro.jsbs.libraries import LIBRARY_CATALOG
+
+
+@pytest.fixture(scope="module")
+def full_results():
+    return run_jsbs(LIBRARY_CATALOG, nodes=3, objects=5, rounds=1)
+
+
+class TestCatalogOrdering:
+    def test_skyway_first(self, full_results):
+        assert full_results[0].library == "skyway"
+
+    def test_java_last_among_named(self, full_results):
+        ranking = [r.library for r in full_results]
+        named = [n for n in ranking if n not in ("other-63-slower",)]
+        assert named[-1] == "java-built-in"
+
+    def test_schema_family_leads_generated_family(self, full_results):
+        ranking = {r.library: i for i, r in enumerate(full_results)}
+        # The figure's shape: tight schema-compiled codecs ahead of the
+        # registration/generated family's best member.
+        assert ranking["colfer"] < ranking["kryo-manual"]
+        assert ranking["protostuff"] < ranking["kryo-manual"]
+
+    def test_within_family_factor_ordering(self, full_results):
+        ranking = {r.library: i for i, r in enumerate(full_results)}
+        assert ranking["protostuff"] < ranking["protostuff-runtime"]
+        assert ranking["kryo-manual"] < ranking["kryo-flat"]
+        assert ranking["thrift-compact"] < ranking["thrift"]
+
+    def test_every_library_roundtrips(self, full_results):
+        # run_jsbs asserts per-receiver object counts internally; reaching
+        # here means all 30 libraries decoded every object.
+        assert len(full_results) == len(LIBRARY_CATALOG)
+
+    def test_components_all_positive(self, full_results):
+        for r in full_results:
+            assert r.serialization > 0 and r.deserialization > 0
+            assert r.bytes_per_object > 100  # media objects are ~KB-scale
+
+
+class TestTopLevelExports:
+    def test_package_exports(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+        assert callable(repro.attach_skyway)
+        assert repro.SkywaySerializer().name == "skyway"
+        with pytest.raises(AttributeError):
+            repro.nonexistent

@@ -1,0 +1,84 @@
+"""Tests for mark-word encoding, including Skyway's header-reset rule."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.heap import markword as mw
+
+
+class TestHash:
+    def test_fresh_mark_has_no_hash(self):
+        assert not mw.has_hash(mw.FRESH_MARK)
+
+    def test_set_get_roundtrip(self):
+        mark = mw.set_hash(mw.FRESH_MARK, 0x1234_5678)
+        assert mw.get_hash(mark) == 0x1234_5678
+
+    def test_hash_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            mw.set_hash(0, 1 << 31)
+
+    @given(st.integers(min_value=0, max_value=(1 << 31) - 1))
+    def test_hash_preserved_for_any_value(self, h):
+        assert mw.get_hash(mw.set_hash(mw.FRESH_MARK, h)) == h
+
+
+class TestAgeAndLocks:
+    def test_age_roundtrip(self):
+        mark = mw.set_age(mw.FRESH_MARK, 5)
+        assert mw.get_age(mark) == 5
+
+    def test_age_out_of_range(self):
+        with pytest.raises(ValueError):
+            mw.set_age(0, mw.MAX_AGE + 1)
+
+    def test_lock_bits(self):
+        mark = mw.set_lock_bits(mw.FRESH_MARK, mw.LOCK_INFLATED)
+        assert mw.get_lock_bits(mark) == mw.LOCK_INFLATED
+
+    def test_biased_bit(self):
+        mark = mw.set_biased(mw.FRESH_MARK, True)
+        assert mw.is_biased(mark)
+        assert not mw.is_biased(mw.set_biased(mark, False))
+
+    def test_fields_do_not_interfere(self):
+        mark = mw.set_hash(mw.set_age(mw.FRESH_MARK, 3), 999)
+        mark = mw.set_lock_bits(mark, mw.LOCK_THIN)
+        assert mw.get_age(mark) == 3
+        assert mw.get_hash(mark) == 999
+        assert mw.get_lock_bits(mark) == mw.LOCK_THIN
+
+
+class TestTransferReset:
+    """Paper §4.2: reset GC and lock bits, preserve the hashcode."""
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 31) - 1),
+        st.integers(min_value=0, max_value=mw.MAX_AGE),
+        st.sampled_from([mw.LOCK_UNLOCKED, mw.LOCK_THIN, mw.LOCK_INFLATED]),
+    )
+    def test_reset_preserves_hash_clears_rest(self, h, age, lock):
+        dirty = mw.set_lock_bits(
+            mw.set_biased(mw.set_age(mw.set_hash(mw.FRESH_MARK, h), age), True), lock
+        )
+        clean = mw.reset_for_transfer(dirty)
+        assert mw.get_hash(clean) == h
+        assert mw.get_age(clean) == 0
+        assert not mw.is_biased(clean)
+        assert mw.get_lock_bits(clean) == mw.LOCK_UNLOCKED
+
+
+class TestForwarding:
+    def test_roundtrip(self):
+        fwd = mw.make_forwarding(0x10_0000_0040)
+        assert mw.is_forwarded(fwd)
+        assert mw.forwarding_target(fwd) == 0x10_0000_0040
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(ValueError):
+            mw.make_forwarding(0x1001)
+
+    def test_plain_mark_not_forwarded(self):
+        assert not mw.is_forwarded(mw.FRESH_MARK)
+        with pytest.raises(ValueError):
+            mw.forwarding_target(mw.FRESH_MARK)

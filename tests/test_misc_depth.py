@@ -1,0 +1,137 @@
+"""Cross-cutting depth tests: registry interleaving, codec properties,
+engine-level lazy deserialization costing, runtime phase semantics."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.runtime import attach_skyway
+from repro.core.adapter import SkywaySerializer
+from repro.jvm.jvm import JVM
+from repro.jvm.marshal import from_heap, to_heap
+from repro.simtime import Category
+from repro.types import descriptors
+
+from tests.conftest import sample_classpath
+
+
+class TestRegistryInterleaving:
+    def test_interleaved_worker_loads_stay_consistent(self, classpath):
+        """Workers loading disjoint and overlapping classes in interleaved
+        order must agree on every tID (the CAS-free driver owns IDs)."""
+        driver = JVM("ri-driver", classpath=classpath)
+        workers = [JVM(f"ri-w{i}", classpath=classpath) for i in range(4)]
+        attach_skyway(driver, workers)
+        schedule = [
+            (0, "Date"), (1, "Mixed"), (2, "Date"), (3, "ListNode"),
+            (1, "Date"), (0, "ListNode"), (2, "Mixed"), (3, "Date"),
+            (0, "[LDate;"), (2, "[LDate;"),
+        ]
+        for worker_index, class_name in schedule:
+            workers[worker_index].loader.load(class_name)
+        for name in ("Date", "Mixed", "ListNode", "[LDate;"):
+            tids = {
+                w.loader.load(name).tid for w in workers
+            } | {driver.loader.load(name).tid}
+            assert len(tids) == 1, name
+
+    def test_ids_dense_over_the_cluster(self, classpath):
+        driver = JVM("d2", classpath=classpath)
+        w = JVM("w2", classpath=classpath)
+        attach_skyway(driver, [w])
+        w.loader.load("Date")
+        registry = driver.skyway.driver_registry
+        # Loading is lazy: Date pulls its superclass chain (Object) but not
+        # its field classes.
+        assert "Date" in registry
+        assert "java.lang.Object" in registry
+        assert len(registry) >= 2
+
+
+class TestSerialExports:
+    def test_public_surface(self):
+        import repro.serial as serial
+
+        assert serial.SchemaCompiledSerializer().name == "schema"
+        assert serial.JavaSerializer().name == "java"
+        assert serial.KryoSerializer().name == "kryo"
+        with pytest.raises(serial.SerializationError.__mro__[0]
+                           if False else Exception):
+            raise serial.CycleError("x")
+
+
+class TestCompactCodecProperty:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(value=st.recursive(
+        st.one_of(st.integers(min_value=-(2**40), max_value=2**40),
+                  st.text(max_size=8),
+                  st.floats(allow_nan=False, allow_infinity=False)),
+        lambda c: st.one_of(st.lists(c, max_size=3),
+                            st.dictionaries(st.text(max_size=4), c,
+                                            max_size=3)),
+        max_leaves=10,
+    ))
+    def test_compact_roundtrip_any_value(self, value):
+        cp = sample_classpath()
+        src = JVM("cp-src", classpath=cp)
+        dst = JVM("cp-dst", classpath=cp)
+        attach_skyway(src, [dst])
+        ser = SkywaySerializer(compress_headers=True)
+        addr = to_heap(src, value)
+        back = from_heap(dst, ser.deserialize(dst, ser.serialize(src, addr)))
+        assert back == value
+
+
+class TestDescriptorValidation:
+    @given(st.text(max_size=6))
+    def test_validate_never_crashes_oddly(self, text):
+        """validate() either accepts or raises ValueError — nothing else."""
+        try:
+            descriptors.validate(text)
+        except ValueError:
+            pass
+
+    @given(st.sampled_from(list("ZBCSIFJD")), st.integers(0, 3))
+    def test_array_nesting(self, prim, depth):
+        desc = "[" * depth + prim
+        descriptors.validate(desc)
+        assert descriptors.size_of(desc) == (
+            descriptors.PRIMITIVE_DESCRIPTORS[prim] if depth == 0 else 8
+        )
+
+
+class TestFlinkLazyDeserEngineLevel:
+    def test_projection_narrow_access_charges_less(self):
+        """The same shuffle with a narrow accessed-fields list must charge
+        less deserialization than full access (lazy deser, paper §5.3)."""
+        from repro.flink.engine import Table
+        from repro.flink.types import FieldKind as K, RowType
+        from tests.test_flink import make_env
+
+        wide = RowType.of(
+            "wide", *[(f"c{i}", K.LONG) for i in range(10)]
+        )
+        rows = [tuple(range(i, i + 10)) for i in range(200)]
+
+        def run(accessed):
+            env = make_env("builtin")
+            ds = env.from_table(Table(wide, rows))
+            env.shuffle(ds, lambda r: r[0], accessed_fields=accessed)
+            total = env.cluster.total_clock()
+            return total.total(Category.DESERIALIZATION)
+
+        assert run([0]) < run(None)
+
+
+class TestRuntimePhases:
+    def test_shuffle_start_clears_buffers_and_bumps_sid(self, classpath):
+        src = JVM("rp", classpath=classpath)
+        dst = JVM("rp-d", classpath=classpath)
+        attach_skyway(src, [dst])
+        buffer = src.skyway.output_buffer("peer")
+        buffer.reserve(64)
+        assert buffer.logical_size > 0
+        sid = src.skyway.sid
+        src.skyway.shuffle_start()
+        assert src.skyway.sid == sid + 1
+        assert buffer.logical_size == 0

@@ -1,0 +1,60 @@
+"""Tests for multi-threaded shuffle (paper §4.2 "Support for Threads"
+exercised through the Spark engine)."""
+
+import pytest
+
+from repro.spark.context import SparkConfig
+
+from tests.test_spark_engine import make_cluster, make_context
+from repro.core.adapter import SkywaySerializer
+from repro.core.runtime import attach_skyway
+from repro.spark.context import SparkContext
+
+
+def make_threaded_context(threads: int) -> SparkContext:
+    cluster = make_cluster(3)
+    attach_skyway(cluster.driver.jvm, [w.jvm for w in cluster.workers],
+                  cluster=cluster)
+    return SparkContext(
+        cluster, SkywaySerializer(), default_parallelism=4,
+        config=SparkConfig(shuffle_threads=threads),
+    )
+
+
+class TestMultiThreadShuffle:
+    def test_results_identical_across_thread_counts(self):
+        pairs = [(i % 7, (i, float(i))) for i in range(120)]
+        expected = None
+        for threads in (1, 2, 4):
+            sc = make_threaded_context(threads)
+            result = sorted(sc.parallelize(pairs).group_by_key().collect())
+            if expected is None:
+                expected = result
+            assert result == expected, f"threads={threads}"
+
+    def test_shared_subobject_across_buckets(self):
+        """A value object referenced from records landing in different
+        reduce buckets is cloned once per stream (paper: 'these copies
+        will become separate objects after delivered to a remote node')."""
+        sc = make_threaded_context(2)
+        shared = ("shared-payload", 1, 2)
+        pairs = [(i, shared) for i in range(16)]  # keys spread all buckets
+        result = dict(sc.parallelize(pairs).group_by_key().collect())
+        assert all(v == [shared] for v in result.values())
+
+    def test_thread_ids_bounded_by_config(self):
+        sc = make_threaded_context(2)
+        pairs = [(i, i) for i in range(40)]
+        sc.parallelize(pairs).reduce_by_key(lambda a, b: a + b).collect()
+        # Per-thread output buffers exist for at most `threads` thread ids.
+        for node in sc.cluster.workers:
+            tids = {tid for (_, tid) in node.jvm.skyway._buffers}
+            assert tids <= {0, 1}
+
+    def test_java_serializer_ignores_thread_id(self):
+        sc = make_context("java")
+        sc.config = SparkConfig(shuffle_threads=3)
+        pairs = [(i % 5, i) for i in range(30)]
+        result = dict(sc.parallelize(pairs).reduce_by_key(lambda a, b: a + b).collect())
+        assert result == {k: sum(i for i in range(30) if i % 5 == k)
+                          for k in range(5)}

@@ -1,0 +1,156 @@
+"""Tests for the cluster/disk/byte-stream substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.jvm.jvm import JVM
+from repro.net.cluster import Cluster
+from repro.net.disk import Disk
+from repro.net.streams import ByteInputStream, ByteOutputStream, StreamError
+from repro.simtime import Category, DEFAULT_COST_MODEL, SimClock
+from repro.types.corelib import standard_classpath
+
+
+class TestDisk:
+    @pytest.fixture
+    def disk(self):
+        return Disk(SimClock(), DEFAULT_COST_MODEL)
+
+    def test_write_read_roundtrip(self, disk):
+        disk.write_file("a", b"hello")
+        assert disk.read_file("a") == b"hello"
+
+    def test_duplicate_create_rejected(self, disk):
+        disk.create("a")
+        with pytest.raises(FileExistsError):
+            disk.create("a")
+
+    def test_missing_file(self, disk):
+        with pytest.raises(FileNotFoundError):
+            disk.read_file("nope")
+
+    def test_append_accumulates(self, disk):
+        f = disk.create("log")
+        disk.append(f, b"ab")
+        disk.append(f, b"cd")
+        assert disk.read_file("log") == b"abcd"
+
+    def test_byte_counters(self, disk):
+        disk.write_file("a", b"x" * 100)
+        disk.read_file("a")
+        assert disk.bytes_written == 100
+        assert disk.bytes_read == 100
+
+    def test_listdir_prefix(self, disk):
+        disk.write_file("shuffle-1-0", b"")
+        disk.write_file("shuffle-1-1", b"")
+        disk.write_file("other", b"")
+        assert disk.listdir("shuffle-1") == ["shuffle-1-0", "shuffle-1-1"]
+
+    def test_write_charges_write_io(self):
+        clock = SimClock()
+        disk = Disk(clock, DEFAULT_COST_MODEL)
+        disk.write_file("a", b"x" * 10_000)
+        assert clock.total(Category.WRITE_IO) > 0
+        assert clock.total(Category.READ_IO) == 0
+
+    def test_delete_idempotent(self, disk):
+        disk.write_file("a", b"x")
+        disk.delete("a")
+        disk.delete("a")
+        assert not disk.exists("a")
+
+
+class TestCluster:
+    @pytest.fixture
+    def cluster(self):
+        cp = standard_classpath()
+        return Cluster(lambda n: JVM(n, classpath=cp), worker_count=3)
+
+    def test_topology(self, cluster):
+        assert len(cluster) == 4
+        assert cluster.node("driver") is cluster.driver
+        assert cluster.node("worker-2") is cluster.workers[2]
+        with pytest.raises(KeyError):
+            cluster.node("worker-9")
+
+    def test_remote_transfer_charges_receiver(self, cluster):
+        src, dst = cluster.workers[0], cluster.workers[1]
+        cluster.transfer(src, dst, 1_000_000)
+        assert dst.clock.total(Category.NETWORK) > 0
+        assert src.clock.total(Category.NETWORK) == 0
+        assert dst.remote_bytes_fetched == 1_000_000
+
+    def test_local_transfer_is_free(self, cluster):
+        node = cluster.workers[0]
+        cluster.transfer(node, node, 1_000_000)
+        assert node.clock.total(Category.NETWORK) == 0
+        assert node.local_bytes_fetched == 1_000_000
+
+    def test_negative_transfer_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.transfer(cluster.driver, cluster.workers[0], -1)
+
+    def test_total_clock_merges(self, cluster):
+        cluster.workers[0].clock.charge(1.0, Category.COMPUTATION)
+        cluster.workers[1].clock.charge(2.0, Category.READ_IO)
+        total = cluster.total_clock()
+        assert total.total(Category.COMPUTATION) == 1.0
+        assert total.total(Category.READ_IO) == 2.0
+
+    def test_reset_clocks(self, cluster):
+        cluster.driver.clock.charge(5.0)
+        cluster.transfer(cluster.driver, cluster.workers[0], 10)
+        cluster.reset_clocks()
+        assert cluster.total_clock().total() == 0.0
+        assert cluster.workers[0].remote_bytes_fetched == 0
+
+    def test_max_node_time(self, cluster):
+        cluster.workers[2].clock.charge(9.0)
+        assert cluster.max_node_time() == 9.0
+
+
+class TestByteStreams:
+    def test_fixed_width_roundtrip(self):
+        out = ByteOutputStream()
+        out.write_u8(0xAB)
+        out.write_u16(0xBEEF)
+        out.write_i32(-123)
+        out.write_i64(-(1 << 60))
+        out.write_f32(0.5)
+        out.write_f64(3.25)
+        inp = ByteInputStream(out.getvalue())
+        assert inp.read_u8() == 0xAB
+        assert inp.read_u16() == 0xBEEF
+        assert inp.read_i32() == -123
+        assert inp.read_i64() == -(1 << 60)
+        assert inp.read_f32() == 0.5
+        assert inp.read_f64() == 3.25
+        assert inp.at_end()
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_varint_roundtrip(self, value):
+        out = ByteOutputStream()
+        out.write_varint(value)
+        assert ByteInputStream(out.getvalue()).read_varint() == value
+
+    def test_varint_negative_rejected(self):
+        with pytest.raises(StreamError):
+            ByteOutputStream().write_varint(-1)
+
+    @given(st.text(max_size=40))
+    def test_utf_roundtrip(self, text):
+        out = ByteOutputStream()
+        out.write_utf(text)
+        assert ByteInputStream(out.getvalue()).read_utf() == text
+
+    def test_underflow_detected(self):
+        inp = ByteInputStream(b"\x01")
+        with pytest.raises(StreamError):
+            inp.read_u32()
+
+    def test_position_and_remaining(self):
+        inp = ByteInputStream(b"abcd")
+        inp.read_bytes(3)
+        assert inp.position == 3
+        assert inp.remaining == 1

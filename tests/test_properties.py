@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+* Any marshallable value round-trips through every serializer — Java,
+  Kryo, Skyway — unchanged (Skyway is "not a general-purpose serializer",
+  but on object graphs it must be semantically indistinguishable).
+* GC never changes the reachable graph.
+* Relativization/absolutization are exact inverses.
+* Layout arithmetic invariants (alignment, monotonicity).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.runtime import attach_skyway
+from repro.core.adapter import SkywaySerializer
+from repro.heap.layout import SKYWAY_LAYOUT, align_up
+from repro.jvm.jvm import JVM
+from repro.jvm.marshal import from_heap, to_heap
+from repro.serial import JavaSerializer, KryoSerializer
+
+from tests.conftest import sample_classpath
+
+# Values that can cross the marshal bridge.  Dict keys limited to hashable
+# scalars; floats constrained to finite (NaN breaks equality comparison).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+    st.binary(max_size=12),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _fresh_pair():
+    cp = sample_classpath()
+    src = JVM("prop-src", classpath=cp)
+    dst = JVM("prop-dst", classpath=cp)
+    attach_skyway(src, [dst])
+    return src, dst
+
+
+class TestSerializerRoundtripProperties:
+    @_SETTINGS
+    @given(value=_values)
+    def test_java_roundtrip(self, value):
+        src, dst = _fresh_pair()
+        addr = to_heap(src, value)
+        back = from_heap(dst, JavaSerializer().deserialize(
+            dst, JavaSerializer().serialize(src, addr)))
+        assert back == value
+
+    @_SETTINGS
+    @given(value=_values)
+    def test_kryo_roundtrip(self, value):
+        src, dst = _fresh_pair()
+        ser = KryoSerializer(registration_required=False)
+        addr = to_heap(src, value)
+        back = from_heap(dst, ser.deserialize(dst, ser.serialize(src, addr)))
+        assert back == value
+
+    @_SETTINGS
+    @given(value=_values)
+    def test_skyway_roundtrip(self, value):
+        src, dst = _fresh_pair()
+        ser = SkywaySerializer()
+        addr = to_heap(src, value)
+        back = from_heap(dst, ser.deserialize(dst, ser.serialize(src, addr)))
+        assert back == value
+
+    @_SETTINGS
+    @given(value=_values)
+    def test_all_serializers_agree(self, value):
+        """Swapping serializers never changes program-visible data."""
+        src, dst = _fresh_pair()
+        addr = to_heap(src, value)
+        pin = src.pin(addr)
+        results = []
+        for ser in (JavaSerializer(), KryoSerializer(registration_required=False),
+                    SkywaySerializer()):
+            data = ser.serialize(src, pin.address)
+            results.append(from_heap(dst, ser.deserialize(dst, data)))
+        assert results[0] == results[1] == results[2] == value
+
+
+class TestGCProperties:
+    @_SETTINGS
+    @given(value=_values, minor_count=st.integers(min_value=1, max_value=3))
+    def test_minor_gc_preserves_graph(self, value, minor_count):
+        src, _ = _fresh_pair()
+        pin = src.pin(to_heap(src, value))
+        for _ in range(minor_count):
+            src.gc.minor()
+        assert from_heap(src, pin.address) == value
+
+    @_SETTINGS
+    @given(value=_values)
+    def test_full_gc_preserves_graph(self, value):
+        src, _ = _fresh_pair()
+        pin = src.pin(to_heap(src, value))
+        src.gc.full()
+        assert from_heap(src, pin.address) == value
+
+    @_SETTINGS
+    @given(value=_values)
+    def test_gc_after_receive_preserves_graph(self, value):
+        src, dst = _fresh_pair()
+        ser = SkywaySerializer()
+        addr = to_heap(src, value)
+        received = ser.deserialize(dst, ser.serialize(src, addr))
+        pin = dst.pin(received)
+        dst.gc.minor()
+        dst.gc.full()
+        assert from_heap(dst, pin.address) == value
+
+
+class TestLayoutProperties:
+    @given(st.integers(min_value=0, max_value=2**30),
+           st.sampled_from([1, 2, 4, 8, 16]))
+    def test_align_up_properties(self, value, alignment):
+        aligned = align_up(value, alignment)
+        assert aligned >= value
+        assert aligned % alignment == 0
+        assert aligned - value < alignment
+
+    @given(st.lists(
+        st.tuples(st.text(min_size=1, max_size=4,
+                          alphabet="abcdefghijklmnop"),
+                  st.sampled_from(list("ZBCSIFJD") + ["Ljava.lang.Object;"])),
+        max_size=8, unique_by=lambda t: t[0]))
+    def test_field_layout_never_overlaps(self, fields):
+        placed, size = SKYWAY_LAYOUT.compute_field_offsets(
+            SKYWAY_LAYOUT.header_size, fields)
+        spans = []
+        from repro.types import descriptors
+        for name, desc, off in placed:
+            spans.append((off, off + descriptors.size_of(desc)))
+        spans.sort()
+        for (a_start, a_end), (b_start, b_end) in zip(spans, spans[1:]):
+            assert a_end <= b_start
+        if spans:
+            assert spans[0][0] >= SKYWAY_LAYOUT.header_size
+            assert size >= spans[-1][1]
+        assert size % 8 == 0

@@ -1,0 +1,76 @@
+"""Direct tests for the reflective access service (the baselines' path)."""
+
+import pytest
+
+from repro.jvm.reflection import Reflection
+from repro.types.loader import ClassNotFoundError
+
+
+class TestReflectiveAccess:
+    def test_get_set_field(self, jvm):
+        reflect = Reflection(jvm)
+        addr = jvm.new_instance("Mixed")
+        reflect.set_field(addr, "i", 77)
+        assert reflect.get_field(addr, "i") == 77
+
+    def test_every_access_charges(self, jvm):
+        reflect = Reflection(jvm)
+        addr = jvm.new_instance("Mixed")
+        before = jvm.clock.total()
+        reflect.get_field(addr, "i")
+        reflect.set_field(addr, "i", 1)
+        spent = jvm.clock.total() - before
+        assert spent == pytest.approx(2 * jvm.cost_model.reflective_access)
+
+    def test_direct_access_does_not_charge(self, jvm):
+        addr = jvm.new_instance("Mixed")
+        before = jvm.clock.total()
+        jvm.set_field(addr, "i", 5)
+        jvm.get_field(addr, "i")
+        assert jvm.clock.total() == before
+
+    def test_fields_of_enumerates(self, jvm):
+        reflect = Reflection(jvm)
+        fields = reflect.fields_of(jvm.loader.load("Mixed"))
+        assert {f.name for f in fields} >= {"b", "z", "i", "j", "d", "ref"}
+
+    def test_class_for_name_charges_resolution(self, jvm):
+        reflect = Reflection(jvm)
+        before = jvm.clock.total()
+        klass = reflect.class_for_name("Date")
+        assert klass.name == "Date"
+        assert jvm.clock.total() - before == pytest.approx(
+            jvm.cost_model.reflective_type_resolve
+        )
+
+    def test_class_for_name_unknown(self, jvm):
+        with pytest.raises(ClassNotFoundError):
+            Reflection(jvm).class_for_name("missing.Class")
+
+    def test_new_instance_rejects_arrays(self, jvm):
+        reflect = Reflection(jvm)
+        with pytest.raises(TypeError):
+            reflect.new_instance(jvm.loader.load("[I"))
+
+    def test_reflective_new_array(self, jvm):
+        reflect = Reflection(jvm)
+        arr = reflect.new_array("J", 4)
+        assert jvm.heap.array_length(arr) == 4
+
+
+class TestHeapHistogram:
+    def test_census_counts_and_ordering(self, jvm):
+        for _ in range(5):
+            jvm.new_instance("Date")
+        jvm.new_array("J", 1000)  # the biggest single object
+        histogram = jvm.heap_histogram()
+        by_name = {name: (count, total) for name, count, total in histogram}
+        assert by_name["Date"][0] == 5
+        assert histogram[0][0] == "[J"  # sorted by bytes desc
+        assert all(b > 0 for _, _, b in histogram)
+
+    def test_histogram_reflects_gc(self, jvm):
+        for _ in range(50):
+            jvm.new_instance("Date")
+        jvm.gc.full()  # no roots: everything dies
+        assert jvm.heap_histogram() == []

@@ -1,0 +1,143 @@
+"""Dedicated tests for the schema-compiled serializer family."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.jvm.jvm import JVM
+from repro.jvm.marshal import Obj, from_heap, to_heap
+from repro.serial.schema_compiled import (
+    CycleError,
+    SchemaCompiledSerializer,
+    _unzigzag,
+    _zigzag,
+)
+from repro.types.classdef import ClassPath
+from repro.types.corelib import install_core_classes
+
+from tests.conftest import sample_classpath
+
+
+def fresh_pair():
+    cp = sample_classpath()
+    return JVM("sc-src", classpath=cp), JVM("sc-dst", classpath=cp)
+
+
+class TestZigzag:
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_roundtrip(self, v):
+        assert _unzigzag(_zigzag(v)) == v
+
+    def test_small_negative_small_encoding(self):
+        # Zigzag keeps small-magnitude values small on the wire.
+        assert _zigzag(-1) == 1
+        assert _zigzag(1) == 2
+        assert _zigzag(0) == 0
+
+
+class TestDeclaredTypeOptimization:
+    def test_exact_declared_type_carries_no_name(self):
+        src, _ = fresh_pair()
+        ser = SchemaCompiledSerializer()
+        date = src.new_instance("Date")
+        leaf = src.new_instance("Year4D")
+        src.set_field(leaf, "year", 2000)
+        src.set_field(date, "year", leaf)
+        data = ser.serialize(src, date)
+        # Date itself is root (typed), but Year4D matches the declared
+        # field type and must not appear as a string.
+        assert b"Year4D" not in data
+        assert data.count(b"Date") == 1
+
+    def test_dictionary_encoded_repeats(self):
+        src, _ = fresh_pair()
+        ser = SchemaCompiledSerializer()
+        stream = ser.new_stream(src)
+        for _ in range(5):
+            d = src.new_instance("Date")
+            stream.write_object(d)
+        data = stream.close()
+        assert data.count(b"Date") == 1  # later roots use the dictionary
+
+    def test_object_typed_fields_carry_typeref(self):
+        src, dst = fresh_pair()
+        ser = SchemaCompiledSerializer()
+        addr = to_heap(src, [("a", 1)])  # ArrayList -> Object[] elements
+        received = ser.deserialize(dst, ser.serialize(src, addr))
+        assert from_heap(dst, received) == [("a", 1)]
+
+
+class TestFraming:
+    def test_frame_overhead_bytes(self):
+        src, dst = fresh_pair()
+        plain = SchemaCompiledSerializer(frame_overhead=0)
+        framed = SchemaCompiledSerializer(name="thrift-ish", frame_overhead=8)
+        date = src.new_instance("Date")
+        assert len(framed.serialize(src, date)) == \
+            len(plain.serialize(src, date)) + 8
+        received = framed.deserialize(dst, framed.serialize(src, date))
+        assert dst.klass_of(received).name == "Date"
+
+    def test_cost_factors_scale_charges(self):
+        src1, _ = fresh_pair()
+        src2, _ = fresh_pair()
+        date1 = src1.new_instance("Mixed")
+        date2 = src2.new_instance("Mixed")
+        cheap = SchemaCompiledSerializer(field_cost_factor=1.0)
+        dear = SchemaCompiledSerializer(field_cost_factor=4.0)
+        before1 = src1.clock.total()
+        cheap.serialize(src1, date1)
+        cost1 = src1.clock.total() - before1
+        before2 = src2.clock.total()
+        dear.serialize(src2, date2)
+        cost2 = src2.clock.total() - before2
+        assert cost2 > 2 * cost1
+
+
+class TestTreeSemantics:
+    def test_shared_subobject_duplicated(self):
+        """Protobuf-style tree encoding: sharing is lost (unlike Skyway,
+        Kryo, and the Java serializer) — documented library semantics."""
+        src, dst = fresh_pair()
+        ser = SchemaCompiledSerializer()
+        shared = src.new_instance("Day2D")
+        src.set_field(shared, "day", 5)
+        d1, d2 = src.new_instance("Date"), src.new_instance("Date")
+        src.set_field(d1, "day", shared)
+        src.set_field(d2, "day", shared)
+        data = ser.serialize_many(src, [d1, d2])
+        r1, r2 = ser.deserialize_all(dst, data)
+        leaf1, leaf2 = dst.get_field(r1, "day"), dst.get_field(r2, "day")
+        assert leaf1 != leaf2  # duplicated, not shared
+        assert dst.get_field(leaf1, "day") == dst.get_field(leaf2, "day") == 5
+
+    def test_self_cycle_rejected(self):
+        src, _ = fresh_pair()
+        node = src.new_instance("ListNode")
+        src.set_field(node, "next", node)
+        with pytest.raises(CycleError):
+            SchemaCompiledSerializer().serialize(src, node)
+
+    def test_diamond_is_fine(self):
+        # DAG sharing without a cycle serializes (duplicating the leaf).
+        src, dst = fresh_pair()
+        ser = SchemaCompiledSerializer()
+        a = src.new_instance("ListNode")
+        b = src.new_instance("ListNode")
+        src.set_field(a, "next", b)
+        received = ser.deserialize(dst, ser.serialize(src, a))
+        assert dst.get_field(received, "next") != 0
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.recursive(
+        st.one_of(st.integers(min_value=-100, max_value=100),
+                  st.text(max_size=6),
+                  st.floats(allow_nan=False, allow_infinity=False, width=32)),
+        lambda c: st.one_of(st.lists(c, max_size=3), st.tuples(c, c)),
+        max_leaves=8,
+    ))
+    def test_tree_values_roundtrip(self, value):
+        src, dst = fresh_pair()
+        ser = SchemaCompiledSerializer()
+        addr = to_heap(src, value)
+        assert from_heap(dst, ser.deserialize(dst, ser.serialize(src, addr))) == value

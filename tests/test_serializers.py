@@ -1,0 +1,227 @@
+"""Tests for the Java and Kryo serializer baselines."""
+
+import pytest
+
+from repro.heap.heap import NULL
+from repro.jvm.jvm import JVM
+from repro.jvm.marshal import Obj, from_heap, to_heap
+from repro.serial import (
+    JavaSerializer,
+    KryoRegistrator,
+    KryoSerializer,
+    UnregisteredClassError,
+)
+from repro.simtime import Category
+
+from tests.conftest import make_date, make_list, read_date, read_list
+
+
+def java():
+    return JavaSerializer()
+
+
+def kryo(*extra_classes, required=True):
+    reg = KryoRegistrator()
+    for name in ("Date", "Year4D", "Month2D", "Day2D", "ListNode", "Mixed"):
+        reg.register(name)
+    for name in extra_classes:
+        reg.register(name)
+    return KryoSerializer(reg, registration_required=required)
+
+
+@pytest.fixture(params=["java", "kryo"])
+def serializer(request):
+    return java() if request.param == "java" else kryo()
+
+
+@pytest.fixture
+def two_jvms(classpath):
+    return JVM("src", classpath=classpath), JVM("dst", classpath=classpath)
+
+
+class TestRoundtrip:
+    def test_date_graph(self, two_jvms, serializer):
+        src, dst = two_jvms
+        date = make_date(src, 2018, 3, 24)
+        data = serializer.serialize(src, date)
+        received = serializer.deserialize(dst, data)
+        assert read_date(dst, received) == (2018, 3, 24)
+
+    def test_linked_list(self, two_jvms, serializer):
+        src, dst = two_jvms
+        head = make_list(src, list(range(60)))
+        received = serializer.deserialize(dst, serializer.serialize(src, head))
+        assert read_list(dst, received) == list(range(60))
+
+    def test_null_root(self, two_jvms, serializer):
+        src, dst = two_jvms
+        assert serializer.deserialize(dst, serializer.serialize(src, NULL)) == NULL
+
+    def test_cycle(self, two_jvms, serializer):
+        src, dst = two_jvms
+        a = src.new_instance("ListNode")
+        b = src.new_instance("ListNode")
+        src.set_field(a, "next", b)
+        src.set_field(b, "next", a)
+        src.set_field(b, "payload", 5)
+        ra = serializer.deserialize(dst, serializer.serialize(src, a))
+        rb = dst.get_field(ra, "next")
+        assert dst.get_field(rb, "next") == ra
+        assert dst.get_field(rb, "payload") == 5
+
+    def test_shared_reference_within_stream(self, two_jvms, serializer):
+        src, dst = two_jvms
+        shared = src.new_instance("Day2D")
+        src.set_field(shared, "day", 3)
+        d1, d2 = src.new_instance("Date"), src.new_instance("Date")
+        src.set_field(d1, "day", shared)
+        src.set_field(d2, "day", shared)
+        data = serializer.serialize_many(src, [d1, d2])
+        r1, r2 = serializer.deserialize_all(dst, data)
+        assert dst.get_field(r1, "day") == dst.get_field(r2, "day")
+
+    def test_marshal_values(self, two_jvms, serializer):
+        src, dst = two_jvms
+        value = {"k": [1, 2.5, "s"], "t": (True, b"\x07")}
+        addr = to_heap(src, value)
+        received = serializer.deserialize(dst, serializer.serialize(src, addr))
+        assert from_heap(dst, received) == value
+
+    def test_mixed_primitives(self, two_jvms, serializer):
+        src, dst = two_jvms
+        m = to_heap(src, Obj("Mixed", {"b": -5, "c": 70, "s": -12, "i": 9,
+                                       "f": 0.5, "j": -(1 << 50), "d": 1e300,
+                                       "z": True}))
+        r = serializer.deserialize(dst, serializer.serialize(src, m))
+        back = from_heap(dst, r)
+        assert back["j"] == -(1 << 50)
+        assert back["d"] == 1e300
+        assert back["c"] == 70
+
+
+class TestJavaSerializerSpecifics:
+    def test_type_strings_in_output(self, two_jvms):
+        """Paper §1: the Java serializer writes class-name strings."""
+        src, _ = two_jvms
+        data = java().serialize(src, make_date(src, 1, 1, 1))
+        assert b"Date" in data
+        assert b"Year4D" in data
+        assert b"java.lang.Object" in data
+
+    def test_descriptor_written_once_per_stream(self, two_jvms):
+        src, _ = two_jvms
+        stream = java().new_stream(src)
+        for _ in range(10):
+            stream.write_object(make_date(src, 1, 1, 1))
+        data = stream.close()
+        # "Year4D" appears once in its own class descriptor and once inside
+        # Date's field list ("LYear4D;") — and never again for the
+        # remaining nine objects.
+        assert data.count(b"Year4D") == 2
+
+    def test_reset_re_emits_descriptors(self, two_jvms):
+        """Spark resets the stream every 100 objects; descriptors repeat."""
+        src, dst = two_jvms
+        ser = JavaSerializer(reset_interval=5)
+        stream = ser.new_stream(src)
+        roots = [make_date(src, i, 1, 1) for i in range(12)]
+        pins = [src.pin(r) for r in roots]
+        for p in pins:
+            stream.write_object(p.address)
+        data = stream.close()
+        # 12 objects at interval 5 = 3 descriptor epochs, each emitting
+        # "Year4D" twice (its own descriptor + Date's field list).
+        assert data.count(b"Year4D") == 6
+        received = ser.deserialize_all(dst, data)
+        assert len(received) == 12
+        assert read_date(dst, received[7], ) == (7, 1, 1)
+
+    def test_charges_reflection_per_field(self, two_jvms):
+        src, _ = two_jvms
+        date = make_date(src, 1, 1, 1)
+        before = src.clock.total()
+        java().serialize(src, date)
+        spent = src.clock.total() - before
+        # 4 objects x ~3 fields of reflective access at minimum.
+        assert spent >= 10 * src.cost_model.reflective_access
+
+    def test_deserialization_rehashes_hashmaps(self, two_jvms):
+        src, dst = two_jvms
+        addr = to_heap(src, {f"k{i}": i for i in range(16)})
+        before = dst.clock.total()
+        received = java().deserialize(dst, java().serialize(src, addr))
+        assert from_heap(dst, received) == {f"k{i}": i for i in range(16)}
+        assert dst.clock.total() - before >= 16 * dst.cost_model.hash_insert
+
+
+class TestKryoSpecifics:
+    def test_no_type_strings_when_registered(self, two_jvms):
+        """Registration turns types into integers (paper §2.1)."""
+        src, _ = two_jvms
+        data = kryo().serialize(src, make_date(src, 1, 1, 1))
+        assert b"Date" not in data
+        assert b"Year4D" not in data
+
+    def test_unregistered_class_raises(self, two_jvms):
+        src, _ = two_jvms
+        ser = KryoSerializer()  # no user classes registered
+        with pytest.raises(UnregisteredClassError):
+            ser.serialize(src, make_date(src, 1, 1, 1))
+
+    def test_fallback_writes_class_name(self, two_jvms):
+        src, dst = two_jvms
+        ser_src = KryoSerializer(registration_required=False)
+        data = ser_src.serialize(src, make_date(src, 2, 2, 2))
+        assert b"Date" in data
+        ser_dst = KryoSerializer(registration_required=False)
+        received = ser_dst.deserialize(dst, data)
+        assert read_date(dst, received) == (2, 2, 2)
+
+    def test_registration_order_defines_ids(self):
+        r1, r2 = KryoRegistrator(), KryoRegistrator()
+        r1.register("A"); r1.register("B")
+        r2.register("A"); r2.register("B")
+        assert r1.id_of("B") == r2.id_of("B")
+
+    def test_mismatched_registration_order_corrupts(self, two_jvms):
+        """The consistency burden the paper highlights: different orders on
+        sender and receiver decode to the wrong classes."""
+        src, dst = two_jvms
+        r_src, r_dst = KryoRegistrator(), KryoRegistrator()
+        r_src.register("Year4D"); r_src.register("Month2D")
+        r_dst.register("Month2D"); r_dst.register("Year4D")  # swapped!
+        y = src.new_instance("Year4D")
+        src.set_field(y, "year", 1999)
+        data = KryoSerializer(r_src).serialize(src, y)
+        received = KryoSerializer(r_dst).deserialize(dst, data)
+        assert dst.klass_of(received).name == "Month2D"  # wrong type!
+
+    def test_kryo_smaller_than_java(self, two_jvms):
+        src, _ = two_jvms
+        roots = [src.pin(make_date(src, i, 1, 1)) for i in range(50)]
+        addrs = [p.address for p in roots]
+        java_bytes = len(JavaSerializer(reset_interval=10).serialize_many(src, addrs))
+        kryo_bytes = len(kryo().serialize_many(src, addrs))
+        assert kryo_bytes < java_bytes * 0.6
+
+    def test_kryo_faster_than_java(self, two_jvms, classpath):
+        src = JVM("s1", classpath=classpath)
+        date = make_date(src, 1, 1, 1)
+        before = src.clock.total()
+        kryo().serialize(src, date)
+        kryo_time = src.clock.total() - before
+        src2 = JVM("s2", classpath=classpath)
+        date2 = make_date(src2, 1, 1, 1)
+        before = src2.clock.total()
+        java().serialize(src2, date2)
+        java_time = src2.clock.total() - before
+        assert kryo_time < java_time
+
+    def test_deserialization_rehashes_hashmaps(self, two_jvms):
+        src, dst = two_jvms
+        addr = to_heap(src, {i: i * 2 for i in range(8)})
+        before = dst.clock.total(Category.COMPUTATION)
+        received = kryo().deserialize(dst, kryo().serialize(src, addr))
+        assert from_heap(dst, received) == {i: i * 2 for i in range(8)}
+        spent = dst.clock.total(Category.COMPUTATION) - before
+        assert spent >= 8 * dst.cost_model.hash_insert

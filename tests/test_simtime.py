@@ -1,0 +1,167 @@
+"""Unit tests for the simulated-time substrate."""
+
+import pytest
+
+from repro.simtime import Breakdown, Category, CostModel, DEFAULT_COST_MODEL, SimClock
+
+
+class TestSimClock:
+    def test_starts_empty(self):
+        clock = SimClock()
+        assert clock.total() == 0.0
+        assert all(v == 0.0 for v in clock.totals().values())
+
+    def test_charge_default_category_is_computation(self):
+        clock = SimClock()
+        clock.charge(1.5)
+        assert clock.total(Category.COMPUTATION) == 1.5
+        assert clock.total() == 1.5
+
+    def test_charge_explicit_category(self):
+        clock = SimClock()
+        clock.charge(2.0, Category.SERIALIZATION)
+        assert clock.total(Category.SERIALIZATION) == 2.0
+        assert clock.total(Category.COMPUTATION) == 0.0
+
+    def test_negative_charge_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.charge(-1.0)
+
+    def test_phase_context_routes_charges(self):
+        clock = SimClock()
+        with clock.phase(Category.DESERIALIZATION):
+            clock.charge(0.25)
+        clock.charge(0.5)
+        assert clock.total(Category.DESERIALIZATION) == 0.25
+        assert clock.total(Category.COMPUTATION) == 0.5
+
+    def test_nested_phases_restore_outer(self):
+        clock = SimClock()
+        with clock.phase(Category.SERIALIZATION):
+            with clock.phase(Category.WRITE_IO):
+                clock.charge(1.0)
+            clock.charge(2.0)
+        assert clock.total(Category.WRITE_IO) == 1.0
+        assert clock.total(Category.SERIALIZATION) == 2.0
+
+    def test_cannot_pop_base_context(self):
+        clock = SimClock()
+        with pytest.raises(RuntimeError):
+            clock.pop()
+
+    def test_snapshot_and_since(self):
+        clock = SimClock()
+        clock.charge(1.0, Category.READ_IO)
+        snap = clock.snapshot()
+        clock.charge(0.5, Category.READ_IO)
+        delta = clock.since(snap)
+        assert delta[Category.READ_IO] == pytest.approx(0.5)
+        assert delta[Category.COMPUTATION] == 0.0
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.charge(3.0, Category.NETWORK)
+        clock.reset()
+        assert clock.total() == 0.0
+
+    def test_merge(self):
+        a, b = SimClock("a"), SimClock("b")
+        a.charge(1.0, Category.COMPUTATION)
+        b.charge(2.0, Category.COMPUTATION)
+        b.charge(0.5, Category.NETWORK)
+        a.merge(b)
+        assert a.total(Category.COMPUTATION) == 3.0
+        assert a.total(Category.NETWORK) == 0.5
+
+
+class TestCostModel:
+    def test_default_exists(self):
+        assert isinstance(DEFAULT_COST_MODEL, CostModel)
+
+    def test_reflection_much_costlier_than_generated_access(self):
+        m = DEFAULT_COST_MODEL
+        assert m.reflective_access > 5 * m.generated_access
+
+    def test_memcpy_linear(self):
+        m = DEFAULT_COST_MODEL
+        assert m.memcpy(2000) == pytest.approx(2 * m.memcpy(1000))
+
+    def test_network_transfer_includes_latency(self):
+        m = DEFAULT_COST_MODEL
+        assert m.network_transfer(0) == pytest.approx(m.network_latency)
+        assert m.network_transfer(1_000_000) > m.network_transfer(0)
+
+    def test_disk_costs_positive_and_read_faster_than_write(self):
+        m = DEFAULT_COST_MODEL
+        assert m.disk_read_per_byte < m.disk_write_per_byte
+        assert m.disk_write(1024) > 0
+
+    def test_scaled_override(self):
+        m = DEFAULT_COST_MODEL.scaled(reflective_access=1.0)
+        assert m.reflective_access == 1.0
+        assert m.generated_access == DEFAULT_COST_MODEL.generated_access
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COST_MODEL.reflective_access = 0.0  # type: ignore[misc]
+
+    def test_string_cost(self):
+        m = DEFAULT_COST_MODEL
+        assert m.string_cost("java.lang.Object") == pytest.approx(
+            len("java.lang.Object") * m.string_char
+        )
+
+
+class TestBreakdown:
+    def test_total_sums_five_components(self):
+        b = Breakdown(
+            computation=1, serialization=2, write_io=3, deserialization=4, read_io=5
+        )
+        assert b.total == 15
+
+    def test_from_totals_folds_network_into_read_io(self):
+        totals = {Category.READ_IO: 1.0, Category.NETWORK: 0.5}
+        b = Breakdown.from_totals(totals)
+        assert b.read_io == pytest.approx(1.5)
+        assert b.network == pytest.approx(0.5)
+
+    def test_sd_fraction(self):
+        b = Breakdown(computation=4, serialization=3, deserialization=3)
+        assert b.sd_fraction == pytest.approx(0.6)
+
+    def test_sd_fraction_empty(self):
+        assert Breakdown().sd_fraction == 0.0
+
+    def test_add_and_sum(self):
+        a = Breakdown(computation=1, bytes_written=10)
+        b = Breakdown(computation=2, bytes_written=20, remote_bytes=5)
+        s = Breakdown.sum([a, b])
+        assert s.computation == 3
+        assert s.bytes_written == 30
+        assert s.remote_bytes == 5
+
+    def test_normalized_to(self):
+        base = Breakdown(
+            computation=10, serialization=10, write_io=10,
+            deserialization=10, read_io=10, bytes_written=100,
+        )
+        mine = Breakdown(
+            computation=10, serialization=5, write_io=10,
+            deserialization=2, read_io=10, bytes_written=150,
+        )
+        norm = mine.normalized_to(base)
+        assert norm["ser"] == pytest.approx(0.5)
+        assert norm["des"] == pytest.approx(0.2)
+        assert norm["size"] == pytest.approx(1.5)
+        assert norm["overall"] == pytest.approx(37 / 50)
+
+    def test_normalized_to_zero_baseline(self):
+        norm = Breakdown(serialization=1.0).normalized_to(Breakdown())
+        assert norm["ser"] == float("inf")
+        assert norm["des"] == 0.0
+
+    def test_as_dict_round_trip_keys(self):
+        d = Breakdown(computation=1.0).as_dict()
+        assert d["computation"] == 1.0
+        assert "total" in d and "bytes_written" in d

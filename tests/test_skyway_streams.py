@@ -1,0 +1,151 @@
+"""Tests for Skyway's developer-facing streams API (paper §3.3):
+file/socket variants, framing, and error handling."""
+
+import pytest
+
+from repro.core.runtime import attach_skyway
+from repro.core.streams import (
+    SkywayFileInputStream,
+    SkywayFileOutputStream,
+    SkywayObjectInputStream,
+    SkywayObjectOutputStream,
+    SkywaySocketInputStream,
+    SkywaySocketOutputStream,
+    SkywayStreamError,
+)
+from repro.jvm.jvm import JVM
+from repro.net.cluster import Cluster
+from repro.simtime import Category
+
+from tests.conftest import make_date, read_date, sample_classpath
+
+
+@pytest.fixture
+def cluster():
+    classpath = sample_classpath()
+    c = Cluster(lambda name: JVM(name, classpath=classpath), worker_count=2)
+    attach_skyway(c.driver.jvm, [w.jvm for w in c.workers], cluster=c)
+    return c
+
+
+class TestFileStreams:
+    def test_file_roundtrip(self, cluster):
+        src, dst = cluster.driver, cluster.workers[0]
+        date = make_date(src.jvm, 2018, 3, 24)
+        out = SkywayFileOutputStream(src.jvm.skyway, src.disk, "a.sort.result")
+        out.write_object(date)
+        out.close()
+        assert src.disk.exists("a.sort.result")
+
+        # Ship the file to the destination node's disk, then read there.
+        data = bytes(src.disk.open("a.sort.result").data)
+        dst.disk.write_file("a.sort.result", data)
+        inp = SkywayFileInputStream(dst.jvm.skyway, dst.disk, "a.sort.result")
+        assert read_date(dst.jvm, inp.read_object()) == (2018, 3, 24)
+
+    def test_file_write_charges_write_io(self, cluster):
+        src = cluster.driver
+        date = make_date(src.jvm, 1, 1, 1)
+        before = src.clock.total(Category.WRITE_IO)
+        out = SkywayFileOutputStream(src.jvm.skyway, src.disk, "f1")
+        out.write_object(date)
+        out.close()
+        assert src.clock.total(Category.WRITE_IO) > before
+
+    def test_file_read_charges_read_io(self, cluster):
+        src = cluster.driver
+        out = SkywayFileOutputStream(src.jvm.skyway, src.disk, "f2")
+        out.write_object(make_date(src.jvm, 1, 1, 1))
+        out.close()
+        before = src.clock.total(Category.READ_IO)
+        SkywayFileInputStream(src.jvm.skyway, src.disk, "f2")
+        assert src.clock.total(Category.READ_IO) > before
+
+
+class TestSocketStreams:
+    def test_socket_roundtrip_charges_network(self, cluster):
+        src, dst = cluster.driver, cluster.workers[1]
+        date = make_date(src.jvm, 1999, 9, 9)
+        before = dst.clock.total(Category.NETWORK)
+        out = SkywaySocketOutputStream(src.jvm.skyway, cluster, src, dst)
+        out.write_object(date)
+        data = out.close()
+        assert dst.clock.total(Category.NETWORK) > before
+        inp = SkywaySocketInputStream(dst.jvm.skyway, data)
+        assert read_date(dst.jvm, inp.read_object()) == (1999, 9, 9)
+
+    def test_socket_tracks_remote_bytes(self, cluster):
+        src, dst = cluster.driver, cluster.workers[0]
+        before = dst.remote_bytes_fetched
+        out = SkywaySocketOutputStream(src.jvm.skyway, cluster, src, dst)
+        out.write_object(make_date(src.jvm, 1, 1, 1))
+        out.close()
+        assert dst.remote_bytes_fetched > before
+
+
+class TestStreamErrors:
+    def test_write_after_close(self, cluster):
+        src = cluster.driver
+        out = SkywayObjectOutputStream(src.jvm.skyway, destination="x")
+        out.write_object(make_date(src.jvm, 1, 1, 1))
+        out.close()
+        with pytest.raises(SkywayStreamError):
+            out.write_object(make_date(src.jvm, 2, 2, 2))
+
+    def test_double_close(self, cluster):
+        src = cluster.driver
+        out = SkywayObjectOutputStream(src.jvm.skyway, destination="x")
+        out.close()
+        with pytest.raises(SkywayStreamError):
+            out.close()
+
+    def test_read_past_last_root(self, cluster):
+        src, dst = cluster.driver, cluster.workers[0]
+        out = SkywayObjectOutputStream(src.jvm.skyway, destination="x")
+        out.write_object(make_date(src.jvm, 1, 1, 1))
+        inp = SkywayObjectInputStream(dst.jvm.skyway)
+        inp.accept(out.close())
+        inp.read_object()
+        with pytest.raises(SkywayStreamError):
+            inp.read_object()
+
+    def test_corrupt_trailer_detected(self, cluster):
+        src, dst = cluster.driver, cluster.workers[0]
+        out = SkywayObjectOutputStream(src.jvm.skyway, destination="x")
+        out.write_object(make_date(src.jvm, 1, 1, 1))
+        data = bytearray(out.close())
+        data[-1] ^= 0x5A  # corrupt the logical-size trailer field
+        inp = SkywayObjectInputStream(dst.jvm.skyway)
+        with pytest.raises(Exception):
+            inp.accept(bytes(data))
+
+    def test_double_accept_rejected(self, cluster):
+        src, dst = cluster.driver, cluster.workers[0]
+        out = SkywayObjectOutputStream(src.jvm.skyway, destination="x")
+        out.write_object(make_date(src.jvm, 1, 1, 1))
+        data = out.close()
+        inp = SkywayObjectInputStream(dst.jvm.skyway)
+        inp.accept(data)
+        with pytest.raises(SkywayStreamError):
+            inp.accept(data)
+
+    def test_close_releases_pins(self, cluster):
+        src, dst = cluster.driver, cluster.workers[0]
+        out = SkywayObjectOutputStream(src.jvm.skyway, destination="x")
+        out.write_object(make_date(src.jvm, 1, 1, 1))
+        inp = SkywayObjectInputStream(dst.jvm.skyway)
+        inp.accept(out.close())
+        pins_before = len(dst.jvm.handles)
+        inp.close()
+        assert len(dst.jvm.handles) < pins_before
+
+    def test_has_next(self, cluster):
+        src, dst = cluster.driver, cluster.workers[0]
+        out = SkywayObjectOutputStream(src.jvm.skyway, destination="x")
+        out.write_object(make_date(src.jvm, 1, 1, 1))
+        inp = SkywayObjectInputStream(dst.jvm.skyway)
+        assert not inp.has_next()
+        inp.accept(out.close())
+        assert inp.has_next()
+        inp.read_object()
+        assert not inp.has_next()

@@ -1,0 +1,319 @@
+"""End-to-end tests for Skyway sender -> receiver transfer (§4.2, §4.3)."""
+
+import pytest
+
+from repro.core.runtime import attach_skyway
+from repro.core.streams import (
+    SkywayObjectInputStream,
+    SkywayObjectOutputStream,
+)
+from repro.heap import markword
+from repro.heap.heap import NULL
+from repro.jvm.collections import HashMapOps
+from repro.jvm.jvm import JVM
+from repro.jvm.marshal import Obj, from_heap, to_heap
+
+from tests.conftest import make_date, make_list, read_date, read_list, sample_classpath
+
+
+@pytest.fixture
+def pair(classpath):
+    """A (sender JVM, receiver JVM) pair with Skyway attached."""
+    driver = JVM("sender", classpath=classpath)
+    worker = JVM("receiver", classpath=classpath)
+    attach_skyway(driver, [worker])
+    return driver, worker
+
+
+def transfer(sender_jvm, receiver_jvm, roots):
+    """Helper: one shuffle phase, one stream carrying ``roots``; returns
+    received addresses.  Each call is a fresh phase — the developer marks
+    phases with shuffleStart in the paper's API (§3.3)."""
+    sender_jvm.skyway.shuffle_start()
+    out = SkywayObjectOutputStream(sender_jvm.skyway, destination="peer")
+    for root in roots:
+        out.write_object(root)
+    data = out.close()
+    inp = SkywayObjectInputStream(receiver_jvm.skyway)
+    inp.accept(data)
+    return [inp.read_object() for _ in roots], data
+
+
+class TestBasicTransfer:
+    def test_simple_graph(self, pair):
+        src, dst = pair
+        date = make_date(src, 2018, 3, 24)
+        (received,), _ = transfer(src, dst, [date])
+        assert dst.heap.contains(received)
+        assert read_date(dst, received) == (2018, 3, 24)
+
+    def test_received_objects_live_in_old_gen(self, pair):
+        src, dst = pair
+        (received,), _ = transfer(src, dst, [make_date(src, 1, 2, 3)])
+        assert dst.heap.old.contains(received)
+
+    def test_linked_list(self, pair):
+        src, dst = pair
+        head = make_list(src, list(range(200)))
+        (received,), _ = transfer(src, dst, [head])
+        assert read_list(dst, received) == list(range(200))
+
+    def test_cycle(self, pair):
+        src, dst = pair
+        a = src.new_instance("ListNode")
+        b = src.new_instance("ListNode")
+        src.set_field(a, "payload", 10)
+        src.set_field(b, "payload", 20)
+        src.set_field(a, "next", b)
+        src.set_field(b, "next", a)
+        (ra,), _ = transfer(src, dst, [a])
+        rb = dst.get_field(ra, "next")
+        assert dst.get_field(rb, "next") == ra
+        assert dst.get_field(ra, "payload") == 10
+        assert dst.get_field(rb, "payload") == 20
+
+    def test_shared_object_stays_shared(self, pair):
+        src, dst = pair
+        shared = src.new_instance("Day2D")
+        src.set_field(shared, "day", 9)
+        d1 = src.new_instance("Date")
+        src.set_field(d1, "day", shared)
+        d2 = src.new_instance("Date")
+        src.set_field(d2, "day", shared)
+        (r1, r2), _ = transfer(src, dst, [d1, d2])
+        assert dst.get_field(r1, "day") == dst.get_field(r2, "day")
+        assert dst.get_field(dst.get_field(r1, "day"), "day") == 9
+
+    def test_null_fields_stay_null(self, pair):
+        src, dst = pair
+        date = src.new_instance("Date")  # all refs null
+        (received,), _ = transfer(src, dst, [date])
+        assert dst.get_field(received, "year") == NULL
+
+    def test_arrays_and_strings(self, pair):
+        src, dst = pair
+        value = ["hello", "skyway", ("t", 1, 2.5), b"\x01\x02"]
+        addr = to_heap(src, value)
+        (received,), _ = transfer(src, dst, [addr])
+        assert from_heap(dst, received) == value
+
+    def test_primitive_payload_bytes_identical(self, pair):
+        src, dst = pair
+        arr = src.new_array("J", 16)
+        for i in range(16):
+            src.heap.write_element(arr, i, i * 0x0101010101)
+        (received,), _ = transfer(src, dst, [arr])
+        for i in range(16):
+            assert dst.heap.read_element(received, i) == i * 0x0101010101
+
+    def test_repeated_root_becomes_backward_reference(self, pair):
+        src, dst = pair
+        date = make_date(src, 7, 7, 7)
+        out = SkywayObjectOutputStream(src.skyway, destination="p")
+        a1 = out.write_object(date)
+        a2 = out.write_object(date)  # same phase: backward reference
+        assert a1 == a2
+        data = out.close()
+        inp = SkywayObjectInputStream(dst.skyway)
+        inp.accept(data)
+        r1, r2 = inp.read_object(), inp.read_object()
+        assert r1 == r2
+
+    def test_null_root_roundtrips(self, pair):
+        """writeObject(null) works under the Java serializer, so the
+        drop-in-compatible API must accept it too."""
+        src, dst = pair
+        (received,), _ = transfer(src, dst, [NULL])
+        assert received == NULL
+
+
+class TestHeaderHandling:
+    def test_hashcode_preserved(self, pair):
+        """The headline §4.2 property: cached identity hashes survive."""
+        src, dst = pair
+        date = make_date(src, 1, 1, 1)
+        h = src.identity_hash(date)
+        (received,), _ = transfer(src, dst, [date])
+        assert markword.get_hash(dst.heap.read_mark(received)) == h
+
+    def test_gc_and_lock_bits_reset(self, pair):
+        src, dst = pair
+        date = make_date(src, 1, 1, 1)
+        mark = src.heap.read_mark(date)
+        mark = markword.set_age(mark, 4)
+        mark = markword.set_lock_bits(mark, markword.LOCK_INFLATED)
+        src.heap.write_mark(date, mark)
+        (received,), _ = transfer(src, dst, [date])
+        got = dst.heap.read_mark(received)
+        assert markword.get_age(got) == 0
+        assert markword.get_lock_bits(got) == markword.LOCK_UNLOCKED
+
+    def test_klass_word_is_local_klass_after_receive(self, pair):
+        src, dst = pair
+        date = make_date(src, 1, 1, 1)
+        (received,), _ = transfer(src, dst, [date])
+        assert dst.klass_of(received).name == "Date"
+        # And it is the *receiver's* klass id, not the sender's.
+        assert dst.heap.read_klass_word(received) == dst.loader.load("Date").klass_id
+
+    def test_hashmap_needs_no_rehash(self, pair):
+        """Skyway's transferred HashMap answers lookups immediately; the
+        bucket layout (a function of preserved hashcodes) is intact."""
+        src, dst = pair
+        ops_src = HashMapOps(src)
+        m = src.pin(ops_src.new())
+        keys = []
+        for i in range(20):
+            k = src.pin(src.new_instance("Day2D"))  # identity-hashed keys
+            src.set_field(k.address, "day", i)
+            src.identity_hash(k.address)  # force hash caching
+            v = src.pin(to_heap(src, i * 100))
+            m.address = ops_src.put(m.address, k.address, v.address)
+            keys.append(k)
+        (received,), _ = transfer(src, dst, [m.address])
+        ops_dst = HashMapOps(dst)
+        # Walk received entries and verify each key found via cached hash.
+        found = 0
+        for k_addr, v_addr in ops_dst.entries(received):
+            assert ops_dst.get(received, k_addr) == v_addr
+            found += 1
+        assert found == 20
+
+
+class TestGCIntegration:
+    def test_received_graph_survives_minor_gc(self, pair):
+        src, dst = pair
+        head = make_list(src, list(range(30)))
+        (received,), _ = transfer(src, dst, [head])
+        pin = dst.pin(received)
+        for _ in range(200):
+            dst.new_instance("Date")  # churn
+        dst.gc.minor()
+        assert read_list(dst, pin.address) == list(range(30))
+
+    def test_card_table_marked_for_input_buffer(self, pair):
+        src, dst = pair
+        before = dst.heap.card_table.dirty_count
+        transfer(src, dst, [make_list(src, [1, 2, 3])])
+        assert dst.heap.card_table.dirty_count > before
+
+    def test_young_object_referenced_from_received_buffer(self, pair):
+        """A mutator pointer written into a received (old-gen) object must
+        keep its young target alive across a scavenge."""
+        src, dst = pair
+        (received,), _ = transfer(src, dst, [make_list(src, [5])])
+        pin = dst.pin(received)
+        young = dst.new_instance("ListNode")
+        dst.set_field(young, "payload", 99)
+        dst.set_field(pin.address, "next", young)
+        dst.gc.minor()
+        assert dst.get_field(dst.get_field(pin.address, "next"), "payload") == 99
+
+    def test_received_graph_survives_full_gc(self, pair):
+        src, dst = pair
+        (received,), _ = transfer(src, dst, [make_list(src, [7, 8, 9])])
+        pin = dst.pin(received)
+        dst.gc.full()
+        assert read_list(dst, pin.address) == [7, 8, 9]
+
+
+class TestStreamingAndChunks:
+    def test_many_segments_small_buffer(self, classpath):
+        driver = JVM("s", classpath=classpath)
+        worker = JVM("r", classpath=classpath)
+        attach_skyway(driver, [worker], output_buffer_capacity=512,
+                      input_chunk_size=512)
+        head = make_list(driver, list(range(300)))
+        out = SkywayObjectOutputStream(driver.skyway, destination="p")
+        out.write_object(head)
+        data = out.close()
+        assert out.sender.buffer.flush_count > 5
+        inp = SkywayObjectInputStream(worker.skyway)
+        inp.accept(data)
+        assert read_list(worker, inp.read_object()) == list(range(300))
+        assert len(inp.receiver.buffer.chunks) > 5
+
+    def test_oversized_object_gets_dedicated_chunk(self, classpath):
+        driver = JVM("s", classpath=classpath)
+        worker = JVM("r", classpath=classpath)
+        attach_skyway(driver, [worker], output_buffer_capacity=1024,
+                      input_chunk_size=1024)
+        big = driver.new_array("J", 4096)  # ~32KB object
+        driver.heap.write_element(big, 4095, 123)
+        out = SkywayObjectOutputStream(driver.skyway, destination="p")
+        out.write_object(big)
+        data = out.close()
+        inp = SkywayObjectInputStream(worker.skyway)
+        inp.accept(data)
+        received = inp.read_object()
+        assert worker.heap.read_element(received, 4095) == 123
+        assert any(c.capacity > 1024 for c in inp.receiver.buffer.chunks)
+
+    def test_read_before_finish_rejected(self, pair):
+        src, dst = pair
+        inp = SkywayObjectInputStream(dst.skyway)
+        with pytest.raises(Exception):
+            inp.read_object()
+
+
+class TestShufflePhases:
+    def test_same_object_across_phases(self, pair):
+        """An object sent in phase N can be sent again in phase N+1; the
+        stale baddr from phase N must not be trusted."""
+        src, dst = pair
+        date = make_date(src, 2020, 6, 15)
+        transfer(src, dst, [date])
+        src.set_field(src.get_field(date, "year"), "year", 2021)
+        (received,), _ = transfer(src, dst, [date])
+        assert read_date(dst, received) == (2021, 6, 15)
+
+    def test_shuffle_start_increments_sid(self, pair):
+        src, _ = pair
+        before = src.skyway.sid
+        src.skyway.shuffle_start()
+        assert src.skyway.sid == before + 1
+
+
+class TestRegisterUpdate:
+    def test_update_function_applied_after_transfer(self, classpath):
+        classpath.define("Record", [("payload", "J"), ("timeStamp", "J")])
+        driver = JVM("s", classpath=classpath)
+        worker = JVM("r", classpath=classpath)
+        attach_skyway(driver, [worker])
+        worker.skyway.register_update(
+            "Record", "timeStamp", lambda jvm, addr: 777
+        )
+        rec = driver.new_instance("Record")
+        driver.set_field(rec, "payload", 1)
+        driver.set_field(rec, "timeStamp", 123456)
+        out = SkywayObjectOutputStream(driver.skyway, destination="p")
+        out.write_object(rec)
+        inp = SkywayObjectInputStream(worker.skyway)
+        inp.accept(out.close())
+        received = inp.read_object()
+        assert worker.get_field(received, "payload") == 1
+        assert worker.get_field(received, "timeStamp") == 777
+
+    def test_register_update_validates_field(self, pair):
+        src, _ = pair
+        with pytest.raises(KeyError):
+            src.skyway.register_update("Date", "nope", lambda j, a: 0)
+
+
+class TestClassLoadingOnReceive:
+    def test_receiver_loads_unseen_class(self, classpath):
+        """Receiver never touched 'Mixed'; the tID in the stream resolves
+        through the registry and triggers a local class load."""
+        driver = JVM("s", classpath=classpath)
+        worker = JVM("r", classpath=classpath)
+        attach_skyway(driver, [worker])
+        obj = driver.new_instance("Mixed")
+        driver.set_field(obj, "i", 31337)
+        assert not worker.loader.is_loaded("Mixed")
+        out = SkywayObjectOutputStream(driver.skyway, destination="p")
+        out.write_object(obj)
+        inp = SkywayObjectInputStream(worker.skyway)
+        inp.accept(out.close())
+        received = inp.read_object()
+        assert worker.loader.is_loaded("Mixed")
+        assert worker.get_field(received, "i") == 31337

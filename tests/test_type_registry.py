@@ -1,0 +1,111 @@
+"""Tests for global class numbering (paper §4.1, Algorithm 1)."""
+
+import pytest
+
+from repro.core.type_registry import DriverRegistry, RegistryView, TypeRegistryError
+from repro.core.runtime import attach_skyway
+from repro.jvm.jvm import JVM
+from repro.net.cluster import Cluster
+
+from tests.conftest import sample_classpath
+
+
+class TestDriverRegistry:
+    def test_register_is_idempotent(self):
+        reg = DriverRegistry()
+        a = reg.register("Date")
+        b = reg.register("Date")
+        assert a == b
+
+    def test_ids_are_dense_and_unique(self):
+        reg = DriverRegistry()
+        ids = [reg.register(f"C{i}") for i in range(10)]
+        assert ids == list(range(10))
+
+    def test_lookup_creates_when_missing(self):
+        reg = DriverRegistry()
+        tid = reg.handle_lookup("New")
+        assert reg.handle_lookup("New") == tid
+        assert reg.lookup_requests == 2
+
+    def test_lookup_by_id(self):
+        reg = DriverRegistry()
+        tid = reg.register("Some.Class")
+        assert reg.handle_lookup_by_id(tid) == "Some.Class"
+
+    def test_lookup_by_unknown_id(self):
+        with pytest.raises(TypeRegistryError):
+            DriverRegistry().handle_lookup_by_id(99)
+
+    def test_bootstrap_assigns_tids(self, jvm):
+        jvm.loader.load("Date")
+        reg = DriverRegistry()
+        reg.bootstrap_from(jvm.loader.loaded_classes())
+        assert jvm.loader.load("Date").tid is not None
+
+
+class TestRegistryView:
+    def test_request_view_batches(self):
+        reg = DriverRegistry()
+        for name in ("A", "B", "C"):
+            reg.register(name)
+        view = RegistryView(reg)
+        view.request_view()
+        assert len(view) == 3
+        assert view.knows("B")
+        assert view.remote_lookups == 0
+
+    def test_miss_pulls_from_driver(self):
+        reg = DriverRegistry()
+        view = RegistryView(reg)
+        tid = view.id_for("Fresh")
+        assert view.remote_lookups == 1
+        assert view.id_for("Fresh") == tid  # cached now
+        assert view.remote_lookups == 1
+
+    def test_consistent_ids_across_views(self):
+        reg = DriverRegistry()
+        v1, v2 = RegistryView(reg), RegistryView(reg)
+        assert v1.id_for("Shared") == v2.id_for("Shared")
+
+    def test_name_for_reverse_lookup(self):
+        reg = DriverRegistry()
+        tid = reg.register("Hidden")
+        view = RegistryView(reg)  # empty view: never saw Hidden
+        assert view.name_for(tid) == "Hidden"
+        assert view.remote_lookups == 1
+
+
+class TestAttachSkyway:
+    def test_same_class_same_tid_everywhere(self, classpath):
+        driver = JVM("driver", classpath=classpath)
+        w1 = JVM("w1", classpath=classpath)
+        w2 = JVM("w2", classpath=classpath)
+        attach_skyway(driver, [w1, w2])
+        klasses = [j.loader.load("Date") for j in (driver, w1, w2)]
+        tids = {k.tid for k in klasses}
+        assert len(tids) == 1
+        assert None not in tids
+        # Klass meta-objects themselves differ per JVM (Figure 5).
+        assert len({k.klass_id for k in klasses}) == 3
+
+    def test_every_loaded_class_numbered(self, classpath):
+        driver = JVM("driver", classpath=classpath)
+        worker = JVM("w", classpath=classpath)
+        worker.loader.load("Mixed")  # loaded before Skyway attaches
+        attach_skyway(driver, [worker])
+        for k in worker.loader.loaded_classes():
+            assert k.tid is not None, k.name
+
+    def test_registry_messages_charged_on_cluster(self):
+        cluster = Cluster(lambda name: JVM(name, classpath=sample_classpath()),
+                          worker_count=2)
+        attach_skyway(
+            cluster.driver.jvm,
+            [w.jvm for w in cluster.workers],
+            cluster=cluster,
+        )
+        assert cluster.messages_sent > 0
+        cluster.workers[0].jvm.loader.load("Mixed")
+        # the LOOKUP for Mixed went over the wire
+        assert cluster.messages_sent > 2

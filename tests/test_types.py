@@ -1,0 +1,161 @@
+"""Tests for descriptors, class definitions, and class loading."""
+
+import pytest
+
+from repro.heap.layout import SKYWAY_LAYOUT
+from repro.types import descriptors as d
+from repro.types.classdef import ClassDef, ClassPath, DuplicateClassError, FieldDef
+from repro.types.corelib import standard_classpath, tuple_class_name
+from repro.types.loader import ClassLoader, ClassNotFoundError
+
+
+class TestDescriptors:
+    @pytest.mark.parametrize("desc,size", [("B", 1), ("Z", 1), ("C", 2),
+                                           ("S", 2), ("I", 4), ("F", 4),
+                                           ("J", 8), ("D", 8)])
+    def test_primitive_sizes(self, desc, size):
+        assert d.size_of(desc) == size
+        assert d.is_primitive(desc)
+        assert not d.is_reference(desc)
+
+    def test_reference_descriptor(self):
+        desc = d.object_descriptor("java.lang.String")
+        assert desc == "Ljava.lang.String;"
+        assert d.is_reference(desc)
+        assert d.size_of(desc) == 8
+        assert d.referenced_class(desc) == "java.lang.String"
+
+    def test_array_descriptor(self):
+        assert d.is_array("[I")
+        assert d.is_reference("[I")
+        assert d.component_of("[[J") == "[J"
+        assert d.size_of("[Ljava.lang.Object;") == 8
+
+    def test_malformed_rejected(self):
+        for bad in ("", "X", "L;", "Lfoo", "foo"):
+            with pytest.raises(ValueError):
+                d.validate(bad)
+
+    def test_java_name(self):
+        assert d.java_name("I") == "int"
+        assert d.java_name("[[D") == "double[][]"
+        assert d.java_name("Ljava.lang.String;") == "java.lang.String"
+
+
+class TestClassDef:
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ValueError):
+            ClassDef.define("X", [("a", "I"), ("a", "J")])
+
+    def test_bad_descriptor_rejected(self):
+        with pytest.raises(ValueError):
+            FieldDef("a", "Q")
+
+    def test_classpath_conflict_detection(self):
+        cp = ClassPath()
+        cp.define("A", [("x", "I")])
+        cp.define("A", [("x", "I")])  # identical re-add is fine
+        with pytest.raises(DuplicateClassError):
+            cp.define("A", [("x", "J")])
+
+    def test_self_super_rejected(self):
+        cp = ClassPath()
+        with pytest.raises(ValueError):
+            cp.add(ClassDef("B", super_name="B"))
+
+    def test_object_always_present(self):
+        cp = ClassPath()
+        assert "java.lang.Object" in cp
+
+
+class TestClassLoader:
+    def test_load_resolves_super_chain(self, classpath):
+        loader = ClassLoader(classpath, SKYWAY_LAYOUT)
+        k = loader.load("java.lang.Long")
+        chain = [c.name for c in k.super_chain()]
+        assert chain == ["java.lang.Long", "java.lang.Number", "java.lang.Object"]
+
+    def test_load_is_idempotent(self, classpath):
+        loader = ClassLoader(classpath, SKYWAY_LAYOUT)
+        assert loader.load("Date") is loader.load("Date")
+
+    def test_unknown_class(self, classpath):
+        loader = ClassLoader(classpath, SKYWAY_LAYOUT)
+        with pytest.raises(ClassNotFoundError):
+            loader.load("does.not.Exist")
+
+    def test_array_class_on_demand(self, classpath):
+        loader = ClassLoader(classpath, SKYWAY_LAYOUT)
+        k = loader.load("[LDate;")
+        assert k.is_array
+        assert loader.is_loaded("Date")  # element class loaded too
+
+    def test_nested_array(self, classpath):
+        loader = ClassLoader(classpath, SKYWAY_LAYOUT)
+        k = loader.load("[[I")
+        assert k.element_descriptor == "[I"
+        assert loader.is_loaded("[I")
+
+    def test_klass_ids_unique_within_loader(self, classpath):
+        loader = ClassLoader(classpath, SKYWAY_LAYOUT)
+        ids = {loader.load(n).klass_id for n in ("Date", "Year4D", "[I")}
+        assert len(ids) == 3
+
+    def test_klass_ids_distinct_across_loaders(self, classpath):
+        a = ClassLoader(classpath, SKYWAY_LAYOUT)
+        b = ClassLoader(classpath, SKYWAY_LAYOUT)
+        assert a.load("Date").klass_id != b.load("Date").klass_id
+
+    def test_load_hook_fires(self, classpath):
+        loader = ClassLoader(classpath, SKYWAY_LAYOUT)
+        seen = []
+        loader.add_load_hook(lambda k: seen.append(k.name))
+        loader.load("Date")
+        assert "Date" in seen
+        assert "java.lang.Object" in seen
+
+    def test_late_hook_replays(self, classpath):
+        loader = ClassLoader(classpath, SKYWAY_LAYOUT)
+        loader.load("Date")
+        seen = []
+        loader.add_load_hook(lambda k: seen.append(k.name))
+        assert "Date" in seen
+
+    def test_by_klass_id(self, classpath):
+        loader = ClassLoader(classpath, SKYWAY_LAYOUT)
+        k = loader.load("Date")
+        assert loader.by_klass_id(k.klass_id) is k
+        with pytest.raises(ClassNotFoundError):
+            loader.by_klass_id(12345)
+
+
+class TestKlass:
+    def test_field_offsets_inherited(self, classpath):
+        loader = ClassLoader(classpath, SKYWAY_LAYOUT)
+        long_k = loader.load("java.lang.Long")
+        assert long_k.field("value").offset >= SKYWAY_LAYOUT.header_size
+
+    def test_oop_offsets_only_references(self, classpath):
+        loader = ClassLoader(classpath, SKYWAY_LAYOUT)
+        mixed = loader.load("Mixed")
+        assert len(mixed.oop_offsets) == 1
+
+    def test_object_size_for_array_requires_length(self, classpath):
+        loader = ClassLoader(classpath, SKYWAY_LAYOUT)
+        arr = loader.load("[I")
+        with pytest.raises(ValueError):
+            arr.object_size()
+        assert arr.object_size(4) > 0
+
+    def test_is_subclass_of(self, classpath):
+        loader = ClassLoader(classpath, SKYWAY_LAYOUT)
+        assert loader.load("java.lang.Long").is_subclass_of(
+            loader.load("java.lang.Object")
+        )
+
+    def test_corelib_tuples(self):
+        cp = standard_classpath()
+        assert tuple_class_name(2) in cp
+        loader = ClassLoader(cp, SKYWAY_LAYOUT)
+        t2 = loader.load(tuple_class_name(2))
+        assert len(t2.oop_offsets) == 2

@@ -1,0 +1,122 @@
+"""Wire-format level tests: primitive codecs, Kryo back-references, and
+sender output invariants on random graphs."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.runtime import attach_skyway
+from repro.heap.layout import align_up
+from repro.jvm.jvm import JVM
+from repro.jvm.marshal import to_heap
+from repro.net.streams import ByteInputStream, ByteOutputStream
+from repro.serial.base import read_primitive, write_primitive
+from repro.serial.kryo import KryoSerializer
+
+from tests.conftest import make_date, sample_classpath
+
+_SETTINGS = settings(max_examples=30, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+_PRIMITIVE_STRATEGIES = {
+    "Z": st.booleans(),
+    "B": st.integers(min_value=-128, max_value=127),
+    "C": st.integers(min_value=0, max_value=0xFFFF),
+    "S": st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1),
+    "I": st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1),
+    "J": st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1),
+    "F": st.floats(allow_nan=False, allow_infinity=False, width=32),
+    "D": st.floats(allow_nan=False, allow_infinity=False),
+}
+
+
+class TestPrimitiveCodecs:
+    @pytest.mark.parametrize("descriptor", list(_PRIMITIVE_STRATEGIES))
+    def test_roundtrip_property(self, descriptor):
+        @_SETTINGS
+        @given(value=_PRIMITIVE_STRATEGIES[descriptor])
+        def run(value):
+            out = ByteOutputStream()
+            write_primitive(out, descriptor, value)
+            got = read_primitive(ByteInputStream(out.getvalue()), descriptor)
+            if descriptor == "Z":
+                assert got == (1 if value else 0)
+            else:
+                assert got == value
+        run()
+
+    def test_unknown_descriptor_rejected(self):
+        with pytest.raises(Exception):
+            write_primitive(ByteOutputStream(), "L;", 0)
+
+
+class TestKryoWireFormat:
+    def test_backreference_smaller_than_object(self, classpath):
+        jvm = JVM("kw", classpath=classpath)
+        ser = KryoSerializer(registration_required=False)
+        date = make_date(jvm, 1, 1, 1)
+        once = len(ser.serialize_many(jvm, [date]))
+        twice = len(ser.serialize_many(jvm, [date, date]))
+        # The second occurrence is a couple of varints, not a re-encode.
+        assert twice - once < 6
+
+    def test_registered_ids_are_varints_not_names(self, classpath):
+        jvm = JVM("kw2", classpath=classpath)
+        from repro.serial.kryo import KryoRegistrator
+        reg = KryoRegistrator()
+        for name in ("Date", "Year4D", "Month2D", "Day2D"):
+            reg.register(name)
+        data = KryoSerializer(reg).serialize(jvm, make_date(jvm, 1, 1, 1))
+        assert len(data) < 60  # four objects, ids + fields only
+
+    def test_null_is_single_byte(self, classpath):
+        jvm = JVM("kw3", classpath=classpath)
+        ser = KryoSerializer(registration_required=False)
+        assert len(ser.serialize(jvm, 0)) == 1
+
+
+class TestSenderInvariants:
+    @_SETTINGS
+    @given(value=st.recursive(
+        st.one_of(st.integers(min_value=-50, max_value=50),
+                  st.text(max_size=5)),
+        lambda c: st.one_of(st.lists(c, max_size=3), st.tuples(c, c)),
+        max_leaves=10,
+    ))
+    def test_bytes_and_composition_consistent(self, value):
+        """For any graph: payload bytes equal the logical buffer size,
+        composition counters account every byte, and the top mark
+        resolves on the receiver."""
+        cp = sample_classpath()
+        src = JVM("inv-src", classpath=cp)
+        dst = JVM("inv-dst", classpath=cp)
+        attach_skyway(src, [dst])
+
+        from repro.core.streams import (
+            SkywayObjectInputStream, SkywayObjectOutputStream,
+        )
+        addr = to_heap(src, value)
+        out = SkywayObjectOutputStream(src.skyway, destination="p")
+        out.write_object(addr)
+        sender = out.sender
+        data = out.close()
+
+        logical = sender.buffer.logical_size
+        # Every committed byte is one of header/pointer/data/padding.
+        accounted = (sender.header_bytes + sender.pointer_bytes
+                     + sender.data_bytes + sender.padding_bytes)
+        assert accounted == sender.bytes_sent
+        # Logical space is the aligned sum of clone sizes: it can exceed
+        # the payload bytes only by per-object alignment slack.
+        assert logical >= sender.bytes_sent
+        assert logical - sender.bytes_sent < 8 * max(1, sender.objects_sent)
+        assert logical % 8 == 0 and align_up(logical, 8) == logical
+
+        inp = SkywayObjectInputStream(dst.skyway)
+        inp.accept(data)
+        received = inp.read_object()
+        if value is None:
+            assert received == 0
+        else:
+            assert dst.heap.contains(received)
+        # Receiver placed exactly as many objects as the sender cloned.
+        assert inp.receiver.objects_received == sender.objects_sent
