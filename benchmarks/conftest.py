@@ -10,6 +10,7 @@ runs; results are reported in simulated time, so ratios are stable across
 scales.
 """
 
+import json
 import os
 import pathlib
 
@@ -26,3 +27,15 @@ def publish(name: str, text: str) -> None:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, result) -> pathlib.Path:
+    """Archive a machine-readable result (dict/list of plain values) as
+    ``benchmarks/results/<name>.json``, for tooling that tracks results
+    across runs (the human-readable report still goes through publish)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(
+        json.dumps(result, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    return path

@@ -11,6 +11,8 @@ Regenerates any of the paper's tables/figures without pytest:
     python -m repro.bench table4
     python -m repro.bench memory
     python -m repro.bench extra-bytes
+    python -m repro.bench delta-iter
+    python -m repro.bench delta-sweep
     python -m repro.bench all
 """
 
@@ -19,6 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.bench.delta_experiments import run_delta_iterative, run_mutation_sweep
 from repro.bench.extra_bytes import average_composition, measure_extra_byte_composition
 from repro.bench.flink_experiments import run_figure8b, summarize_table4
 from repro.bench.memory import measure_baddr_overhead
@@ -117,6 +120,32 @@ def cmd_extra_bytes(args) -> None:
         {k: f"{v:.1%}" for k, v in average_composition(per_app).items()}))
 
 
+def cmd_delta_iter(args) -> None:
+    result = run_delta_iterative(scale=max(args.scale, 0.1))
+    print(format_kv_section(
+        "D-ITER — incremental PageRank, delta vs full-every-epoch",
+        {
+            "graph / iterations": f"{result['graph']} x{result['iterations']}"
+                                  f" ({result['vertices']} vertices)",
+            "mutation fraction": f"{result['mutation_fraction']:.0%}",
+            "full wire bytes": result["full_wire_bytes"],
+            "delta wire bytes": result["delta_wire_bytes"],
+            "bytes ratio (full/delta)": f"{result['bytes_ratio']:.2f}x",
+            "time ratio (full/delta)": f"{result['time_ratio']:.2f}x",
+            "delta epoch modes": " ".join(result["delta_epoch_modes"]),
+        }))
+
+
+def cmd_delta_sweep(args) -> None:
+    rows = run_mutation_sweep(scale=max(args.scale, 0.1))
+    print(format_kv_section(
+        "A-DELTA — one update epoch per mutation rate (fallback crossover)",
+        {f"{row['mutation_fraction']:>4.0%} mutated":
+         f"{row['update_bytes']:>8} bytes  {row['mode']:<5} "
+         f"({row['reason']}, full would be {row['full_bytes']})"
+         for row in rows}))
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "fig3": cmd_fig3,
@@ -127,6 +156,8 @@ COMMANDS = {
     "table4": cmd_table4,
     "memory": cmd_memory,
     "extra-bytes": cmd_extra_bytes,
+    "delta-iter": cmd_delta_iter,
+    "delta-sweep": cmd_delta_sweep,
 }
 
 

@@ -15,7 +15,12 @@ paper requires.
 
 from __future__ import annotations
 
+from typing import Dict, List, Tuple
+
 from repro.core.streams import SkywayObjectInputStream, SkywayObjectOutputStream
+from repro.delta.channel import DeltaReceiveEndpoint, DeltaSendChannel
+from repro.delta.policy import DeltaPolicy
+from repro.delta.wire import is_delta_frame
 from repro.jvm.jvm import JVM
 from repro.serial.base import (
     DeserializationStream,
@@ -37,21 +42,53 @@ def _runtime_of(jvm: JVM):
 
 class SkywaySerializer(Serializer):
     """The drop-in serializer; ``compress_headers`` enables the §5.2
-    future-work compact transfer encoding for every stream."""
+    future-work compact transfer encoding for every stream.
+
+    ``delta=True`` opts into epoch-based incremental transfer: streams for
+    the same ``(jvm, channel)`` pair share a
+    :class:`~repro.delta.channel.DeltaSendChannel`, so the first close
+    ships the full graph and later closes ship only what mutated since.
+    Readers sniff the frame byte and route DELTA/FULL frames through the
+    receiver runtime's :class:`~repro.delta.channel.DeltaReceiveEndpoint`;
+    plain Skyway frames still take the stateless stream path.
+    """
 
     name = "skyway"
 
     def __init__(self, thread_id: int = 0,
-                 compress_headers: bool = False) -> None:
+                 compress_headers: bool = False,
+                 delta: bool = False,
+                 delta_policy: DeltaPolicy = None) -> None:
         self.thread_id = thread_id
         self.compress_headers = compress_headers
+        self.delta = delta
+        self.delta_policy = delta_policy
+        #: Per-(sender JVM, channel key) delta channels, created lazily.
+        self._channels: Dict[Tuple[str, str], DeltaSendChannel] = {}
 
-    def new_stream(self, jvm: JVM, thread_id: int = None) -> "SkywaySerializationStream":
+    def new_stream(self, jvm: JVM, thread_id: int = None,
+                   channel: str = "default"):
         tid = self.thread_id if thread_id is None else thread_id
+        if self.delta:
+            return DeltaSerializationStream(self.channel_for(jvm, channel))
         return SkywaySerializationStream(jvm, tid, self.compress_headers)
 
-    def new_reader(self, jvm: JVM, data: bytes) -> "SkywayDeserializationStream":
+    def new_reader(self, jvm: JVM, data: bytes):
+        if is_delta_frame(data):
+            return DeltaDeserializationStream(jvm, data)
         return SkywayDeserializationStream(jvm, data)
+
+    def channel_for(self, jvm: JVM, channel: str = "default") -> DeltaSendChannel:
+        """The (lazily created) delta channel for one ``(jvm, key)`` pair."""
+        runtime = _runtime_of(jvm)
+        key = (jvm.name, channel)
+        existing = self._channels.get(key)
+        if existing is None:
+            existing = DeltaSendChannel(
+                runtime, destination=channel, policy=self.delta_policy
+            )
+            self._channels[key] = existing
+        return existing
 
 
 class SkywaySerializationStream(SerializationStream):
@@ -95,3 +132,56 @@ class SkywayDeserializationStream(DeserializationStream):
 
     def close(self) -> None:
         self._stream.close()
+
+
+class DeltaSerializationStream(SerializationStream):
+    """Delta-mode writer: roots accumulate, close() frames one epoch."""
+
+    def __init__(self, channel: DeltaSendChannel) -> None:
+        self._channel = channel
+        self._roots: List[int] = []
+        self._frame_bytes = 0
+        self._closed = False
+
+    def write_object(self, root: int) -> None:
+        if self._closed:
+            raise SerializationError("delta stream is closed")
+        self._roots.append(root)
+
+    def close(self) -> bytes:
+        if self._closed:
+            raise SerializationError("delta stream already closed")
+        self._closed = True
+        frame = self._channel.send(self._roots)
+        self._frame_bytes = len(frame)
+        return frame
+
+    @property
+    def bytes_written(self) -> int:
+        return self._frame_bytes
+
+
+class DeltaDeserializationStream(DeserializationStream):
+    """Delta-mode reader: frames route to the runtime's one endpoint
+    (channel state — the retained buffer — must outlive any one reader,
+    so close() keeps the buffer; a later FULL frame frees it)."""
+
+    def __init__(self, jvm: JVM, data: bytes) -> None:
+        runtime = _runtime_of(jvm)
+        self._endpoint = DeltaReceiveEndpoint.for_runtime(runtime)
+        self._roots = self._endpoint.receive(data)
+        self._cursor = 0
+
+    def read_object(self) -> int:
+        if self._cursor >= len(self._roots):
+            raise SerializationError("no more objects in this delta epoch")
+        root = self._roots[self._cursor]
+        self._cursor += 1
+        return root
+
+    def has_next(self) -> bool:
+        return self._cursor < len(self._roots)
+
+    def close(self) -> None:
+        # Deliberately not freeing: the epoch's buffer is channel state.
+        self._roots = []

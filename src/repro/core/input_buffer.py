@@ -75,6 +75,20 @@ class InputBuffer:
         (senders commit objects densely in logical space)."""
         if self._frozen:
             raise InputBufferError("buffer is frozen (stream already finished)")
+        return self._place(object_bytes)
+
+    def append(self, object_bytes: bytes) -> int:
+        """Delta-epoch placement: append one NEW object to a *finished*
+        buffer.  The buffer stays frozen — already-placed objects remain
+        translatable throughout — and the logical cursor keeps growing, so
+        sender and receiver agree on the offsets of appended objects."""
+        if not self._frozen:
+            raise InputBufferError(
+                "delta append on a buffer that never finished its stream"
+            )
+        return self._place(object_bytes)
+
+    def _place(self, object_bytes: bytes) -> int:
         size = align_up(len(object_bytes), OBJECT_ALIGNMENT)
         chunk = self._chunk_for(size)
         address = chunk.physical_start + chunk.filled

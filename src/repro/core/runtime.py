@@ -142,10 +142,31 @@ class SkywayRuntime:
     def free_input_buffer(self, token: int) -> None:
         """The explicit free API: drop the buffer's GC roots so the next
         collection can reclaim its objects (if the application holds no
-        other references)."""
-        receiver, handles = self._input_buffers.pop(token, (None, []))
+        other references).
+
+        Raises :class:`KeyError` on an unknown or already-freed token: once
+        delta transfer retains buffers across epochs, a silent double free
+        would unpin roots some later epoch still relies on.
+        """
+        try:
+            receiver, handles = self._input_buffers.pop(token)
+        except KeyError:
+            raise KeyError(
+                f"input-buffer token {token} is unknown or already freed"
+            ) from None
         for handle in handles:
             self.jvm.unpin(handle)
+
+    def extend_input_buffer_roots(self, token: int, root_handles: list) -> None:
+        """Add GC roots to a retained buffer (delta epochs can introduce
+        new top objects into a buffer shipped in an earlier epoch)."""
+        try:
+            receiver, handles = self._input_buffers[token]
+        except KeyError:
+            raise KeyError(
+                f"input-buffer token {token} is unknown or already freed"
+            ) from None
+        self._input_buffers[token] = (receiver, handles + list(root_handles))
 
     @property
     def retained_input_buffers(self) -> int:

@@ -103,6 +103,11 @@ class ObjectGraphSender:
         self._shared_table: Dict[int, int] = {}
         #: Logical offsets of the top (root) objects, in write order.
         self.top_marks: List[int] = []
+        #: Every cloned object as ``(source_address, buffer_address,
+        #: payload_bytes)``, in clone order — the raw material for the
+        #: delta subsystem's send-epoch cache (source address → receiver
+        #: buffer offset, via the same baddr machinery).
+        self.cloned: List[Tuple[int, int, int]] = []
         self.objects_sent = 0
         self.bytes_sent = 0
         # Byte composition of the transferred image (the paper's §5.2
@@ -214,6 +219,7 @@ class ObjectGraphSender:
         self.jvm.clock.charge(cost.skyway_header_fixup)
         self.jvm.clock.charge(cost.memcpy(len(payload)))
         self.buffer.write_object(addr, bytes(payload))
+        self.cloned.append((source, addr, len(payload)))
         self.objects_sent += 1
         self.bytes_sent += len(payload)
         array_length = heap.array_length(source) if klass.is_array else None

@@ -155,6 +155,12 @@ class SkywayObjectInputStream:
     def has_next(self) -> bool:
         return self._finished and self._cursor < len(self._roots)
 
+    @property
+    def buffer_token(self) -> Optional[int]:
+        """The runtime retention token for this stream's input buffer
+        (delta channels keep the buffer alive across epochs)."""
+        return self._buffer_token
+
     def close(self) -> None:
         """Free this stream's input buffer (the explicit API of §3.2)."""
         if self._buffer_token is not None:

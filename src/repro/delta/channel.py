@@ -1,0 +1,284 @@
+"""Delta channels: the subsystem's sending/receiving endpoints.
+
+A :class:`DeltaSendChannel` is the per-destination stateful sender: it owns
+an epoch record (what the receiver holds), a delta card table (what changed
+since), and the fallback policy (whether a delta is still worth it).  Its
+``send(roots)`` returns one framed epoch — FULL on the first call and
+whenever the policy reverts, DELTA otherwise.
+
+A :class:`DeltaReceiveEndpoint` is the per-runtime receiving side: it
+routes frames by channel id, retains each channel's input buffer across
+epochs (the §3.2 retention API is exactly what makes patch-in-place legal),
+and applies DELTA frames through :class:`~repro.delta.apply.DeltaApplier`.
+
+Staleness is fail-stop: a receiver whose old generation was compacted (full
+GC) since the last epoch raises :class:`DeltaStaleError` and drops the
+channel state; the integration layer reacts by forcing the next send full —
+the moral equivalent of a NACK on a real wire.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Set
+
+from repro.core.streams import SkywayObjectInputStream, SkywayObjectOutputStream
+from repro.core.runtime import SkywayRuntime
+from repro.delta.apply import ApplyResult, DeltaApplier
+from repro.delta.dirty import DELTA_CARD_SIZE, DeltaTracker
+from repro.delta.epoch_cache import EpochCache, EpochRecord
+from repro.delta.policy import ChannelStats, DeltaPolicy, EpochDecision
+from repro.delta.wire import (
+    DeltaEncoder,
+    DeltaFrame,
+    FullFrame,
+    frame_full,
+    parse_frame,
+)
+from repro.heap.layout import HeapLayout
+
+
+class DeltaChannelError(RuntimeError):
+    pass
+
+
+class DeltaStaleError(DeltaChannelError):
+    """Receiver-side state no longer matches the sender's epoch record."""
+
+
+_channel_ids = itertools.count(1)
+
+
+class DeltaSendChannel:
+    """One sending endpoint: epoch-aware transfer to one destination."""
+
+    def __init__(
+        self,
+        runtime: SkywayRuntime,
+        destination: str,
+        policy: Optional[DeltaPolicy] = None,
+        target_layout: Optional[HeapLayout] = None,
+        card_size: int = DELTA_CARD_SIZE,
+    ) -> None:
+        self.runtime = runtime
+        self.destination = destination
+        self.channel_id = next(_channel_ids)
+        self.policy = policy if policy is not None else DeltaPolicy()
+        #: PATCH overwrites clones in place, so the destination must share
+        #: this JVM's object layout; heterogeneous destinations always
+        #: take the full-send path.
+        self.heterogeneous = (
+            target_layout is not None and target_layout != runtime.jvm.layout
+        )
+        self.cache = EpochCache()
+        self.tracker = DeltaTracker.attach(runtime.jvm.heap, card_size)
+        self.table = self.tracker.new_table()
+        self.stats = ChannelStats()
+        self.epoch = 0
+        self.last_decision: Optional[EpochDecision] = None
+        self._force_full = False
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def send(self, roots: List[int]) -> bytes:
+        """Frame one epoch carrying ``roots``; full or delta per policy."""
+        self.epoch += 1
+        self.stats.epochs += 1
+        gc = self.runtime.jvm.gc.stats
+        record = self.cache.get(self.destination)
+
+        decision = self._decide(record, gc)
+        if decision.mode == "delta":
+            frame, decision = self._try_delta(roots, record, gc, decision)
+            if frame is not None:
+                self.last_decision = decision
+                return frame
+
+        if decision.reason != "delta":
+            if decision.reason != "first_epoch":
+                self.stats.note_fallback(decision.reason)
+        self.last_decision = decision
+        return self._send_full(roots, gc)
+
+    def force_full_next(self) -> None:
+        """React to a receiver NACK (:class:`DeltaStaleError`)."""
+        self._force_full = True
+
+    def _decide(self, record: Optional[EpochRecord], gc) -> EpochDecision:
+        if self._force_full:
+            self._force_full = False
+            return EpochDecision(mode="full", reason="forced")
+        if self.heterogeneous:
+            return EpochDecision(mode="full", reason="heterogeneous")
+        if record is None:
+            return EpochDecision(mode="full", reason="first_epoch")
+        dirty = self._dirty_members(record)
+        dirty_bytes = sum(record.sizes[a] for a in dirty)
+        decision = self.policy.decide(
+            record, len(dirty), dirty_bytes,
+            gc.minor_collections, gc.full_collections,
+        )
+        decision.dirty = dirty  # carried to _try_delta, not serialized
+        return decision
+
+    def _dirty_members(self, record: EpochRecord) -> List[int]:
+        cost = self.runtime.jvm.cost_model
+        members = list(record.members_overlapping(self.table.dirty_ranges()))
+        # Card intersection cost: one traversal word per candidate found.
+        self.runtime.jvm.clock.charge(cost.traverse_word * max(1, len(members)))
+        return members
+
+    def _try_delta(self, roots, record, gc, decision):
+        encoder = DeltaEncoder(self.runtime.jvm, record)
+        frame, summary = encoder.encode(
+            roots, decision.dirty, self.channel_id, self.epoch
+        )
+        if not self.policy.accept_encoded(record, len(frame)):
+            self.stats.wasted_encode_bytes += len(frame)
+            return None, EpochDecision(
+                mode="full", reason="encoded_overrun",
+                mutation_rate=decision.mutation_rate,
+                estimated_bytes=len(frame),
+            )
+        record.merge_epoch(
+            summary.new_members, summary.new_sizes, summary.logical_end,
+            gc.minor_collections, gc.full_collections,
+        )
+        self.table.clear()
+        self.stats.delta_sends += 1
+        self.stats.bytes_delta += len(frame)
+        self.stats.objects_patched += summary.patched_objects
+        self.stats.objects_new += summary.new_objects
+        self.stats.sameref_roots += summary.sameref_roots
+        return frame, decision
+
+    def _send_full(self, roots: List[int], gc) -> bytes:
+        # A fresh shuffling phase invalidates stale baddrs (paper §3.3);
+        # the epoch record, unlike baddrs, survives into later phases.
+        self.runtime.shuffle_start()
+        stream = SkywayObjectOutputStream(
+            self.runtime,
+            destination=f"delta:{self.channel_id}:{self.destination}",
+        )
+        for root in roots:
+            stream.write_object(root)
+        embedded = stream.close()
+        self.cache.record_full_send(
+            self.destination, stream.sender.cloned,
+            gc.minor_collections, gc.full_collections,
+            epoch=self.epoch,
+        )
+        self.table.clear()
+        frame = frame_full(self.channel_id, self.epoch, embedded)
+        self.stats.full_sends += 1
+        self.stats.bytes_full += len(frame)
+        return frame
+
+    def close(self) -> None:
+        """Detach this channel's table from the write barrier."""
+        self.tracker.release_table(self.table)
+        self.cache.invalidate(self.destination)
+
+
+class _ReceiverState:
+    """One channel's retained state on the receiving runtime."""
+
+    def __init__(self, channel_id, epoch, stream, token, full_gcs, applier):
+        self.channel_id = channel_id
+        self.epoch = epoch
+        self.stream = stream
+        self.token = token
+        self.full_gcs = full_gcs
+        self.applier = applier
+        self.pinned_roots: Set[int] = set()
+        self.last_apply: Optional[ApplyResult] = None
+
+
+class DeltaReceiveEndpoint:
+    """The per-runtime receiving side: frames in, heap roots out."""
+
+    def __init__(self, runtime: SkywayRuntime) -> None:
+        self.runtime = runtime
+        self._states: Dict[int, _ReceiverState] = {}
+
+    @classmethod
+    def for_runtime(cls, runtime: SkywayRuntime) -> "DeltaReceiveEndpoint":
+        """The one endpoint for ``runtime``, created on first use (any
+        serializer instance must route to the same channel states)."""
+        endpoint = getattr(runtime, "delta_endpoint", None)
+        if endpoint is None:
+            endpoint = cls(runtime)
+            runtime.delta_endpoint = endpoint
+        return endpoint
+
+    def receive(self, data: bytes) -> List[int]:
+        """Apply one framed epoch; returns the epoch's root addresses."""
+        frame = parse_frame(data)
+        if isinstance(frame, FullFrame):
+            return self._receive_full(frame)
+        return self._receive_delta(frame)
+
+    def state_of(self, channel_id: int) -> Optional[_ReceiverState]:
+        return self._states.get(channel_id)
+
+    def _receive_full(self, frame: FullFrame) -> List[int]:
+        old = self._states.pop(frame.channel_id, None)
+        if old is not None:
+            # The superseded buffer becomes reclaimable garbage; delta kept
+            # it pinned across epochs, a full send ends its retention.
+            self.runtime.free_input_buffer(old.token)
+        stream = SkywayObjectInputStream(self.runtime)
+        stream.accept(frame.embedded)
+        roots = []
+        while stream.has_next():
+            roots.append(stream.read_object())
+        state = _ReceiverState(
+            channel_id=frame.channel_id,
+            epoch=frame.epoch,
+            stream=stream,
+            token=stream.buffer_token,
+            full_gcs=self.runtime.jvm.gc.stats.full_collections,
+            applier=DeltaApplier(
+                self.runtime.jvm, stream.receiver, self.runtime.view
+            ),
+        )
+        state.pinned_roots.update(r for r in roots if r)
+        self._states[frame.channel_id] = state
+        return roots
+
+    def _receive_delta(self, frame: DeltaFrame) -> List[int]:
+        state = self._states.get(frame.channel_id)
+        if state is None:
+            raise DeltaStaleError(
+                f"delta frame for unknown channel {frame.channel_id} "
+                f"(receiver has no retained epoch)"
+            )
+        if frame.epoch != state.epoch + 1:
+            self._states.pop(frame.channel_id, None)
+            raise DeltaStaleError(
+                f"channel {frame.channel_id}: got epoch {frame.epoch}, "
+                f"retained epoch is {state.epoch}"
+            )
+        full_gcs = self.runtime.jvm.gc.stats.full_collections
+        if full_gcs != state.full_gcs:
+            self._states.pop(frame.channel_id, None)
+            raise DeltaStaleError(
+                f"channel {frame.channel_id}: receiver old generation was "
+                f"compacted since epoch {state.epoch}; retained chunk "
+                f"addresses are void"
+            )
+        result = state.applier.apply(frame)
+        # New roots must be GC-pinned like the first epoch's were.
+        fresh = [
+            self.runtime.jvm.pin(addr)
+            for addr in result.root_addresses
+            if addr and addr not in state.pinned_roots
+        ]
+        if fresh:
+            self.runtime.extend_input_buffer_roots(state.token, fresh)
+            state.pinned_roots.update(h.address for h in fresh)
+        state.epoch = frame.epoch
+        state.last_apply = result
+        return result.root_addresses

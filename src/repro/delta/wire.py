@@ -1,0 +1,267 @@
+"""The delta wire format: framed NEW / PATCH / SAME-REF records.
+
+Layered on the conventions of :mod:`repro.core.streams` (varint framing, a
+trailer of root offsets, a logical-size check word), one frame per epoch:
+
+``FULL`` frame — epoch 1, and any epoch the fallback policy reverts::
+
+    u8 0x10 | varint channel_id | varint epoch
+    varint len | <a complete standard Skyway stream frame>
+
+``DELTA`` frame::
+
+    u8 0x11 | varint channel_id | varint epoch | varint base_logical_end
+    records:
+        u8 1 (PATCH)    varint offset | varint len | payload
+        u8 2 (NEW)      varint offset | varint len | payload
+        u8 3 (SAME-REF) varint offset          # an unchanged root
+        u8 0 (END)
+    varint n_roots | varint offset per root (0 = null)
+    varint new_logical_end
+
+Record payloads are exactly Algorithm 2 clones — mark word reset, klass
+word replaced by the tID, references relativized — except that reference
+slots are relativized against the *receiver's* retained buffer: a cached
+referent keeps the offset recorded in the epoch cache, a new referent is
+assigned the next aligned offset past the buffer's end (NEW records are
+emitted in assignment order, so the receiver's append cursor reproduces
+the same offsets).  PATCH offsets point at the previous clone, which the
+receiver overwrites in place — same klass, same size, by construction.
+
+A new object is only reachable through a written reference slot, and every
+written slot dirtied its card — so encoding starts from the dirty set and
+discovers all NEW objects without ever visiting the unchanged graph.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.delta.epoch_cache import EpochRecord
+from repro.heap import markword
+from repro.heap.heap import NULL
+from repro.heap.layout import KLASS_OFFSET, MARK_OFFSET, OBJECT_ALIGNMENT, align_up
+from repro.jvm.jvm import JVM
+from repro.net.streams import ByteInputStream, ByteOutputStream
+
+FRAME_FULL = 0x10
+FRAME_DELTA = 0x11
+
+REC_END = 0
+REC_PATCH = 1
+REC_NEW = 2
+REC_SAMEREF = 3
+
+
+class DeltaWireError(RuntimeError):
+    pass
+
+
+def is_delta_frame(data: bytes) -> bool:
+    """Whether ``data`` is a Skyway-Delta frame (vs. a plain stream)."""
+    return bool(data) and data[0] in (FRAME_FULL, FRAME_DELTA)
+
+
+def frame_full(channel_id: int, epoch: int, embedded: bytes) -> bytes:
+    out = ByteOutputStream()
+    out.write_u8(FRAME_FULL)
+    out.write_varint(channel_id)
+    out.write_varint(epoch)
+    out.write_varint(len(embedded))
+    out.write_bytes(embedded)
+    return out.getvalue()
+
+
+@dataclasses.dataclass
+class DeltaRecord:
+    tag: int
+    offset: int
+    payload: bytes = b""
+
+
+@dataclasses.dataclass
+class DeltaFrame:
+    """A parsed DELTA frame."""
+
+    channel_id: int
+    epoch: int
+    base_logical_end: int
+    records: List[DeltaRecord]
+    roots: List[int]
+    new_logical_end: int
+
+
+@dataclasses.dataclass
+class FullFrame:
+    """A parsed FULL frame."""
+
+    channel_id: int
+    epoch: int
+    embedded: bytes
+
+
+def parse_frame(data: bytes):
+    """Parse either frame kind; returns :class:`FullFrame` or
+    :class:`DeltaFrame`."""
+    inp = ByteInputStream(data)
+    kind = inp.read_u8()
+    if kind == FRAME_FULL:
+        channel_id = inp.read_varint()
+        epoch = inp.read_varint()
+        embedded = inp.read_bytes(inp.read_varint())
+        return FullFrame(channel_id, epoch, embedded)
+    if kind != FRAME_DELTA:
+        raise DeltaWireError(f"not a delta frame (leading byte {kind:#x})")
+    channel_id = inp.read_varint()
+    epoch = inp.read_varint()
+    base_logical_end = inp.read_varint()
+    records: List[DeltaRecord] = []
+    while True:
+        tag = inp.read_u8()
+        if tag == REC_END:
+            break
+        offset = inp.read_varint()
+        if tag in (REC_PATCH, REC_NEW):
+            payload = inp.read_bytes(inp.read_varint())
+            records.append(DeltaRecord(tag, offset, payload))
+        elif tag == REC_SAMEREF:
+            records.append(DeltaRecord(tag, offset))
+        else:
+            raise DeltaWireError(f"unknown record tag {tag}")
+    n_roots = inp.read_varint()
+    roots = [inp.read_varint() for _ in range(n_roots)]
+    new_logical_end = inp.read_varint()
+    return DeltaFrame(
+        channel_id, epoch, base_logical_end, records, roots, new_logical_end
+    )
+
+
+@dataclasses.dataclass
+class EpochSummary:
+    """What one encoded delta epoch contained (feeds stats + cache merge)."""
+
+    patched_objects: int = 0
+    patched_bytes: int = 0
+    new_objects: int = 0
+    new_bytes: int = 0
+    sameref_roots: int = 0
+    payload_bytes: int = 0  # patched + new, pre-framing
+    new_members: Dict[int, int] = dataclasses.field(default_factory=dict)
+    new_sizes: Dict[int, int] = dataclasses.field(default_factory=dict)
+    logical_end: int = 0
+
+
+class DeltaEncoder:
+    """Encode one delta epoch against an :class:`EpochRecord`.
+
+    Homogeneous layouts only — PATCH overwrites a clone in place, which is
+    only meaningful when both sides share the object format; heterogeneous
+    destinations fall back to full sends at the channel layer.
+    """
+
+    def __init__(self, jvm: JVM, record: EpochRecord) -> None:
+        self.jvm = jvm
+        self.record = record
+
+    def encode(
+        self, roots: List[int], dirty: List[int], channel_id: int, epoch: int
+    ) -> Tuple[bytes, EpochSummary]:
+        heap = self.jvm.heap
+        cost = self.jvm.cost_model
+        record = self.record
+        summary = EpochSummary()
+
+        #: source address -> receiver offset, cached plus this epoch's NEW.
+        offset_of = dict(record.addr_to_offset)
+        logical_cursor = record.logical_end
+        new_queue: Deque[int] = deque()
+
+        def resolve(address: int) -> int:
+            nonlocal logical_cursor
+            if address == NULL:
+                return 0
+            self.jvm.clock.charge(cost.traverse_word)
+            known = offset_of.get(address)
+            if known is not None:
+                return known
+            size = align_up(heap.object_size(address), OBJECT_ALIGNMENT)
+            offset = logical_cursor
+            logical_cursor += size
+            offset_of[address] = offset
+            summary.new_members[address] = offset
+            summary.new_sizes[address] = size
+            new_queue.append(address)
+            return offset
+
+        def clone(address: int) -> bytes:
+            payload = bytearray(heap.read_bytes(address, heap.object_size(address)))
+            mark = int.from_bytes(payload[MARK_OFFSET : MARK_OFFSET + 8], "little")
+            clean = markword.reset_for_transfer(mark)
+            payload[MARK_OFFSET : MARK_OFFSET + 8] = clean.to_bytes(8, "little")
+            klass = heap.klass_of(address)
+            if klass.tid is None:
+                raise DeltaWireError(
+                    f"class {klass.name} has no global type ID — is the "
+                    f"Skyway type registry attached to this JVM?"
+                )
+            payload[KLASS_OFFSET : KLASS_OFFSET + 8] = klass.tid.to_bytes(8, "little")
+            if self.jvm.layout.has_baddr:
+                off = self.jvm.layout.baddr_offset
+                payload[off : off + 8] = bytes(8)
+            for off in heap.reference_offsets(address):
+                target = heap.read_word(address + off)
+                payload[off : off + 8] = resolve(target).to_bytes(8, "little")
+                self.jvm.clock.charge(cost.skyway_pointer_fixup)
+            self.jvm.clock.charge(cost.skyway_header_fixup)
+            self.jvm.clock.charge(cost.memcpy(len(payload)))
+            return bytes(payload)
+
+        out = ByteOutputStream()
+        out.write_u8(FRAME_DELTA)
+        out.write_varint(channel_id)
+        out.write_varint(epoch)
+        out.write_varint(record.logical_end)
+
+        # PATCH records for the dirty subset (offset order: deterministic
+        # frames and sequential receiver writes).
+        for address in sorted(dirty, key=record.offset_of):
+            payload = clone(address)
+            out.write_u8(REC_PATCH)
+            out.write_varint(record.offset_of(address))
+            out.write_varint(len(payload))
+            out.write_bytes(payload)
+            summary.patched_objects += 1
+            summary.patched_bytes += len(payload)
+
+        # Roots first touch (may enqueue NEW), then drain the queue — NEW
+        # records must appear in offset-assignment order.
+        dirty_set = set(dirty)
+        root_offsets: List[int] = []
+        for root in roots:
+            offset = resolve(root)
+            root_offsets.append(offset)
+            if root != NULL and root in record and root not in dirty_set:
+                out.write_u8(REC_SAMEREF)
+                out.write_varint(offset)
+                summary.sameref_roots += 1
+        while new_queue:
+            address = new_queue.popleft()
+            payload = clone(address)
+            out.write_u8(REC_NEW)
+            out.write_varint(offset_of[address])
+            out.write_varint(len(payload))
+            out.write_bytes(payload)
+            summary.new_objects += 1
+            summary.new_bytes += len(payload)
+
+        out.write_u8(REC_END)
+        out.write_varint(len(root_offsets))
+        for offset in root_offsets:
+            out.write_varint(offset)
+        out.write_varint(logical_cursor)
+
+        summary.payload_bytes = summary.patched_bytes + summary.new_bytes
+        summary.logical_end = logical_cursor
+        return out.getvalue(), summary

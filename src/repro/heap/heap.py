@@ -19,6 +19,7 @@ the GC and Skyway's receiver use to walk regions.
 
 from __future__ import annotations
 
+import bisect
 import itertools
 import struct
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
@@ -141,6 +142,12 @@ class ManagedHeap:
         self.card_table = CardTable(self.old.start, self.old.end, card_size)
         #: Set by the JVM so the heap can resolve klass words.
         self.klass_resolver: Optional[Callable[[int], Klass]] = None
+        #: Field-write listeners ``(slot_address, nbytes)``; the delta
+        #: subsystem registers one per tracked channel so mutations dirty a
+        #: second card table.  Raw ``write_word``/``write_bytes`` (GC
+        #: copying, receiver placement) deliberately bypass this barrier:
+        #: only *mutations through the typed field/element API* count.
+        self.mutation_listeners: List[Callable[[int, int], None]] = []
         #: Allocation statistics.
         self.allocations = 0
         self.bytes_allocated = 0
@@ -231,13 +238,17 @@ class ManagedHeap:
     def write_slot(self, address: int, offset: int, descriptor: str, value) -> None:
         if descriptors.is_reference(descriptor):
             self._write_ref_slot(address, offset, value)
-            return
-        codec = _PRIM_CODEC[descriptor]
-        size = descriptors.size_of(descriptor)
-        i = self._index(address + offset, size)
-        if descriptor == "Z":
-            value = 1 if value else 0
-        struct.pack_into(codec, self._memory, i, value)
+            size = WORD
+        else:
+            codec = _PRIM_CODEC[descriptor]
+            size = descriptors.size_of(descriptor)
+            i = self._index(address + offset, size)
+            if descriptor == "Z":
+                value = 1 if value else 0
+            struct.pack_into(codec, self._memory, i, value)
+        if self.mutation_listeners:
+            for listener in self.mutation_listeners:
+                listener(address + offset, size)
 
     def _write_ref_slot(self, address: int, offset: int, value: int) -> None:
         if value is None:
@@ -359,13 +370,21 @@ class ManagedHeap:
 
     def register_object(self, address: int) -> None:
         """Add an externally-placed object (input-buffer content) to the
-        old generation's parse index, keeping it address-sorted."""
+        old generation's parse index, keeping it address-sorted.
+
+        Streaming placement registers in ascending order (the fast path);
+        a delta epoch appending into a retained chunk's reserved tail can
+        land *below* objects promoted since, so out-of-order registration
+        inserts at the sorted position instead.
+        """
         starts = self.old.object_starts
-        if starts and address <= starts[-1]:
-            raise HeapError(
-                f"object registrations must be address-ordered: {address:#x}"
-            )
-        starts.append(address)
+        if not starts or address > starts[-1]:
+            starts.append(address)
+            return
+        i = bisect.bisect_left(starts, address)
+        if i < len(starts) and starts[i] == address:
+            raise HeapError(f"object already registered: {address:#x}")
+        starts.insert(i, address)
 
     # ------------------------------------------------------------------
     # iteration / queries

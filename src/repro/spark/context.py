@@ -121,6 +121,14 @@ class SparkContext:
                 reader.close()
         return Broadcast(value, len(data))
 
+    def delta_broadcast(self, root: int, policy=None):
+        """Broadcast a driver-heap object graph incrementally: ``push()``
+        ships only what mutated since the previous push (requires Skyway
+        attached; see :mod:`repro.spark.broadcast_delta`)."""
+        from repro.spark.broadcast_delta import DeltaHeapBroadcast
+
+        return DeltaHeapBroadcast(self.cluster, root, policy=policy)
+
     def node_for_partition(self, partition: int) -> Node:
         workers = self.cluster.workers
         return workers[partition % len(workers)]

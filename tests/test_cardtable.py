@@ -60,3 +60,62 @@ class TestDirtyRanges:
     def test_power_of_two_enforced(self):
         with pytest.raises(ValueError):
             CardTable(0, 1024, card_size=500)
+
+
+class TestBoundarySemantics:
+    """Edge semantics the delta tracker depends on: end-exclusive spans,
+    exact card-boundary ranges, and coalescing of adjacent dirty runs."""
+
+    def test_mark_range_ending_on_boundary_excludes_next_card(self, table):
+        table.mark_range(0x1000, 512)  # [0x1000, 0x1200): exactly card 0
+        assert table.is_dirty(0x1000)
+        assert not table.is_dirty(0x1000 + 512)
+        assert table.dirty_count == 1
+
+    def test_mark_range_starting_on_boundary(self, table):
+        table.mark_range(0x1000 + 512, 1)
+        assert not table.is_dirty(0x1000)
+        assert table.is_dirty(0x1000 + 512)
+
+    def test_one_byte_at_last_byte_of_card(self, table):
+        table.mark_range(0x1000 + 511, 1)
+        assert table.is_dirty(0x1000)
+        assert not table.is_dirty(0x1000 + 512)
+
+    def test_two_byte_range_straddling_boundary(self, table):
+        table.mark_range(0x1000 + 511, 2)
+        assert table.dirty_count == 2
+
+    def test_end_address_is_exclusive(self, table):
+        end = 0x1000 + 8 * 512
+        with pytest.raises(ValueError):
+            table.mark(end)
+        table.mark(end - 1)  # last valid byte
+        assert table.is_dirty(end - 1)
+
+    def test_mark_range_clamped_at_table_end(self, table):
+        end = 0x1000 + 8 * 512
+        table.mark_range(end - 16, 4096)  # extends far past the span
+        assert table.is_dirty(end - 1)
+        assert table.dirty_count == 1
+
+    def test_negative_length_is_noop(self, table):
+        table.mark_range(0x1000, -8)
+        assert table.dirty_count == 0
+
+    def test_dirty_ranges_coalesce_adjacent_cards(self, table):
+        table.mark_range(0x1000 + 500, 600)  # cards 0-2
+        table.mark(0x1000 + 1600)  # card 3, adjacent to the run
+        assert list(table.dirty_ranges()) == [(0x1000, 0x1000 + 2048)]
+
+    def test_dirty_ranges_clamped_to_end_on_partial_last_card(self):
+        table = CardTable(start=0, end=100, card_size=64)  # 2 cards, torn
+        table.mark_range(90, 5)
+        assert list(table.dirty_ranges()) == [(64, 100)]
+
+    def test_dirty_ranges_end_exclusive_ranges(self, table):
+        table.mark(0x1000)
+        ((start, end),) = table.dirty_ranges()
+        assert (start, end) == (0x1000, 0x1000 + 512)
+        # The range end is exclusive: the next card is not dirty.
+        assert not table.is_dirty(end)

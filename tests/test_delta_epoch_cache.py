@@ -1,0 +1,103 @@
+"""Tests for the send-epoch cache (repro/delta/epoch_cache.py)."""
+
+import pytest
+
+from repro.core.output_buffer import LOGICAL_BASE
+from repro.delta.epoch_cache import EpochCache, EpochRecord
+from repro.heap.layout import OBJECT_ALIGNMENT
+
+
+def make_record(members, destination="dst", epoch=1):
+    """members: list of (address, offset, aligned_size)."""
+    return EpochRecord(
+        destination=destination,
+        epoch=epoch,
+        addr_to_offset={a: o for a, o, _ in members},
+        sizes={a: s for a, _, s in members},
+        logical_end=max((o + s for _, o, s in members), default=LOGICAL_BASE),
+        total_bytes=sum(s for _, _, s in members),
+        minor_gcs=0,
+        full_gcs=0,
+    )
+
+
+class TestRecordFullSend:
+    def test_builds_mapping_from_cloned_triples(self):
+        cache = EpochCache()
+        cloned = [(0x1000, 8, 24), (0x1040, 32, 30), (0x10A0, 64, 48)]
+        record = cache.record_full_send("dst", cloned, 2, 1)
+        assert cache.get("dst") is record
+        assert record.offset_of(0x1000) == 8
+        assert record.offset_of(0x1040) == 32
+        # Sizes are stored receiver-aligned.
+        assert record.sizes[0x1040] == 32
+        assert record.sizes[0x1040] % OBJECT_ALIGNMENT == 0
+        assert (record.minor_gcs, record.full_gcs) == (2, 1)
+
+    def test_logical_end_past_last_clone(self):
+        cache = EpochCache()
+        record = cache.record_full_send("dst", [(0x1000, 8, 24)], 0, 0)
+        assert record.logical_end == 8 + 24
+        assert record.total_bytes == 24
+
+    def test_empty_send_ends_at_logical_base(self):
+        cache = EpochCache()
+        record = cache.record_full_send("dst", [], 0, 0)
+        assert record.logical_end == LOGICAL_BASE
+        assert len(record) == 0
+
+    def test_invalidate(self):
+        cache = EpochCache()
+        cache.record_full_send("dst", [(0x1000, 8, 24)], 0, 0)
+        cache.invalidate("dst")
+        assert cache.get("dst") is None
+        cache.invalidate("never-recorded")  # no-op, no raise
+
+
+class TestMembersOverlapping:
+    def test_exact_span(self):
+        record = make_record([(0x1000, 8, 32), (0x1020, 40, 32)])
+        assert list(record.members_overlapping([(0x1000, 0x1020)])) == [0x1000]
+
+    def test_range_starting_inside_an_object(self):
+        # A dirty range can begin mid-object (card granularity); the
+        # object covering its start must still be yielded.
+        record = make_record([(0x1000, 8, 64), (0x1040, 72, 32)])
+        assert list(record.members_overlapping([(0x1010, 0x1040)])) == [0x1000]
+
+    def test_range_just_past_object_end_excluded(self):
+        record = make_record([(0x1000, 8, 32)])
+        assert list(record.members_overlapping([(0x1020, 0x1040)])) == []
+
+    def test_multiple_ranges_no_double_yield(self):
+        record = make_record([(0x1000, 8, 0x100)])
+        ranges = [(0x1000, 0x1010), (0x1080, 0x1090)]
+        assert list(record.members_overlapping(ranges)) == [0x1000]
+
+    def test_non_members_between_members_skipped(self):
+        record = make_record([(0x1000, 8, 16), (0x1100, 24, 16)])
+        hits = list(record.members_overlapping([(0x1000, 0x1200)]))
+        assert hits == [0x1000, 0x1100]
+
+    def test_empty_ranges(self):
+        record = make_record([(0x1000, 8, 16)])
+        assert list(record.members_overlapping([])) == []
+
+
+class TestMergeEpoch:
+    def test_new_members_fold_in(self):
+        record = make_record([(0x1000, 8, 32)])
+        record.merge_epoch({0x2000: 40}, {0x2000: 48}, 88, 1, 0)
+        assert record.epoch == 2
+        assert record.offset_of(0x2000) == 40
+        assert record.total_bytes == 32 + 48
+        assert record.logical_end == 88
+        assert (record.minor_gcs, record.full_gcs) == (1, 0)
+        # The dirty-intersection index sees the new member.
+        assert list(record.members_overlapping([(0x2000, 0x2001)])) == [0x2000]
+
+    def test_merge_without_new_members_updates_counters_only(self):
+        record = make_record([(0x1000, 8, 32)])
+        record.merge_epoch({}, {}, record.logical_end, 0, 0)
+        assert record.epoch == 2
+        assert len(record) == 1

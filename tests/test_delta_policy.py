@@ -1,0 +1,83 @@
+"""Tests for the delta fallback policy (pre/post-encode gates, stats)."""
+
+from repro.delta.policy import (
+    DEFAULT_BYTE_CROSSOVER,
+    RECORD_OVERHEAD,
+    ChannelStats,
+    DeltaPolicy,
+)
+
+from tests.test_delta_epoch_cache import make_record
+
+
+def record_of(total_objects=100, size=64):
+    members = [(0x1000 + i * size, 8 + i * size, size)
+               for i in range(total_objects)]
+    return make_record(members)
+
+
+class TestPreEncodeGate:
+    def test_no_record_forces_full(self):
+        policy = DeltaPolicy()
+        decision = policy.decide(None, 0, 0, 0, 0)
+        assert (decision.mode, decision.reason) == ("full", "first_epoch")
+
+    def test_empty_record_forces_full(self):
+        policy = DeltaPolicy()
+        decision = policy.decide(make_record([]), 0, 0, 0, 0)
+        assert decision.reason == "first_epoch"
+
+    def test_sparse_dirt_goes_delta(self):
+        policy = DeltaPolicy()
+        record = record_of(100, 64)
+        decision = policy.decide(record, 3, 3 * 64, 0, 0)
+        assert decision.mode == "delta"
+        assert decision.mutation_rate == 0.03
+        assert decision.estimated_bytes == 3 * 64 + 3 * RECORD_OVERHEAD
+
+    def test_heavy_dirt_crosses_over(self):
+        policy = DeltaPolicy()
+        record = record_of(100, 64)
+        dirty = 60
+        decision = policy.decide(record, dirty, dirty * 64, 0, 0)
+        assert (decision.mode, decision.reason) == ("full", "mutation_crossover")
+        assert decision.mutation_rate == 0.6
+
+    def test_crossover_fraction_respected(self):
+        record = record_of(100, 64)
+        # 30% dirty: over a 0.1 crossover, under the default 0.5.
+        tight = DeltaPolicy(byte_crossover=0.1)
+        assert tight.decide(record, 30, 30 * 64, 0, 0).mode == "full"
+        assert DeltaPolicy().decide(record, 30, 30 * 64, 0, 0).mode == "delta"
+
+    def test_gc_since_record_forces_full(self):
+        policy = DeltaPolicy()
+        record = record_of()
+        assert policy.decide(record, 1, 64, 1, 0).reason == "gc_moved"
+        assert policy.decide(record, 1, 64, 0, 1).reason == "gc_moved"
+        assert policy.decide(record, 1, 64, 0, 0).mode == "delta"
+
+
+class TestPostEncodeGate:
+    def test_small_frame_accepted(self):
+        policy = DeltaPolicy()
+        record = record_of(100, 64)  # total 6400
+        assert policy.accept_encoded(record, 1000)
+
+    def test_overrun_frame_rejected(self):
+        policy = DeltaPolicy()
+        record = record_of(100, 64)
+        limit = int(DEFAULT_BYTE_CROSSOVER * record.total_bytes)
+        assert not policy.accept_encoded(record, limit + 1)
+
+
+class TestChannelStats:
+    def test_totals_and_fallback_accounting(self):
+        stats = ChannelStats()
+        stats.bytes_full += 1000
+        stats.bytes_delta += 50
+        assert stats.bytes_total == 1050
+        stats.note_fallback("mutation_crossover")
+        stats.note_fallback("mutation_crossover")
+        stats.note_fallback("gc_moved")
+        assert stats.fallbacks == {"mutation_crossover": 2, "gc_moved": 1}

@@ -1,0 +1,141 @@
+"""Tests for the delta wire format (framing, records, encoder output)."""
+
+import pytest
+
+from repro.core.runtime import attach_skyway
+from repro.delta import (
+    DeltaSendChannel,
+    FRAME_DELTA,
+    FRAME_FULL,
+    is_delta_frame,
+)
+from repro.delta.wire import (
+    REC_NEW,
+    REC_PATCH,
+    REC_SAMEREF,
+    DeltaFrame,
+    DeltaWireError,
+    FullFrame,
+    frame_full,
+    parse_frame,
+)
+from repro.jvm.jvm import JVM
+
+from tests.conftest import make_list
+
+
+@pytest.fixture
+def pair(classpath):
+    src = JVM("wire-src", classpath=classpath)
+    dst = JVM("wire-dst", classpath=classpath)
+    attach_skyway(src, [dst])
+    return src, dst
+
+
+class TestFraming:
+    def test_full_frame_roundtrip(self):
+        frame = frame_full(7, 3, b"embedded-bytes")
+        parsed = parse_frame(frame)
+        assert isinstance(parsed, FullFrame)
+        assert (parsed.channel_id, parsed.epoch) == (7, 3)
+        assert parsed.embedded == b"embedded-bytes"
+
+    def test_frame_sniffing(self):
+        assert is_delta_frame(bytes([FRAME_FULL]))
+        assert is_delta_frame(bytes([FRAME_DELTA]))
+        assert not is_delta_frame(b"")
+        # Plain Skyway streams start with the codec byte (0 or 1).
+        assert not is_delta_frame(bytes([0, 1, 2]))
+        assert not is_delta_frame(bytes([1, 1, 2]))
+
+    def test_parse_rejects_foreign_bytes(self):
+        with pytest.raises(DeltaWireError):
+            parse_frame(bytes([0x42, 1, 2, 3]))
+
+    def test_plain_stream_is_not_a_delta_frame(self, pair):
+        src, dst = pair
+        from repro.core.streams import SkywayObjectOutputStream
+
+        out = SkywayObjectOutputStream(src.skyway, destination="peer")
+        out.write_object(make_list(src, [1]))
+        assert not is_delta_frame(out.close())
+
+
+class TestEncodedEpochs:
+    """Drive a channel and inspect the frames it emits."""
+
+    def test_first_epoch_is_full(self, pair):
+        src, dst = pair
+        channel = DeltaSendChannel(src.skyway, "dst")
+        head = src.pin(make_list(src, range(40)))
+        parsed = parse_frame(channel.send([head.address]))
+        assert isinstance(parsed, FullFrame)
+        assert parsed.channel_id == channel.channel_id
+        assert parsed.epoch == 1
+
+    def test_patch_records_sorted_by_offset(self, pair):
+        src, dst = pair
+        channel = DeltaSendChannel(src.skyway, "dst")
+        head = src.pin(make_list(src, range(60)))
+        channel.send([head.address])
+        # Mutate several nodes spread across the chain.
+        node, index = head.address, 0
+        while node:
+            if index % 13 == 0:
+                src.set_field(node, "payload", 1000 + index)
+            node = src.get_field(node, "next")
+            index += 1
+        parsed = parse_frame(channel.send([head.address]))
+        assert isinstance(parsed, DeltaFrame)
+        assert parsed.epoch == 2
+        patches = [r for r in parsed.records if r.tag == REC_PATCH]
+        assert patches
+        offsets = [r.offset for r in patches]
+        assert offsets == sorted(offsets)
+        for record in patches:
+            assert len(record.payload) > 0
+
+    def test_unchanged_cached_root_emits_sameref(self, pair):
+        src, dst = pair
+        channel = DeltaSendChannel(src.skyway, "dst")
+        head = src.pin(make_list(src, range(60)))
+        channel.send([head.address])
+        # Dirty the tail only; the head root is cached and untouched.
+        node = head.address
+        for _ in range(59):
+            node = src.get_field(node, "next")
+        src.set_field(node, "payload", -5)
+        parsed = parse_frame(channel.send([head.address]))
+        assert isinstance(parsed, DeltaFrame)
+        samerefs = [r for r in parsed.records if r.tag == REC_SAMEREF]
+        assert len(samerefs) == 1
+        assert parsed.roots == [samerefs[0].offset]
+
+    def test_new_object_record_and_logical_growth(self, pair):
+        src, dst = pair
+        channel = DeltaSendChannel(src.skyway, "dst")
+        head = src.pin(make_list(src, range(60)))
+        channel.send([head.address])
+        fresh = src.new_instance("ListNode")
+        src.set_field(fresh, "payload", 99)
+        src.set_field(fresh, "next", head.address)
+        parsed = parse_frame(channel.send([fresh]))
+        assert isinstance(parsed, DeltaFrame)
+        news = [r for r in parsed.records if r.tag == REC_NEW]
+        assert len(news) == 1
+        # NEW offsets start exactly at the previous epoch's logical end.
+        assert news[0].offset == parsed.base_logical_end
+        assert parsed.new_logical_end > parsed.base_logical_end
+        assert parsed.roots == [news[0].offset]
+
+    def test_quiescent_epoch_ships_no_payload(self, pair):
+        src, dst = pair
+        channel = DeltaSendChannel(src.skyway, "dst")
+        head = src.pin(make_list(src, range(60)))
+        full = channel.send([head.address])
+        quiet = channel.send([head.address])
+        parsed = parse_frame(quiet)
+        assert isinstance(parsed, DeltaFrame)
+        assert [r.tag for r in parsed.records] == [REC_SAMEREF]
+        assert parsed.new_logical_end == parsed.base_logical_end
+        assert len(quiet) < len(full) / 20

@@ -53,6 +53,13 @@ class TestExamples:
         assert "parsed 240 date strings" in out
         assert "closures shipped" in out
 
+    def test_delta_pagerank(self, capsys):
+        load_example("delta_pagerank").main()
+        out = capsys.readouterr().out
+        assert "bootstrap" in out and "delta" in out
+        assert "automatic fallback" in out
+        assert "rank vectors identical on 2 workers: True" in out
+
     @pytest.mark.slow
     def test_spark_pagerank(self, capsys):
         load_example("spark_pagerank").main()

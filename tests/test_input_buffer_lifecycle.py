@@ -65,3 +65,25 @@ class TestRetention:
         for i in range(5):
             receive_one(src, dst, range(10))
         assert dst.skyway.retained_input_buffers == 5
+
+
+class TestFreeErrors:
+    def test_free_unknown_token_raises_key_error(self, pair):
+        src, dst = pair
+        with pytest.raises(KeyError):
+            dst.skyway.free_input_buffer(10_000)
+
+    def test_direct_double_free_raises_key_error(self, pair):
+        """The stream's close() is idempotent, but the runtime API itself
+        is strict: freeing a token twice is a caller bug."""
+        src, dst = pair
+        stream = receive_one(src, dst, [1, 2, 3])
+        token = stream.buffer_token
+        dst.skyway.free_input_buffer(token)
+        with pytest.raises(KeyError):
+            dst.skyway.free_input_buffer(token)
+
+    def test_extend_roots_unknown_token_raises(self, pair):
+        src, dst = pair
+        with pytest.raises(KeyError):
+            dst.skyway.extend_input_buffer_roots(10_000, [])
