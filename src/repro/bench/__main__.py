@@ -13,6 +13,7 @@ Regenerates any of the paper's tables/figures without pytest:
     python -m repro.bench extra-bytes
     python -m repro.bench delta-iter
     python -m repro.bench delta-sweep
+    python -m repro.bench transport
     python -m repro.bench all
 """
 
@@ -37,6 +38,10 @@ from repro.bench.spark_experiments import (
     run_figure3,
     run_figure8a,
     summarize_table2,
+)
+from repro.bench.transport_experiments import (
+    format_transport_report,
+    run_transport_experiment,
 )
 from repro.datasets import table1_rows
 from repro.jsbs.harness import run_jsbs
@@ -146,6 +151,14 @@ def cmd_delta_sweep(args) -> None:
          for row in rows}))
 
 
+def cmd_transport(args) -> None:
+    # The default --scale 0.02 maps to the full 80k-vertex (~8 MB) graph;
+    # smaller scales shrink it proportionally for quick runs.
+    vertices = max(2000, int(round(80_000 * args.scale / 0.02)))
+    result = run_transport_experiment(vertices=vertices)
+    print(format_transport_report(result))
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "fig3": cmd_fig3,
@@ -158,6 +171,7 @@ COMMANDS = {
     "extra-bytes": cmd_extra_bytes,
     "delta-iter": cmd_delta_iter,
     "delta-sweep": cmd_delta_sweep,
+    "transport": cmd_transport,
 }
 
 

@@ -37,6 +37,11 @@ from repro.types.loader import ClassLoader
 
 _FLAG_HAS_HASH = 0x01
 _FLAG_IS_ARRAY = 0x02
+#: Cap on one inflated object.  Lengths come off the wire as varints, so a
+#: bit-flipped length can claim up to 2^70 elements; inflating is the only
+#: place this codec allocates from untrusted sizes, and the cap turns a
+#: would-be MemoryError into a typed decode error.
+_MAX_INFLATED_BYTES = 1 << 30
 
 
 class CompactCodecError(RuntimeError):
@@ -152,8 +157,15 @@ class CompactSegmentCodec:
                 length = inp.read_varint()
                 size = klass.object_size(length)
             else:
+                if klass.is_array:
+                    raise CompactCodecError(f"{klass.name}: array flag mismatch")
                 length = 0
                 size = klass.object_size()
+            if size > _MAX_INFLATED_BYTES:
+                raise CompactCodecError(
+                    f"{klass.name}: inflated object of {size} bytes exceeds "
+                    f"the {_MAX_INFLATED_BYTES}-byte bound (corrupt length?)"
+                )
 
             image = bytearray(size)
             mark = markword.set_hash(markword.FRESH_MARK, hashcode)

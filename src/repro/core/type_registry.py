@@ -34,6 +34,20 @@ class TypeRegistryError(RuntimeError):
     pass
 
 
+class UnknownTypeIDError(TypeRegistryError):
+    """A tID arrived that no registry on this side can resolve.
+
+    Carries the offending ID so transports can report it to the peer
+    (paper §4.1: a receive-path miss normally recovers via LOOKUP_BY_ID;
+    across real process boundaries there is no shared driver to ask, so
+    the miss is terminal and must name the ID).
+    """
+
+    def __init__(self, tid: int) -> None:
+        super().__init__(f"no class registered with tID {tid}")
+        self.tid = tid
+
+
 #: Approximate wire size of a control message envelope.
 _ENVELOPE_BYTES = 64
 
@@ -77,7 +91,19 @@ class DriverRegistry:
         try:
             return self._names[tid]
         except KeyError:
-            raise TypeRegistryError(f"no class registered with tID {tid}") from None
+            raise UnknownTypeIDError(tid) from None
+
+    def install_snapshot(self, mapping: Dict[str, int]) -> None:
+        """Replace this registry's numbering wholesale (transport HELLO
+        convergence: after two processes exchange registries, both install
+        the merged mapping so every tID resolves identically on each
+        side).  Future registrations continue past the merged maximum."""
+        self._ids = dict(mapping)
+        self._names = {tid: name for name, tid in mapping.items()}
+        self._next_id = max(self._names, default=-1) + 1
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._ids)
 
     def __len__(self) -> int:
         return len(self._ids)
@@ -165,6 +191,15 @@ class RegistryView:
     def on_class_load(self, klass: Klass) -> None:
         """The class-loader hook: obtain the tID and WRITETID it."""
         klass.tid = self.id_for(klass.name)
+
+    def install_snapshot(self, mapping: Dict[str, int]) -> None:
+        """Replace the view's tables with a merged mapping (see
+        :meth:`DriverRegistry.install_snapshot`)."""
+        self._ids = dict(mapping)
+        self._names = {tid: name for name, tid in mapping.items()}
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._ids)
 
     def knows(self, name: str) -> bool:
         return name in self._ids

@@ -26,6 +26,19 @@ class Node:
         self.local_bytes_fetched = 0
         self.remote_bytes_fetched = 0
 
+    def account_fetch(self, nbytes: int, remote: bool) -> None:
+        """Record bytes this node fetched, local vs. remote (the Figure
+        3(b) split).  Both the simulated wire (:meth:`Cluster.transfer`)
+        and the real socket transport (:mod:`repro.transport`) route their
+        counters through here, so byte reports read one set of fields
+        regardless of which transport moved the data."""
+        if nbytes < 0:
+            raise ValueError("negative fetch size")
+        if remote:
+            self.remote_bytes_fetched += nbytes
+        else:
+            self.local_bytes_fetched += nbytes
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Node({self.name})"
 
@@ -78,9 +91,9 @@ class Cluster:
         if nbytes < 0:
             raise ValueError("negative transfer size")
         if src is dst:
-            dst.local_bytes_fetched += nbytes
+            dst.account_fetch(nbytes, remote=False)
             return
-        dst.remote_bytes_fetched += nbytes
+        dst.account_fetch(nbytes, remote=True)
         dst.clock.charge(self.cost_model.network_transfer(nbytes), Category.NETWORK)
 
     def send_message(self, src: Node, dst: Node, nbytes: int) -> None:

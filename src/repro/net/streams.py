@@ -79,6 +79,11 @@ class ByteOutputStream:
     def getvalue(self) -> bytes:
         return bytes(self._buf)
 
+    def tail(self, start: int) -> bytes:
+        """Bytes appended since ``start`` (incremental consumers — e.g. a
+        pipelined transport — drain the stream as it grows)."""
+        return bytes(self._buf[start:])
+
     def __len__(self) -> int:
         return len(self._buf)
 

@@ -68,9 +68,16 @@ class SparkContext:
         serializer: Serializer,
         default_parallelism: Optional[int] = None,
         config: Optional[SparkConfig] = None,
+        transport=None,
     ) -> None:
         self.cluster = cluster
         self.serializer = serializer
+        #: Optional real-byte transport: an object whose
+        #: ``transfer(src_node, dst_node, data)`` moves the serialized
+        #: bytes over an actual boundary (e.g.
+        #: :class:`repro.transport.SocketBroadcastTransport`) and accounts
+        #: them on ``dst``.  ``None`` keeps the in-process simulated wire.
+        self.transport = transport
         self.config = config if config is not None else SparkConfig()
         self.default_parallelism = (
             default_parallelism
@@ -113,7 +120,10 @@ class SparkContext:
         with driver.clock.phase(Category.SERIALIZATION):
             data = serializer.serialize(driver.jvm, addr)
         for worker in self.cluster.workers:
-            self.cluster.transfer(driver, worker, len(data))
+            if self.transport is not None:
+                self.transport.transfer(driver, worker, data)
+            else:
+                self.cluster.transfer(driver, worker, len(data))
             with worker.clock.phase(Category.DESERIALIZATION):
                 reader = serializer.new_reader(worker.jvm, data)
                 received = reader.read_object()

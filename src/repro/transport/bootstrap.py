@@ -1,0 +1,58 @@
+"""Building a Skyway runtime inside a fresh process.
+
+``multiprocessing.spawn`` pickles worker arguments, and a
+:class:`~repro.core.runtime.SkywayRuntime` (heap bytearrays, klass graphs,
+hooks) is not meaningfully picklable — so workers are described by a
+*recipe*: the dotted name of a zero-argument classpath factory plus JVM
+sizing.  Parent and child both call :func:`build_runtime`, which also
+gives tests an identical in-process reference runtime for the
+byte-identical round-trip check.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+from repro.core.runtime import SkywayRuntime
+from repro.core.type_registry import DriverRegistry
+from repro.jvm.jvm import JVM
+from repro.transport.errors import WorkerStartupError
+from repro.types.classdef import ClassPath
+
+MB = 1024 * 1024
+
+
+def resolve_classpath_factory(spec: str) -> Callable[[], ClassPath]:
+    """``"pkg.module:function"`` -> the callable it names."""
+    module_name, sep, attr = spec.partition(":")
+    if not sep or not module_name or not attr:
+        raise WorkerStartupError(
+            f"classpath factory {spec!r} is not of the form 'module:function'"
+        )
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise WorkerStartupError(
+            f"cannot import classpath factory module {module_name!r}: {exc}"
+        ) from exc
+    factory = getattr(module, attr, None)
+    if not callable(factory):
+        raise WorkerStartupError(
+            f"{module_name!r} has no callable {attr!r}"
+        )
+    return factory
+
+
+def build_runtime(
+    name: str,
+    classpath_factory: str,
+    young_bytes: int = 4 * MB,
+    old_bytes: int = 64 * MB,
+) -> SkywayRuntime:
+    """A self-driving Skyway runtime (each process is its own registry
+    driver; cross-process agreement comes from the HELLO merge)."""
+    classpath = resolve_classpath_factory(classpath_factory)()
+    jvm = JVM(name, classpath=classpath,
+              young_bytes=young_bytes, old_bytes=old_bytes)
+    return SkywayRuntime(jvm, DriverRegistry(), is_driver=True)

@@ -1,0 +1,336 @@
+"""Driver-side handles: spawning workers and talking to them.
+
+:class:`WorkerHandle` owns a spawned worker *process* (start, port
+discovery, kill, reap).  :class:`WorkerClient` owns one framed *connection*
+to a worker: registry handshake, graph/blob sends through the chunk
+pipeline, and the conversion of every mid-stream failure into the typed
+error taxonomy.
+
+Byte accounting: a client constructed with ``account_node=`` routes the
+stream bytes each send delivers through
+:meth:`repro.net.cluster.Node.account_fetch`, so real-socket transfers
+land in the same ``local_bytes_fetched``/``remote_bytes_fetched`` counters
+the simulated wire reports (Figure 3(b) stays one code path).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import zlib
+from typing import Optional, Tuple, Type
+
+from repro.core.runtime import SkywayRuntime
+from repro.core.streams import SkywayObjectOutputStream
+from repro.net.cluster import Node
+from repro.transport import frames, registry_sync
+from repro.transport.connection import FrameConnection, connect_with_retry
+from repro.transport.errors import TransportError, WorkerStartupError
+from repro.transport.metrics import TransportMetrics
+from repro.transport.pipeline import (
+    DEFAULT_CHUNK_BYTES,
+    DEFAULT_QUEUE_CHUNKS,
+    ChunkPipeline,
+)
+from repro.transport.worker import WorkerSpec, worker_main
+
+
+class WorkerHandle:
+    """A spawned worker process and the port it listens on."""
+
+    def __init__(self, spec: WorkerSpec, process, port: int) -> None:
+        self.spec = spec
+        self.process = process
+        self.host = spec.host
+        self.port = port
+
+    @classmethod
+    def spawn(cls, spec: WorkerSpec, startup_timeout: float = 30.0) -> "WorkerHandle":
+        """Start the worker (``multiprocessing.spawn`` — a fresh
+        interpreter, like a fresh JVM) and wait for its listening port."""
+        ctx = multiprocessing.get_context("spawn")
+        parent_pipe, child_pipe = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=worker_main, args=(spec, child_pipe),
+            name=f"skyway-worker-{spec.name}", daemon=True,
+        )
+        process.start()
+        child_pipe.close()
+        try:
+            if not parent_pipe.poll(startup_timeout):
+                raise WorkerStartupError(
+                    f"worker {spec.name!r} reported no port within "
+                    f"{startup_timeout}s"
+                )
+            status, value = parent_pipe.recv()
+        except (EOFError, OSError) as exc:
+            process.terminate()
+            process.join(timeout=5)
+            raise WorkerStartupError(
+                f"worker {spec.name!r} died during startup: {exc}"
+            ) from exc
+        finally:
+            parent_pipe.close()
+        if status != "ok":
+            process.join(timeout=5)
+            raise WorkerStartupError(
+                f"worker {spec.name!r} failed to start: {value}"
+            )
+        return cls(spec, process, int(value))
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL — the fault-injection path (worker dies mid-stream)."""
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(timeout=5)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Terminate and reap (fixtures call this; no zombie workers)."""
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():  # pragma: no cover - last resort
+            self.process.kill()
+            self.process.join(timeout=timeout)
+
+
+class WorkerClient:
+    """One framed connection from a driver runtime to a worker."""
+
+    def __init__(
+        self,
+        runtime: SkywayRuntime,
+        host: str,
+        port: int,
+        node_name: str = "driver",
+        connect_timeout: float = 2.0,
+        connect_attempts: int = 1,
+        connect_backoff: float = 0.05,
+        read_timeout: float = 10.0,
+        metrics: Optional[TransportMetrics] = None,
+        account_node: Optional[Node] = None,
+        account_remote: bool = True,
+        connection_cls: Type[FrameConnection] = FrameConnection,
+    ) -> None:
+        self.runtime = runtime
+        self.host = host
+        self.port = port
+        self.node_name = node_name
+        self.metrics = metrics if metrics is not None else TransportMetrics()
+        self.account_node = account_node
+        self.account_remote = account_remote
+        self._connect_timeout = connect_timeout
+        self._connect_attempts = connect_attempts
+        self._connect_backoff = connect_backoff
+        self._read_timeout = read_timeout
+        self._connection_cls = connection_cls
+        self._conn: Optional[FrameConnection] = None
+        #: Names synced by the last HELLO on this connection; None means
+        #: no HELLO yet (an empty frozenset would make a driver with an
+        #: empty registry skip the handshake entirely and learn nothing
+        #: from the worker's extras).
+        self._synced_names: Optional[frozenset] = None
+        self.peer_name: Optional[str] = None
+
+    # -- connection & handshake -------------------------------------------
+
+    def connect(self) -> "WorkerClient":
+        with self.metrics.phase("connect"):
+            sock = connect_with_retry(
+                self.host, self.port,
+                connect_timeout=self._connect_timeout,
+                attempts=self._connect_attempts,
+                backoff=self._connect_backoff,
+                metrics=self.metrics,
+            )
+        self._conn = self._connection_cls(
+            sock, read_timeout=self._read_timeout, metrics=self.metrics,
+        )
+        self._synced_names = None
+        self._sync_registry()
+        return self
+
+    def _require_conn(self) -> FrameConnection:
+        if self._conn is None:
+            raise TransportError("client is not connected (call connect())")
+        return self._conn
+
+    def _sync_registry(self) -> None:
+        """HELLO/HELLO_ACK whenever this side knows names it has not yet
+        synced — including classes loaded *after* the initial handshake
+        (a stream must never carry a tID the worker cannot resolve)."""
+        conn = self._require_conn()
+        snapshot = self.runtime.view.snapshot()
+        if self._synced_names is not None \
+                and frozenset(snapshot) == self._synced_names:
+            return
+        with self.metrics.phase("handshake"):
+            conn.send_frame(
+                frames.HELLO,
+                frames.encode_hello(self.node_name, snapshot),
+            )
+            peer, extras = frames.decode_hello_ack(
+                conn.expect_frame(frames.HELLO_ACK)
+            )
+            merged = registry_sync.merge_registries(snapshot, extras)
+            registry_sync.install_merged(self.runtime, merged)
+        self.peer_name = peer
+        self._synced_names = frozenset(merged)
+
+    # -- ops ---------------------------------------------------------------
+
+    def ping(self, echo=None) -> dict:
+        conn = self._require_conn()
+        conn.send_frame(
+            frames.CALL, frames.encode_json({"op": "ping", "echo": echo})
+        )
+        return frames.decode_json(
+            conn.expect_frame(frames.RESULT), what="RESULT"
+        )
+
+    def stats(self) -> dict:
+        conn = self._require_conn()
+        conn.send_frame(frames.CALL, frames.encode_json({"op": "stats"}))
+        return frames.decode_json(
+            conn.expect_frame(frames.RESULT), what="RESULT"
+        )
+
+    def send_graph(
+        self,
+        roots,
+        retain: bool = False,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        queue_chunks: int = DEFAULT_QUEUE_CHUNKS,
+        store_and_forward: bool = False,
+        throttle_mbps: Optional[float] = None,
+    ) -> Tuple[dict, bytes]:
+        """Serialize ``roots`` (heap addresses) straight into the chunk
+        pipeline and return ``(worker result, framed stream bytes)``.
+
+        The returned bytes are what an in-process ``accept()`` would have
+        consumed — callers use them for the byte-identical cross-check.
+        """
+        conn = self._require_conn()
+        self._sync_registry()
+        # Each socket send is its own shuffling phase: bumping the sID
+        # invalidates baddr words left in driver-heap objects by earlier
+        # sends (including aborted ones) — without this, re-sending a
+        # graph emits references into a buffer that no longer exists.
+        self.runtime.shuffle_start()
+        conn.send_frame(
+            frames.CALL,
+            frames.encode_json({"op": "recv_graph", "retain": retain}),
+        )
+        pipeline = ChunkPipeline(
+            conn, chunk_bytes=chunk_bytes, queue_chunks=queue_chunks,
+            store_and_forward=store_and_forward, throttle_mbps=throttle_mbps,
+            metrics=self.metrics,
+        )
+        out = SkywayObjectOutputStream(
+            self.runtime, destination=f"socket:{self.host}:{self.port}",
+            transport=pipeline,
+        )
+        try:
+            with self.metrics.phase("traverse+send"):
+                for root in roots:
+                    out.write_object(root)
+                data = out.close()
+        except TransportError as exc:
+            pipeline.abort()
+            remote = conn.pending_remote_error()
+            if remote is not None:
+                raise remote from exc
+            raise
+        result = frames.decode_json(
+            conn.expect_frame(frames.RESULT), what="RESULT"
+        )
+        if self.account_node is not None:
+            self.account_node.account_fetch(
+                len(data), remote=self.account_remote
+            )
+        return result, data
+
+    def send_blob(
+        self,
+        data: bytes,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        store_and_forward: bool = False,
+    ) -> dict:
+        """Ship opaque bytes (the Spark broadcast path) through the same
+        chunk pipeline; the worker answers size + CRC."""
+        conn = self._require_conn()
+        conn.send_frame(frames.CALL, frames.encode_json({"op": "recv_blob"}))
+        pipeline = ChunkPipeline(
+            conn, chunk_bytes=chunk_bytes,
+            store_and_forward=store_and_forward, metrics=self.metrics,
+        )
+        try:
+            with self.metrics.phase("traverse+send"):
+                pipeline.feed(data)
+                pipeline.finish(len(data), zlib.crc32(data))
+        except TransportError as exc:
+            pipeline.abort()
+            remote = conn.pending_remote_error()
+            if remote is not None:
+                raise remote from exc
+            raise
+        result = frames.decode_json(
+            conn.expect_frame(frames.RESULT), what="RESULT"
+        )
+        if result.get("crc32") != zlib.crc32(data):
+            raise TransportError(
+                "worker acknowledged a blob with a different CRC"
+            )
+        if self.account_node is not None:
+            self.account_node.account_fetch(
+                len(data), remote=self.account_remote
+            )
+        return result
+
+    def shutdown_worker(self) -> dict:
+        conn = self._require_conn()
+        conn.send_frame(frames.CALL, frames.encode_json({"op": "shutdown"}))
+        return frames.decode_json(
+            conn.expect_frame(frames.RESULT), what="RESULT"
+        )
+
+    def close(self) -> None:
+        if self._conn is None:
+            return
+        try:
+            self._conn.send_frame(frames.BYE)
+        except TransportError:
+            pass
+        self._conn.close()
+        self._conn = None
+
+    def __enter__(self) -> "WorkerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SocketBroadcastTransport:
+    """The ``SparkContext(transport=...)`` seam, socket edition.
+
+    Maps cluster worker names to :class:`WorkerClient` connections; each
+    ``transfer`` ships the serialized broadcast bytes over the real wire
+    and accounts them on the receiving node's fetch counters.
+    """
+
+    def __init__(self, clients) -> None:
+        #: {cluster node name -> connected WorkerClient}
+        self.clients = dict(clients)
+
+    def transfer(self, src: Node, dst: Node, data: bytes) -> None:
+        client = self.clients.get(dst.name)
+        if client is None:
+            raise TransportError(
+                f"no socket worker registered for cluster node {dst.name!r}"
+            )
+        client.send_blob(data)
+        dst.account_fetch(len(data), remote=src is not dst)

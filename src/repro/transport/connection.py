@@ -1,0 +1,188 @@
+"""A framed connection over one TCP socket, with typed failures.
+
+Wraps a connected socket in the frame protocol from
+:mod:`repro.transport.frames` and converts every raw socket failure into
+the :mod:`repro.transport.errors` taxonomy at the boundary — no caller
+above this layer ever sees ``OSError``/``socket.timeout``/``struct.error``.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Optional, Tuple
+
+from repro.transport import frames
+from repro.transport.errors import (
+    RemoteWorkerError,
+    TransportClosed,
+    TransportTimeout,
+)
+from repro.transport.metrics import TransportMetrics
+
+_RECV_BYTES = 256 * 1024
+
+
+def connect_with_retry(
+    host: str,
+    port: int,
+    connect_timeout: float = 2.0,
+    attempts: int = 1,
+    backoff: float = 0.05,
+    metrics: Optional[TransportMetrics] = None,
+) -> socket.socket:
+    """Dial ``host:port``, retrying refused/timed-out connects with
+    exponential backoff (``backoff * 2**n`` between tries).
+
+    Raises :class:`TransportTimeout` when every attempt fails — the retry
+    budget *is* the deadline here, so "out of attempts" and "timed out"
+    are one condition.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    last_error: Optional[Exception] = None
+    for attempt in range(attempts):
+        if metrics is not None:
+            metrics.connect_attempts += 1
+            if attempt:
+                metrics.retries += 1
+        try:
+            return socket.create_connection((host, port), timeout=connect_timeout)
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            last_error = exc
+            if attempt + 1 < attempts:
+                time.sleep(backoff * (2 ** attempt))
+    raise TransportTimeout(
+        f"could not connect to {host}:{port} after {attempts} "
+        f"attempt(s): {last_error}"
+    )
+
+
+class FrameConnection:
+    """send_frame/recv_frame over a socket, CRC-verified both ways."""
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        read_timeout: Optional[float] = None,
+        metrics: Optional[TransportMetrics] = None,
+    ) -> None:
+        self._sock = sock
+        self._decoder = frames.FrameDecoder()
+        self._closed = False
+        self.metrics = metrics if metrics is not None else TransportMetrics()
+        sock.settimeout(read_timeout)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - e.g. AF_UNIX
+            pass
+
+    # -- sending -----------------------------------------------------------
+
+    def send_frame(self, ftype: int, payload: bytes = b"") -> None:
+        data = frames.encode_frame(ftype, payload)
+        try:
+            self._sock.sendall(data)
+        except socket.timeout as exc:
+            raise TransportTimeout(
+                f"timed out sending {frames.frame_name(ftype)} frame"
+            ) from exc
+        except OSError as exc:
+            raise TransportClosed(
+                f"peer closed while sending {frames.frame_name(ftype)} "
+                f"frame: {exc}"
+            ) from exc
+        self.metrics.frames_sent += 1
+        self.metrics.bytes_sent += len(data)
+
+    # -- receiving ---------------------------------------------------------
+
+    def recv_frame(self) -> Tuple[int, bytes]:
+        """The next complete frame, reading from the socket as needed."""
+        while True:
+            frame = self._decoder.next_frame()
+            if frame is not None:
+                self.metrics.frames_received += 1
+                self.metrics.bytes_received += frames.HEADER_BYTES + len(frame[1])
+                return frame
+            try:
+                data = self._sock.recv(_RECV_BYTES)
+            except socket.timeout as exc:
+                raise TransportTimeout("timed out waiting for a frame") from exc
+            except OSError as exc:
+                raise TransportClosed(f"connection reset: {exc}") from exc
+            if not data:
+                raise TransportClosed(
+                    "peer closed the connection mid-conversation"
+                    + (f" ({self._decoder.buffered} bytes of a partial frame"
+                       " buffered)" if self._decoder.buffered else "")
+                )
+            self._decoder.feed(data)
+
+    def expect_frame(self, ftype: int) -> bytes:
+        """Receive one frame that must be ``ftype``; an ERROR frame raises
+        the remote failure, anything else is a protocol violation."""
+        got, payload = self.recv_frame()
+        if got == ftype:
+            return payload
+        if got == frames.ERROR:
+            kind, message = frames.decode_error(payload)
+            raise RemoteWorkerError(kind, message)
+        raise TransportClosed(
+            f"protocol violation: expected {frames.frame_name(ftype)}, "
+            f"peer sent {frames.frame_name(got)}"
+        )
+
+    def expect_frame_oneof(self, ftypes: Tuple[int, ...]) -> Tuple[int, bytes]:
+        """Like :meth:`expect_frame` for several acceptable types; returns
+        ``(type, payload)``."""
+        got, payload = self.recv_frame()
+        if got in ftypes:
+            return got, payload
+        if got == frames.ERROR:
+            kind, message = frames.decode_error(payload)
+            raise RemoteWorkerError(kind, message)
+        wanted = "/".join(frames.frame_name(t) for t in ftypes)
+        raise TransportClosed(
+            f"protocol violation: expected {wanted}, "
+            f"peer sent {frames.frame_name(got)}"
+        )
+
+    def pending_remote_error(self, wait: float = 0.25) -> Optional[RemoteWorkerError]:
+        """Best-effort peek for an ERROR frame after a send failed.
+
+        A worker that rejects the stream (CRC failure, decode error) sends
+        ERROR and closes; the driver's next ``sendall`` then fails with a
+        reset *before* it has read that explanation.  This drains the
+        socket briefly so the typed remote error wins over a generic
+        :class:`TransportClosed`."""
+        try:
+            self._sock.settimeout(wait)
+        except OSError:
+            return None
+        try:
+            while True:
+                ftype, payload = self.recv_frame()
+                if ftype == frames.ERROR:
+                    kind, message = frames.decode_error(payload)
+                    return RemoteWorkerError(kind, message)
+        except Exception:
+            return None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "FrameConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,61 @@
+"""Position-independent digest of a received object graph.
+
+The acceptance check for the socket transport is that a graph round-tripped
+driver -> worker over loopback is *byte-identical* to the in-process
+receive path: same input-buffer contents, same restored klass and pointer
+words.  Raw heap bytes can't be compared directly across processes — klass
+words hold loader-assigned klass IDs and pointers hold physical addresses,
+both of which depend on local allocation history — so the digest
+normalizes exactly those two word kinds:
+
+* each object contributes its class *name* (not the klass word);
+* each reference word is translated back to its buffer-*logical* offset
+  (the coordinate system the wire format itself uses);
+* everything else — mark words with their preserved hashcodes, primitive
+  fields, array payloads, padding — is hashed as-is.
+
+Two receivers that placed and absolutized the same stream produce the same
+digest, whatever their heaps looked like beforehand.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.receiver import ObjectGraphReceiver
+from repro.heap.layout import KLASS_OFFSET
+from repro.jvm.jvm import JVM
+
+
+def graph_digest(jvm: JVM, receiver: ObjectGraphReceiver) -> str:
+    """SHA-256 over the received buffer in logical coordinates."""
+    heap = jvm.heap
+    buffer = receiver.buffer
+    spans = [
+        (chunk.physical_start, chunk.filled, chunk.logical_start)
+        for chunk in buffer.chunks
+    ]
+
+    def to_logical(pointer: int) -> int:
+        if pointer == 0:
+            return 0
+        for physical, filled, logical in spans:
+            if physical <= pointer < physical + filled:
+                return logical + (pointer - physical)
+        raise ValueError(
+            f"pointer {pointer:#x} leads outside the input buffer"
+        )
+
+    digest = hashlib.sha256()
+    for address in buffer.placed_objects:
+        klass = heap.klass_of(address)
+        size = heap.object_size(address)
+        image = bytearray(heap.read_bytes(address, size))
+        image[KLASS_OFFSET:KLASS_OFFSET + 8] = b"\x00" * 8
+        for offset in heap.reference_offsets(address):
+            pointer = int.from_bytes(image[offset:offset + 8], "little")
+            image[offset:offset + 8] = to_logical(pointer).to_bytes(8, "little")
+        digest.update(klass.name.encode("utf-8"))
+        digest.update(len(image).to_bytes(8, "little"))
+        digest.update(bytes(image))
+    return digest.hexdigest()

@@ -1,0 +1,49 @@
+"""Typed transport errors.
+
+Every failure mode of the socket transport — refused or timed-out connects,
+mid-stream peer death, corrupt frames, errors raised inside the remote
+worker — surfaces at the driver as one of these types, never as a bare
+``OSError``/``struct.error``.  Drivers can therefore write policy
+(retry, re-queue, fail the task) against a stable taxonomy, which is what
+the paper's "Skyway runtime" does for its TCP channel failures.
+"""
+
+from __future__ import annotations
+
+
+class TransportError(RuntimeError):
+    """Base class for every socket-transport failure."""
+
+
+class HandshakeError(TransportError):
+    """HELLO/HELLO_ACK exchange failed or produced an inconsistent
+    registry view."""
+
+
+class FrameCorruptionError(TransportError):
+    """A frame failed its CRC32 check or carried an impossible length."""
+
+
+class TransportTimeout(TransportError):
+    """A connect or read deadline elapsed."""
+
+
+class TransportClosed(TransportError):
+    """The peer closed (or reset) the connection mid-conversation —
+    e.g. a worker process killed mid-stream."""
+
+
+class WorkerStartupError(TransportError):
+    """A spawned worker process failed to report a listening port."""
+
+
+class RemoteWorkerError(TransportError):
+    """An error raised inside the worker, propagated over an ERROR frame.
+
+    ``kind`` is the remote exception class name; ``message`` its text.
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"remote worker error [{kind}]: {message}")
+        self.kind = kind
+        self.message = message

@@ -1,0 +1,78 @@
+"""Transport-side counters and wall-clock phase timers.
+
+The simulated cluster charges :class:`~repro.simtime.SimClock` time from a
+cost model; the socket transport moves real bytes in real time, so it keeps
+its own measured ledger.  Benchmarks report both side by side: the sim
+clock says what the *model* predicts, these counters say what the wire
+*did* (the pipelining win is a wall-clock fact, not a modeled one).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class TransportMetrics:
+    """Byte/chunk/retry counters plus per-phase wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.chunks_sent = 0
+        self.chunks_received = 0
+        self.connect_attempts = 0
+        self.retries = 0
+        self.queue_full_stalls = 0
+        #: Seconds the feeding thread spent blocked on a full chunk queue —
+        #: the direct measure of "traversal outran the wire".
+        self.stall_seconds = 0.0
+        self.phases: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate wall-clock time under ``name`` ("traverse", "send",
+        "handshake", "place", ...)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_phase(name, time.perf_counter() - start)
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    def merge(self, other: "TransportMetrics") -> None:
+        self.bytes_sent += other.bytes_sent
+        self.bytes_received += other.bytes_received
+        self.frames_sent += other.frames_sent
+        self.frames_received += other.frames_received
+        self.chunks_sent += other.chunks_sent
+        self.chunks_received += other.chunks_received
+        self.connect_attempts += other.connect_attempts
+        self.retries += other.retries
+        self.queue_full_stalls += other.queue_full_stalls
+        self.stall_seconds += other.stall_seconds
+        for name, seconds in other.phases.items():
+            self.add_phase(name, seconds)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "chunks_sent": self.chunks_sent,
+            "chunks_received": self.chunks_received,
+            "connect_attempts": self.connect_attempts,
+            "retries": self.retries,
+            "queue_full_stalls": self.queue_full_stalls,
+            "stall_seconds": round(self.stall_seconds, 6),
+            "phases": {k: round(v, 6) for k, v in sorted(self.phases.items())},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TransportMetrics({self.as_dict()!r})"

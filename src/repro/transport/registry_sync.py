@@ -1,0 +1,68 @@
+"""Registry convergence across real process boundaries.
+
+In the simulated cluster every :class:`RegistryView` shares one in-process
+:class:`DriverRegistry`, so Algorithm 1's LOOKUP traffic is a method call.
+Two *processes* have no shared driver: each boots its own runtime and
+numbers its classes independently, so the same class name can carry
+different tIDs on each side — fatal for a format whose klass words are
+tIDs.
+
+The HELLO/HELLO_ACK exchange fixes this deterministically:
+
+1. the driver's HELLO carries its full ``{name -> tID}`` snapshot;
+2. the worker replies HELLO_ACK with the (sorted) names it has loaded that
+   the driver's snapshot lacks;
+3. both sides independently compute the same merged mapping — driver
+   assignments win verbatim, the worker's extra names get sequential IDs
+   from ``max(driver IDs) + 1`` in sorted order — and install it,
+   rewriting the tID in every loaded klass meta-object (WRITETID again).
+
+No third message is needed: the merge is a pure function of the two
+payloads, so agreement is by construction rather than by acknowledgement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.runtime import SkywayRuntime
+from repro.transport.errors import HandshakeError
+
+
+def extra_names(local: Dict[str, int], remote: Dict[str, int]) -> List[str]:
+    """The sorted class names present locally but absent from the peer's
+    snapshot (the HELLO_ACK payload)."""
+    return sorted(set(local) - set(remote))
+
+
+def merge_registries(driver_map: Dict[str, int],
+                     worker_extras: List[str]) -> Dict[str, int]:
+    """The deterministic merge both sides compute after HELLO/HELLO_ACK."""
+    merged = dict(driver_map)
+    seen = len(set(driver_map.values()))
+    if seen != len(driver_map):
+        raise HandshakeError(
+            "driver registry snapshot assigns one tID to multiple classes"
+        )
+    next_id = max(driver_map.values(), default=-1) + 1
+    for name in sorted(worker_extras):
+        if name in merged:
+            continue
+        merged[name] = next_id
+        next_id += 1
+    return merged
+
+
+def install_merged(runtime: SkywayRuntime, merged: Dict[str, int]) -> None:
+    """Install the merged mapping into this process's registry *and*
+    rewrite the tID of every loaded class (the klass words of any stream
+    encoded after this point use the merged numbering)."""
+    runtime.driver_registry.install_snapshot(merged)
+    runtime.view.install_snapshot(merged)
+    for klass in runtime.jvm.loader.loaded_classes():
+        tid = merged.get(klass.name)
+        if tid is None:
+            raise HandshakeError(
+                f"loaded class {klass.name!r} missing from merged registry"
+            )
+        klass.tid = tid

@@ -1,0 +1,258 @@
+"""The Skyway worker process: a socket server around a receiving runtime.
+
+One worker = one spawned process = one JVM + Skyway runtime, listening on a
+loopback TCP port.  The protocol per connection:
+
+1. HELLO / HELLO_ACK — registry convergence (:mod:`registry_sync`).  A
+   driver may re-HELLO on the same connection after loading new classes;
+   the worker treats any HELLO as a fresh merge.
+2. CALL frames carrying a JSON ``{"op": ...}``; data-bearing ops are
+   followed by DATA chunks + TRAILER.  Each op answers RESULT or ERROR.
+3. BYE ends the connection; the worker keeps accepting new ones (this is
+   what lets a driver's retry/backoff recover from a killed connection).
+
+Any exception inside an op is reported as one ERROR frame naming the
+exception type, then the connection closes — mid-stream state is
+unrecoverable, a fresh connection is not.
+
+Ops:
+
+``ping``
+    Echo, for liveness and handshake tests.
+``recv_graph``
+    Receive one Skyway object stream into this heap (placement overlapping
+    arrival), absolutize, and reply with root count, object/byte tallies
+    and the position-independent :func:`~repro.transport.digest.graph_digest`.
+    ``retain=false`` (default) unpins the roots after digesting so
+    repeated benchmark sends don't exhaust the worker heap.
+``recv_blob``
+    Receive an opaque byte blob (the Spark broadcast path) and reply with
+    its size and CRC.
+``stats``
+    Runtime + transport counters.
+``shutdown``
+    Acknowledge, then exit the accept loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import socket
+import zlib
+from typing import Optional
+
+from repro.core.streams import SkywayObjectInputStream
+from repro.transport import frames, registry_sync
+from repro.transport.bootstrap import MB, build_runtime
+from repro.transport.connection import FrameConnection
+from repro.transport.digest import graph_digest
+from repro.transport.errors import TransportClosed, TransportError
+from repro.transport.metrics import TransportMetrics
+from repro.transport.pipeline import pump_stream
+
+
+@dataclasses.dataclass
+class WorkerSpec:
+    """Everything a spawned worker needs, in picklable form."""
+
+    name: str
+    classpath_factory: str  # "module:function" -> ClassPath
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; actual port reported back over the pipe
+    read_timeout: float = 10.0
+    young_bytes: int = 4 * MB
+    old_bytes: int = 64 * MB
+
+
+class _ConnPump:
+    """Adapter giving ``SkywayObjectInputStream`` its ``transport.pump``."""
+
+    def __init__(self, conn: FrameConnection) -> None:
+        self._conn = conn
+        self.stream_bytes = 0
+
+    def pump(self, decoder) -> None:
+        self.stream_bytes = pump_stream(self._conn, decoder)
+
+
+class _BlobSink:
+    """A trivial decoder standing in for the stream decoder: recv_blob
+    pumps opaque bytes (e.g. Java-serializer broadcast payloads)."""
+
+    def __init__(self) -> None:
+        self.data = bytearray()
+
+    def feed(self, chunk: bytes) -> None:
+        self.data.extend(chunk)
+
+
+class WorkerServer:
+    """The in-process server object (runs inside the spawned worker)."""
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        self.spec = spec
+        self.runtime = build_runtime(
+            spec.name, spec.classpath_factory,
+            young_bytes=spec.young_bytes, old_bytes=spec.old_bytes,
+        )
+        self.metrics = TransportMetrics()
+        self._running = True
+        self.graphs_received = 0
+
+    # -- op handlers -------------------------------------------------------
+
+    def _op_ping(self, conn: FrameConnection, call: dict) -> dict:
+        return {"op": "ping", "echo": call.get("echo"),
+                "worker": self.spec.name}
+
+    def _op_recv_graph(self, conn: FrameConnection, call: dict) -> dict:
+        pump = _ConnPump(conn)
+        stream = SkywayObjectInputStream(self.runtime, transport=pump)
+        with self.metrics.phase("receive"):
+            stream.accept()
+        receiver = stream.receiver
+        with self.metrics.phase("digest"):
+            digest = graph_digest(self.runtime.jvm, receiver)
+        result = {
+            "op": "recv_graph",
+            "roots": stream.root_count,
+            "objects": receiver.objects_received,
+            "logical_bytes": receiver.buffer.logical_size,
+            "stream_bytes": pump.stream_bytes,
+            "digest": digest,
+            "retained": bool(call.get("retain", False)),
+        }
+        self.graphs_received += 1
+        if not call.get("retain", False):
+            stream.close()  # unpin roots; GC reclaims on future pressure
+        return result
+
+    def _op_recv_blob(self, conn: FrameConnection, call: dict) -> dict:
+        sink = _BlobSink()
+        with self.metrics.phase("receive"):
+            pump_stream(conn, sink)
+        return {
+            "op": "recv_blob",
+            "bytes": len(sink.data),
+            "crc32": zlib.crc32(bytes(sink.data)),
+        }
+
+    def _op_stats(self, conn: FrameConnection, call: dict) -> dict:
+        return {
+            "op": "stats",
+            "worker": self.spec.name,
+            "graphs_received": self.graphs_received,
+            "runtime": {
+                k: v for k, v in self.runtime.stats().items()
+                if isinstance(v, (int, str, bool))
+            },
+            "transport": self.metrics.as_dict(),
+        }
+
+    def _op_shutdown(self, conn: FrameConnection, call: dict) -> dict:
+        self._running = False
+        return {"op": "shutdown", "ok": True}
+
+    _OPS = {
+        "ping": _op_ping,
+        "recv_graph": _op_recv_graph,
+        "recv_blob": _op_recv_blob,
+        "stats": _op_stats,
+        "shutdown": _op_shutdown,
+    }
+
+    # -- connection loop ---------------------------------------------------
+
+    def _handshake(self, conn: FrameConnection, payload: bytes) -> None:
+        version, peer, driver_map = frames.decode_hello(payload)
+        if version != frames.PROTOCOL_VERSION:
+            raise TransportError(
+                f"protocol version mismatch: peer {peer!r} speaks "
+                f"v{version}, this worker v{frames.PROTOCOL_VERSION}"
+            )
+        extras = registry_sync.extra_names(
+            self.runtime.view.snapshot(), driver_map
+        )
+        conn.send_frame(
+            frames.HELLO_ACK,
+            frames.encode_hello_ack(self.spec.name, extras),
+        )
+        merged = registry_sync.merge_registries(driver_map, extras)
+        registry_sync.install_merged(self.runtime, merged)
+
+    def serve_connection(self, conn: FrameConnection) -> None:
+        """Run one connection to completion (BYE, EOF, or a fatal op
+        error).  Op failures answer ERROR then end the connection."""
+        while self._running:
+            try:
+                ftype, payload = conn.recv_frame()
+            except TransportClosed:
+                return  # peer went away between calls; accept loop continues
+            if ftype == frames.BYE:
+                return
+            try:
+                if ftype == frames.HELLO:
+                    self._handshake(conn, payload)
+                    continue
+                if ftype != frames.CALL:
+                    raise TransportError(
+                        f"protocol violation: unexpected "
+                        f"{frames.frame_name(ftype)} frame between calls"
+                    )
+                call = frames.decode_json(payload, what="CALL")
+                handler = self._OPS.get(call.get("op"))
+                if handler is None:
+                    raise TransportError(f"unknown op {call.get('op')!r}")
+                result = handler(self, conn, call)
+                conn.send_frame(frames.RESULT, frames.encode_json(result))
+            except Exception as exc:  # noqa: BLE001 - reported as ERROR frame
+                try:
+                    conn.send_frame(
+                        frames.ERROR,
+                        frames.encode_error(type(exc).__name__, str(exc)),
+                    )
+                except TransportError:
+                    pass
+                return
+
+    def serve_forever(self, listener: socket.socket) -> None:
+        listener.settimeout(0.25)  # poll so shutdown can exit the loop
+        while self._running:
+            try:
+                sock, _addr = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            conn = FrameConnection(
+                sock, read_timeout=self.spec.read_timeout,
+                metrics=self.metrics,
+            )
+            try:
+                self.serve_connection(conn)
+            finally:
+                conn.close()
+
+
+def worker_main(spec: WorkerSpec, port_pipe) -> None:
+    """Entry point of the spawned process.  Binds, reports the actual port
+    through ``port_pipe``, then serves until shutdown."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        server = WorkerServer(spec)
+        listener.bind((spec.host, spec.port))
+        listener.listen(8)
+        port_pipe.send(("ok", listener.getsockname()[1]))
+    except Exception as exc:  # noqa: BLE001 - parent re-raises as typed error
+        try:
+            port_pipe.send(("error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            listener.close()
+        return
+    finally:
+        port_pipe.close()
+    try:
+        server.serve_forever(listener)
+    finally:
+        listener.close()

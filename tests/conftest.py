@@ -1,10 +1,82 @@
-"""Shared fixtures: JVMs, sample class definitions, and graph builders."""
+"""Shared fixtures: JVMs, sample class definitions, graph builders, plus a
+per-test wall-clock ceiling (socket-transport tests talk to real worker
+processes; a hung worker must fail the test, not the CI job)."""
+
+import signal
 
 import pytest
 
 from repro.jvm.jvm import JVM
 from repro.types.classdef import ClassPath
 from repro.types.corelib import install_core_classes
+
+try:
+    import pytest_timeout  # noqa: F401  (CI installs it; containers may not)
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+#: Per-test ceiling, seconds.  Generous: the slowest legitimate test is a
+#: multi-process transport round trip; only a genuine hang exceeds this.
+TEST_TIMEOUT_SECONDS = 120
+
+
+def pytest_collection_modifyitems(config, items):
+    if not _HAVE_PYTEST_TIMEOUT:
+        return
+    for item in items:
+        if item.get_closest_marker("timeout") is None:
+            item.add_marker(pytest.mark.timeout(TEST_TIMEOUT_SECONDS))
+
+
+if not _HAVE_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
+    # Fallback when the plugin is unavailable: SIGALRM aborts the test
+    # body.  Covers the call phase only, which is where transport tests
+    # can block on sockets/processes.
+    @pytest.hookimpl(wrapper=True)
+    def pytest_runtest_call(item):
+        marker = item.get_closest_marker("timeout")
+        seconds = int(marker.args[0]) if marker and marker.args \
+            else TEST_TIMEOUT_SECONDS
+
+        def _expired(signum, frame):
+            raise TimeoutError(
+                f"test exceeded the {seconds}s wall-clock ceiling"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.alarm(seconds)
+        try:
+            return (yield)
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+# ---------------------------------------------------------------------------
+# socket-transport fixtures (worker processes are always reaped)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def spawned_worker():
+    """A live worker process on an ephemeral loopback port."""
+    from repro.transport import WorkerHandle, WorkerSpec
+    from repro.transport.testing import SAMPLE_FACTORY
+
+    handle = WorkerHandle.spawn(
+        WorkerSpec(name="test-worker", classpath_factory=SAMPLE_FACTORY)
+    )
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def transport_driver():
+    """A driver-side runtime built from the same recipe workers use."""
+    from repro.transport.bootstrap import build_runtime
+    from repro.transport.testing import SAMPLE_FACTORY
+
+    return build_runtime("test-driver", SAMPLE_FACTORY)
 
 
 def sample_classpath() -> ClassPath:

@@ -1,0 +1,132 @@
+"""Registry handshake over real sockets: two processes with different
+class-registration histories must converge on one numbering after HELLO,
+late class loads must re-HELLO automatically, and a tID the worker has
+never heard of must surface as a typed error naming the ID."""
+
+import pytest
+
+from repro.apps.incremental import VERTEX_CLASS
+from repro.core.type_registry import UnknownTypeIDError
+from repro.transport import WorkerClient
+from repro.transport.bootstrap import build_runtime
+from repro.transport.errors import RemoteWorkerError
+from repro.transport.testing import SAMPLE_FACTORY
+
+from tests.conftest import make_date, make_list
+
+
+def _connect(runtime, handle, **kwargs):
+    return WorkerClient(
+        runtime, handle.host, handle.port,
+        node_name=runtime.jvm.name, **kwargs,
+    ).connect()
+
+
+def test_unknown_type_id_error_names_the_id():
+    err = UnknownTypeIDError(42)
+    assert err.tid == 42
+    assert "tID 42" in str(err)
+
+
+def test_digests_agree_across_drivers_with_different_load_orders(spawned_worker):
+    """Two driver processes registering classes in opposite orders get
+    conflicting local numberings; after each handshakes with the worker,
+    identical graphs must still land identically (the acceptance check is
+    the worker-side position-independent digest)."""
+    a = build_runtime("driver-a", SAMPLE_FACTORY)
+    list_a = make_list(a.jvm, range(10))       # ListNode registered first
+    date_a = make_date(a.jvm, 2018, 3, 28)
+
+    b = build_runtime("driver-b", SAMPLE_FACTORY)
+    date_b = make_date(b.jvm, 2018, 3, 28)     # Date family registered first
+    list_b = make_list(b.jvm, range(10))
+
+    # The premise: local numberings genuinely conflict before any handshake.
+    assert a.view.snapshot() != b.view.snapshot()
+
+    with _connect(a, spawned_worker) as ca:
+        result_a, _ = ca.send_graph([list_a, date_a])
+    with _connect(b, spawned_worker) as cb:
+        result_b, _ = cb.send_graph([list_b, date_b])
+
+    assert result_a["roots"] == result_b["roots"] == 2
+    assert result_a["objects"] == result_b["objects"]
+    assert result_a["digest"] == result_b["digest"]
+
+
+def test_worker_extras_teach_a_fresh_driver(spawned_worker):
+    """Names the worker learned from one driver flow back, via HELLO_ACK
+    extras, to a later driver that never loaded those classes."""
+    teacher = build_runtime("teacher", SAMPLE_FACTORY)
+    head = make_list(teacher.jvm, range(5))
+    with _connect(teacher, spawned_worker) as client:
+        client.send_graph([head])
+
+    pupil = build_runtime("pupil", SAMPLE_FACTORY)
+    assert "ListNode" not in pupil.view.snapshot()
+    with _connect(pupil, spawned_worker) as client:
+        assert "ListNode" in pupil.view.snapshot()
+        # ...and the converged numbering works immediately on the wire.
+        result, _ = client.send_graph([make_list(pupil.jvm, range(5))])
+        assert result["roots"] == 1
+
+
+def test_late_class_load_triggers_rehello(spawned_worker, transport_driver):
+    """Classes loaded after connect() must be announced before the next
+    stream; send_graph re-HELLOs on its own.  VertexI is on both class
+    paths (the shared factory) but unloaded — and so unregistered — at
+    connect time."""
+    with _connect(transport_driver, spawned_worker) as client:
+        before = client._synced_names
+        assert VERTEX_CLASS not in before
+        jvm = transport_driver.jvm
+        pin = jvm.pin(jvm.new_instance(VERTEX_CLASS))
+        try:
+            result, _ = client.send_graph([pin.address])
+        finally:
+            jvm.unpin(pin)
+        assert result["roots"] == 1
+        assert VERTEX_CLASS in client._synced_names
+        assert client._synced_names != before
+
+
+def test_class_missing_from_worker_classpath_is_typed(
+    spawned_worker, transport_driver
+):
+    """A class defined only on the driver: the re-HELLO teaches the worker
+    its tID, but the worker's class path cannot produce a definition —
+    that must surface as the typed remote stream error naming the class,
+    not a hang or a silent partial graph."""
+    with _connect(transport_driver, spawned_worker) as client:
+        jvm = transport_driver.jvm
+        jvm.classpath.define("DriverOnly", [("x", "I")])
+        pin = jvm.pin(jvm.new_instance("DriverOnly"))
+        try:
+            with pytest.raises(RemoteWorkerError, match="DriverOnly"):
+                client.send_graph([pin.address])
+        finally:
+            jvm.unpin(pin)
+
+
+def test_desynced_tid_surfaces_as_typed_remote_error(
+    spawned_worker, transport_driver
+):
+    """If the re-HELLO is sabotaged, the stream carries a tID the worker
+    cannot resolve — that must come back as one typed error naming the
+    ID, not a hang or a bare KeyError."""
+    with _connect(transport_driver, spawned_worker) as client:
+        jvm = transport_driver.jvm
+        jvm.classpath.define("Unannounced", [("x", "I")])
+        pin = jvm.pin(jvm.new_instance("Unannounced"))
+        # Pretend the new snapshot was already synced so send_graph skips
+        # the re-HELLO it would normally perform.
+        client._synced_names = frozenset(transport_driver.view.snapshot())
+        try:
+            with pytest.raises(RemoteWorkerError, match="tID") as excinfo:
+                client.send_graph([pin.address])
+        finally:
+            jvm.unpin(pin)
+        # The remote decoder wraps the registry miss in its one typed
+        # stream error; the original type and offending ID stay visible.
+        assert "UnknownTypeIDError" in str(excinfo.value)
+        assert "no class registered with tID" in excinfo.value.message

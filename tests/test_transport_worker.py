@@ -1,0 +1,213 @@
+"""End-to-end tests against real spawned worker processes: round-trip
+fidelity (the PageRank-style vertex graph lands byte-identical to an
+in-process receive), ops, and every injected fault surfacing as one typed
+transport error — corrupted chunk, worker killed mid-stream, connecting to
+a dead port, and recovery once a worker returns."""
+
+import threading
+import time
+
+import pytest
+
+from repro.apps.incremental import build_vertex_graph
+from repro.core.runtime import SkywayRuntime
+from repro.core.streams import SkywayObjectInputStream
+from repro.jvm.jvm import JVM
+from repro.transport import (
+    FrameConnection,
+    RemoteWorkerError,
+    TransportClosed,
+    TransportTimeout,
+    WorkerClient,
+    WorkerHandle,
+    WorkerSpec,
+    frames,
+    graph_digest,
+)
+from repro.transport.testing import (
+    SAMPLE_FACTORY,
+    ring_edges,
+    sample_worker_classpath,
+)
+
+from tests.conftest import make_date, make_list
+
+
+def _connect(runtime, handle, **kwargs):
+    return WorkerClient(
+        runtime, handle.host, handle.port,
+        node_name=runtime.jvm.name, **kwargs,
+    ).connect()
+
+
+def _vertex_root(runtime, n=400):
+    return runtime.jvm.pin(
+        build_vertex_graph(runtime.jvm, ring_edges(n, n // 2))
+    )
+
+
+class CorruptingConnection(FrameConnection):
+    """Flips one bit in the payload of the 2nd DATA frame sent (after the
+    CRC is computed, so the damage happens "on the wire")."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._data_frames = 0
+
+    def send_frame(self, ftype, payload=b""):
+        if ftype == frames.DATA:
+            self._data_frames += 1
+            if self._data_frames == 2:
+                raw = bytearray(frames.encode_frame(ftype, payload))
+                raw[frames.HEADER_BYTES + len(payload) // 2] ^= 0x40
+                self._sock.sendall(bytes(raw))
+                self.metrics.frames_sent += 1
+                return
+        super().send_frame(ftype, payload)
+
+
+def test_round_trip_matches_in_process_receive(
+    spawned_worker, transport_driver
+):
+    """The acceptance check: a vertex graph shipped over real loopback TCP
+    must land byte-identical (position-independent digest over restored
+    klass words and pointers) to an in-process accept of the same framed
+    bytes."""
+    pin = _vertex_root(transport_driver)
+    with _connect(transport_driver, spawned_worker) as client:
+        result, data = client.send_graph([pin.address])
+
+    ref_jvm = JVM("ref", classpath=sample_worker_classpath())
+    ref_runtime = SkywayRuntime(
+        ref_jvm, transport_driver.driver_registry, is_driver=False
+    )
+    stream = SkywayObjectInputStream(ref_runtime)
+    stream.accept(data)
+    assert result["digest"] == graph_digest(ref_jvm, stream.receiver)
+    assert result["roots"] == 1
+    assert result["objects"] == stream.receiver.objects_received
+    assert result["stream_bytes"] == len(data)
+
+
+def test_ping_stats_and_blob(spawned_worker, transport_driver):
+    with _connect(transport_driver, spawned_worker) as client:
+        assert client.ping(echo="marco")["echo"] == "marco"
+
+        import zlib
+        blob = b"broadcast payload" * 999
+        result = client.send_blob(blob)
+        assert result["bytes"] == len(blob)
+        assert result["crc32"] == zlib.crc32(blob)
+
+        date = make_date(transport_driver.jvm, 2018, 3, 28)
+        head = make_list(transport_driver.jvm, range(8))
+        client.send_graph([date, head])
+
+        stats = client.stats()
+        assert stats["graphs_received"] == 1
+        assert stats["worker"] == "test-worker"
+        assert stats["transport"]["chunks_received"] > 0
+
+
+def test_corrupted_chunk_is_typed_and_reconnect_recovers(
+    spawned_worker, transport_driver
+):
+    """A bit flipped on the wire must surface as a typed error naming the
+    CRC failure — and a fresh connection must work immediately after."""
+    pin = _vertex_root(transport_driver)
+    client = _connect(
+        transport_driver, spawned_worker,
+        connection_cls=CorruptingConnection,
+    )
+    try:
+        with pytest.raises(
+            (RemoteWorkerError, TransportClosed, TransportTimeout)
+        ) as excinfo:
+            client.send_graph([pin.address], chunk_bytes=8192)
+    finally:
+        client.close()
+    if isinstance(excinfo.value, RemoteWorkerError):
+        assert "CRC" in excinfo.value.message
+
+    with _connect(transport_driver, spawned_worker) as client:
+        result, _ = client.send_graph([pin.address], chunk_bytes=8192)
+        assert result["roots"] == 1
+
+
+def test_worker_killed_mid_stream_is_typed(transport_driver):
+    """SIGKILL the worker while chunks are in flight: the driver must get
+    a typed transport error promptly, not hang until the read timeout."""
+    handle = WorkerHandle.spawn(
+        WorkerSpec(name="doomed", classpath_factory=SAMPLE_FACTORY)
+    )
+    try:
+        client = _connect(transport_driver, handle, read_timeout=10.0)
+        pin = _vertex_root(transport_driver, n=3000)
+        killer = threading.Timer(0.15, handle.kill)
+        killer.start()
+        started = time.perf_counter()
+        try:
+            with pytest.raises((TransportClosed, TransportTimeout)):
+                # Throttled so the stream is still mid-flight at kill time.
+                client.send_graph(
+                    [pin.address], chunk_bytes=4096,
+                    queue_chunks=2, throttle_mbps=5.0,
+                )
+            assert time.perf_counter() - started < 8.0
+        finally:
+            killer.join()
+            client.close()
+    finally:
+        handle.stop()
+
+
+def test_connect_to_dead_port_retries_then_typed_timeout(transport_driver):
+    handle = WorkerHandle.spawn(
+        WorkerSpec(name="shortlived", classpath_factory=SAMPLE_FACTORY)
+    )
+    host, port = handle.host, handle.port
+    handle.stop()  # nothing listens on the port any more
+
+    client = WorkerClient(
+        transport_driver, host, port,
+        connect_attempts=3, connect_backoff=0.05, connect_timeout=0.5,
+    )
+    with pytest.raises(TransportTimeout, match="after 3 attempt"):
+        client.connect()
+    assert client.metrics.connect_attempts == 3
+    assert client.metrics.retries == 2
+
+
+def test_retry_recovers_when_worker_returns(transport_driver):
+    """The backoff window is long enough to spawn a replacement worker on
+    the same port — the connect loop must land on it."""
+    first = WorkerHandle.spawn(
+        WorkerSpec(name="original", classpath_factory=SAMPLE_FACTORY)
+    )
+    port = first.port
+    first.stop()
+
+    replacement = {}
+
+    def respawn():
+        replacement["handle"] = WorkerHandle.spawn(WorkerSpec(
+            name="replacement", classpath_factory=SAMPLE_FACTORY, port=port,
+        ))
+
+    spawner = threading.Thread(target=respawn)
+    spawner.start()
+    try:
+        client = WorkerClient(
+            transport_driver, "127.0.0.1", port,
+            connect_attempts=20, connect_backoff=0.25, connect_timeout=1.0,
+        )
+        client.connect()
+        try:
+            assert client.ping(echo="back")["echo"] == "back"
+            assert client.metrics.retries > 0
+        finally:
+            client.close()
+    finally:
+        spawner.join()
+        if "handle" in replacement:
+            replacement["handle"].stop()
