@@ -1,0 +1,39 @@
+"""B-KERNEL — compiled per-class clone kernels + multi-stream parallel send.
+
+Wall-clock, like T-SOCKET: the same vertex graph is serialized by the
+interpreted per-field traversal and by the compiled-kernel path (must be
+byte-identical and at least 2x faster), then shipped to a spawned worker
+over one socket stream and over N parallel streams with distinct
+``thread_id`` words (paper §4.2's per-thread output buffers as real
+connections).  Digest parity between kernel and interpreted parallel runs
+gates the whole thing — speed never buys semantic drift.
+"""
+
+from repro.bench.kernel_experiments import (
+    format_kernel_report,
+    kernel_checks_pass,
+    run_kernel_experiment,
+)
+
+from conftest import bench_scale, emit_json, publish
+
+
+def run(vertices: int):
+    return run_kernel_experiment(vertices=vertices)
+
+
+def test_kernel_speedup_and_parallel_send(benchmark):
+    vertices = max(4_000, int(40_000 * bench_scale()))
+    result = benchmark.pedantic(lambda: run(vertices), rounds=1, iterations=1)
+
+    publish("kernels", format_kernel_report(result))
+    emit_json("kernels", result)
+
+    assert kernel_checks_pass(result), (
+        "kernel and interpreted streams diverged (bytes or digests)"
+    )
+    # The headline acceptance gate: compiled kernels at least double the
+    # sender-side traversal throughput.
+    assert result["traversal"]["speedup"] >= 2.0
+    # On the paced wire, N streams must beat one stream outright.
+    assert result["parallel"]["speedup"] > 1.0

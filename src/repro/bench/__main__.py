@@ -14,6 +14,8 @@ Regenerates any of the paper's tables/figures without pytest:
     python -m repro.bench delta-iter
     python -m repro.bench delta-sweep
     python -m repro.bench transport
+    python -m repro.bench kernels
+    python -m repro.bench kernels --smoke   # CI parity gate, exits 1 on drift
     python -m repro.bench all
 """
 
@@ -25,6 +27,11 @@ import sys
 from repro.bench.delta_experiments import run_delta_iterative, run_mutation_sweep
 from repro.bench.extra_bytes import average_composition, measure_extra_byte_composition
 from repro.bench.flink_experiments import run_figure8b, summarize_table4
+from repro.bench.kernel_experiments import (
+    format_kernel_report,
+    kernel_checks_pass,
+    run_kernel_experiment,
+)
 from repro.bench.memory import measure_baddr_overhead
 from repro.bench.report import (
     format_breakdown_table,
@@ -159,6 +166,17 @@ def cmd_transport(args) -> None:
     print(format_transport_report(result))
 
 
+def cmd_kernels(args) -> None:
+    # --scale 0.02 maps to the full 40k-vertex graph; --smoke shrinks it
+    # and turns the run into a pass/fail parity gate.
+    vertices = max(1000, int(round(40_000 * args.scale / 0.02)))
+    result = run_kernel_experiment(vertices=vertices, smoke=args.smoke)
+    print(format_kernel_report(result))
+    if not kernel_checks_pass(result):
+        raise SystemExit("B-KERNEL parity check failed: kernel and "
+                         "interpreted streams diverged")
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "fig3": cmd_fig3,
@@ -172,6 +190,7 @@ COMMANDS = {
     "delta-iter": cmd_delta_iter,
     "delta-sweep": cmd_delta_sweep,
     "transport": cmd_transport,
+    "kernels": cmd_kernels,
 }
 
 
@@ -187,6 +206,8 @@ def main(argv=None) -> int:
                         help="fig7: run a reduced library catalog")
     parser.add_argument("--full", action="store_true",
                         help="fig8a: all four graphs (slow)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="kernels: small graph, fail on parity drift")
     args = parser.parse_args(argv)
 
     if args.experiment == "all":

@@ -1,0 +1,222 @@
+"""B-KERNEL — compiled clone kernels and the multi-stream parallel send.
+
+Two measured claims, both wall-clock (the kernels change *Python* work,
+not modeled work — the simulated clock charges the same seconds either
+way, which is itself asserted by the clock-parity test suite):
+
+1. **Kernel speedup.**  The same vertex graph is serialized in-process
+   twice — interpreted per-field traversal versus the compiled-kernel
+   path — and must produce *byte-identical* framed streams (checked
+   directly on the bytes AND via the position-independent
+   :func:`~repro.transport.digest.graph_digest` of an in-process receive).
+   The kernel path must be at least ~2x faster; in practice it lands well
+   above that.
+
+2. **Multi-stream parallel send.**  The same roots go to one spawned
+   worker over N connections/streams (distinct ``thread_id`` per stream,
+   one shared shuffle phase — §4.2's per-thread output buffers as real
+   sockets).  On a paced wire, N streams divide the serialization +
+   transfer wall-clock; digest parity between a kernel run and an
+   interpreted run proves the kernel path byte-exact under concurrency
+   too (each stream's digest list must match element-wise).
+
+``--smoke`` runs a shrunken graph with no pacing and exits non-zero on
+any parity failure — the CI gate that the kernels never drift from the
+interpreted semantics.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.apps.incremental import build_vertex_graph
+from repro.core.runtime import SkywayRuntime
+from repro.core.streams import SkywayObjectInputStream, SkywayObjectOutputStream
+from repro.jvm.jvm import JVM
+from repro.transport import WorkerClient, WorkerHandle, WorkerSpec, graph_digest
+from repro.transport.bootstrap import MB, build_runtime
+from repro.transport.parallel import ParallelGraphSender
+from repro.transport.testing import (
+    SAMPLE_FACTORY,
+    ring_edges,
+    sample_worker_classpath,
+)
+
+DEFAULT_VERTICES = 40_000
+DEFAULT_STREAMS = 4
+DEFAULT_WIRE_MBPS = 8.0
+SMOKE_VERTICES = 1_500
+
+
+def _reference_digest(driver: SkywayRuntime, data: bytes) -> str:
+    """In-process receive of the framed bytes, digest-normalized."""
+    ref_jvm = JVM("kernel-ref", classpath=sample_worker_classpath(),
+                  old_bytes=512 * MB)
+    ref_runtime = SkywayRuntime(ref_jvm, driver.driver_registry,
+                                is_driver=False)
+    stream = SkywayObjectInputStream(ref_runtime)
+    stream.accept(data)
+    return graph_digest(ref_jvm, stream.receiver)
+
+
+def _serialize_once(driver: SkywayRuntime, root: int, use_kernels: bool):
+    """One in-process serialization pass; returns (seconds, framed bytes)."""
+    driver.use_kernels = use_kernels
+    driver.shuffle_start()
+    out = SkywayObjectOutputStream(driver, destination="bench-kernel")
+    started = time.perf_counter()
+    out.write_object(root)
+    data = out.close()
+    return time.perf_counter() - started, data
+
+
+def run_kernel_experiment(
+    vertices: int = DEFAULT_VERTICES,
+    streams: int = DEFAULT_STREAMS,
+    wire_mbps: Optional[float] = DEFAULT_WIRE_MBPS,
+    repeats: int = 3,
+    smoke: bool = False,
+) -> Dict[str, object]:
+    """Returns a JSON-serializable result dict (see module docstring)."""
+    if smoke:
+        vertices = min(vertices, SMOKE_VERTICES)
+        wire_mbps = None
+        repeats = 1
+
+    driver = build_runtime("kernel-driver", SAMPLE_FACTORY, old_bytes=512 * MB)
+    jvm = driver.jvm
+    edges = ring_edges(vertices, vertices)
+    root = jvm.pin(build_vertex_graph(jvm, edges))
+
+    # -- claim 1: in-process kernel vs interpreted traversal ---------------
+    _serialize_once(driver, root.address, True)  # warm classes + kernels
+    _serialize_once(driver, root.address, False)
+    kernel_t, kernel_data = min(
+        (_serialize_once(driver, root.address, True) for _ in range(repeats)),
+        key=lambda pair: pair[0],
+    )
+    interp_t, interp_data = min(
+        (_serialize_once(driver, root.address, False) for _ in range(repeats)),
+        key=lambda pair: pair[0],
+    )
+    bytes_identical = kernel_data == interp_data
+    kernel_digest = _reference_digest(driver, kernel_data)
+    interp_digest = _reference_digest(driver, interp_data)
+    driver.use_kernels = True
+
+    # -- claim 2: multi-stream parallel send over real sockets -------------
+    handle = WorkerHandle.spawn(WorkerSpec(
+        name="kernel-worker", classpath_factory=SAMPLE_FACTORY,
+        old_bytes=512 * MB, read_timeout=300.0,
+    ))
+    clients: List[WorkerClient] = []
+    try:
+        clients = [
+            WorkerClient(driver, handle.host, handle.port,
+                         read_timeout=300.0).connect()
+            for _ in range(max(1, streams))
+        ]
+        # Per-vertex roots so the set shards: each DeltaVertex subgraph
+        # (vertex + its long[] adjacency) is disjoint, so stream counts
+        # add up exactly and parallelism is root-level.
+        varr = jvm.get_field(root.address, "vertices")
+        n = jvm.get_field(root.address, "n")
+        roots = [jvm.heap.read_element(varr, i) for i in range(n)]
+
+        single = clients[0]
+        single.send_graph(roots[: min(64, len(roots))])  # warm the wire
+        started = time.perf_counter()
+        single_result, single_data = single.send_graph(
+            roots, throttle_mbps=wire_mbps,
+        )
+        single_t = time.perf_counter() - started
+
+        fan = ParallelGraphSender(clients)
+        parallel = fan.send(roots, throttle_mbps=wire_mbps)
+
+        # Digest parity under concurrency: interpreted rerun must match
+        # the kernel run stream for stream.
+        driver.use_kernels = False
+        parallel_interp = fan.send(roots, throttle_mbps=wire_mbps)
+        driver.use_kernels = True
+        parallel_parity = parallel.digests == parallel_interp.digests
+    finally:
+        for client in clients:
+            try:
+                client.close()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+        handle.stop()
+
+    return {
+        "graph": {
+            "vertices": vertices,
+            "edges": len(edges),
+            "stream_bytes": len(kernel_data),
+            "stream_mb": round(len(kernel_data) / 1e6, 2),
+        },
+        "smoke": smoke,
+        "traversal": {
+            "interpreted_seconds": round(interp_t, 4),
+            "kernel_seconds": round(kernel_t, 4),
+            "speedup": round(interp_t / kernel_t, 2),
+            "bytes_identical": bytes_identical,
+            "digest_identical": kernel_digest == interp_digest,
+            "digest": kernel_digest,
+        },
+        "parallel": {
+            "streams": len(clients),
+            "wire_mbps": wire_mbps,
+            "single_stream_seconds": round(single_t, 4),
+            "parallel_seconds": round(parallel.elapsed_seconds, 4),
+            "speedup": round(single_t / parallel.elapsed_seconds, 2),
+            "single_objects": single_result["objects"],
+            "parallel_objects": parallel.total_objects,
+            "digest_parity": parallel_parity,
+            "digests": parallel.digests,
+        },
+    }
+
+
+def kernel_checks_pass(result: Dict[str, object]) -> bool:
+    """The parity gates the smoke run (and CI) enforce."""
+    traversal = result["traversal"]
+    parallel = result["parallel"]
+    return bool(
+        traversal["bytes_identical"]
+        and traversal["digest_identical"]
+        and parallel["digest_parity"]
+        and parallel["single_objects"] == parallel["parallel_objects"]
+    )
+
+
+def format_kernel_report(result: Dict[str, object]) -> str:
+    graph = result["graph"]
+    traversal = result["traversal"]
+    parallel = result["parallel"]
+    wire = (f"{parallel['wire_mbps']} Mbps/conn"
+            if parallel["wire_mbps"] else "unthrottled loopback")
+    return "\n".join([
+        "B-KERNEL — compiled clone kernels + multi-stream parallel send",
+        f"  graph: {graph['vertices']} vertices, {graph['edges']} edges, "
+        f"{graph['stream_mb']} MB framed stream",
+        "",
+        "  traversal (in-process, one stream):",
+        f"    interpreted     {traversal['interpreted_seconds']:>8.3f} s",
+        f"    kernel          {traversal['kernel_seconds']:>8.3f} s"
+        f"   -> {traversal['speedup']:.2f}x",
+        f"    byte-identical streams: {traversal['bytes_identical']}, "
+        f"digest-identical: {traversal['digest_identical']}",
+        "",
+        f"  parallel send ({parallel['streams']} streams, {wire}):",
+        f"    single stream   {parallel['single_stream_seconds']:>8.3f} s"
+        f"   ({parallel['single_objects']} objects)",
+        f"    {parallel['streams']} streams       "
+        f"{parallel['parallel_seconds']:>8.3f} s"
+        f"   -> {parallel['speedup']:.2f}x",
+        f"    kernel vs interpreted per-stream digest parity: "
+        f"{parallel['digest_parity']}",
+        "",
+        f"  all parity checks pass: {kernel_checks_pass(result)}",
+    ])

@@ -62,6 +62,7 @@ class InputBuffer:
         self.placed_objects: List[int] = []
         self._logical_cursor = LOGICAL_BASE
         self._starts_index: List[int] = []  # logical_start per chunk (bisect)
+        self._last_chunk: Optional[Chunk] = None  # translate() locality cache
         self.total_bytes = 0
         self._frozen = False
 
@@ -141,6 +142,13 @@ class InputBuffer:
                 f"relative address {logical:#x} outside buffer "
                 f"[{LOGICAL_BASE:#x}, {self._logical_cursor:#x})"
             )
+        # Absolutization scans objects in logical order, so consecutive
+        # lookups overwhelmingly hit the same chunk — check it first.
+        chunk = self._last_chunk
+        if chunk is not None:
+            offset = logical - chunk.logical_start
+            if 0 <= offset < chunk.filled:
+                return chunk.physical_start + offset
         i = bisect.bisect_right(self._starts_index, logical) - 1
         chunk = self.chunks[i]
         offset = logical - chunk.logical_start
@@ -148,6 +156,7 @@ class InputBuffer:
             raise InputBufferError(
                 f"relative address {logical:#x} falls in chunk {i} padding"
             )
+        self._last_chunk = chunk
         return chunk.physical_start + offset
 
     @property

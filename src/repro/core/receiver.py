@@ -24,6 +24,12 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.input_buffer import InputBuffer, InputBufferError
+from repro.core.kernels import (
+    ReceiveKernel,
+    WORD_STRUCT,
+    receive_kernel_for,
+    ref_run_struct,
+)
 from repro.core.type_registry import RegistryView
 from repro.heap.handles import Handle
 from repro.heap.heap import NULL
@@ -52,8 +58,14 @@ class ObjectGraphReceiver:
         self.view = registry_view
         self.buffer = InputBuffer(jvm.heap, chunk_size=chunk_size)
         self._update_functions = update_functions or {}
-        #: (physical address, klass) per placed object, in logical order.
-        self._placed: List[Tuple[int, object]] = []
+        #: Per-receiver tID -> compiled receive kernel memo: the registry
+        #: view and class loader are consulted once per class, not once per
+        #: object (the old per-object ``name_for`` + ``loader.load`` pair
+        #: dominated placement time for homogeneous streams).
+        self._kernels: Dict[int, ReceiveKernel] = {}
+        #: (physical address, receive kernel) per placed object, in
+        #: logical order.
+        self._placed: List[Tuple[int, ReceiveKernel]] = []
         self._finished = False
         self.objects_received = 0
         self.bytes_received = 0
@@ -67,8 +79,10 @@ class ObjectGraphReceiver:
         if self._finished:
             raise ReceiveError("stream already finished")
         cost = self.jvm.cost_model
+        kernels = self._kernels
         pos = 0
         n = len(segment)
+        view = memoryview(segment)
         while pos < n:
             if pos + KLASS_OFFSET + 8 > n:
                 raise ReceiveError(
@@ -76,19 +90,29 @@ class ObjectGraphReceiver:
                 )
             tid = int.from_bytes(segment[pos + KLASS_OFFSET : pos + KLASS_OFFSET + 8],
                                  "little")
-            klass = self._klass_for_tid(tid)
-            if klass.is_array:
-                lo = pos + self.jvm.layout.array_length_offset
+            kernel = kernels.get(tid)
+            if kernel is None:
+                if tid == 0:
+                    raise ReceiveError(
+                        f"null tID at segment offset {pos} "
+                        f"(object #{self.objects_received} of the stream)"
+                    )
+                kernel = receive_kernel_for(
+                    self._klass_for_tid(tid), self.jvm.layout, cost
+                )
+                kernels[tid] = kernel
+            if kernel.is_array:
+                lo = pos + kernel.length_offset
                 length = int.from_bytes(segment[lo : lo + 4], "little")
-                size = klass.object_size(length)
+                size = kernel.array_size(length)
             else:
-                size = klass.object_size()
+                size = kernel.size
             if pos + size > n:
                 raise ReceiveError(
                     f"object of {size} bytes overruns segment at {pos}"
                 )
-            address = self.buffer.place(segment[pos : pos + size])
-            self._placed.append((address, klass))
+            address = self.buffer.place(view[pos : pos + size])
+            self._placed.append((address, kernel))
             self.objects_received += 1
             self.bytes_received += size
             self.jvm.clock.charge(cost.memcpy(size))
@@ -115,17 +139,37 @@ class ObjectGraphReceiver:
         heap = self.jvm.heap
         cost = self.jvm.cost_model
 
-        for address, klass in self._placed:
-            self.jvm.clock.charge(cost.skyway_receive_object)
-            if klass.klass_id is None:  # pragma: no cover - loader invariant
-                raise ReceiveError(f"klass {klass.name} not installed")
-            heap.write_klass_word(address, klass.klass_id)
-            for offset in heap.reference_offsets(address):
-                relative = heap.read_word(address + offset)
-                self.jvm.clock.charge(cost.skyway_pointer_fixup)
-                if relative == 0:
-                    continue
-                heap.write_word(address + offset, self.buffer.translate(relative))
+        translate = self.buffer.translate
+        charge = self.jvm.clock.charge
+        for address, kernel in self._placed:
+            if kernel.klass_id is None:  # pragma: no cover - loader invariant
+                raise ReceiveError(f"klass {kernel.klass.name} not installed")
+            heap.write_klass_word(address, kernel.klass_id)
+            if kernel.is_array:
+                slots = (
+                    heap.array_length(address)
+                    if kernel.has_ref_elements
+                    else 0
+                )
+                if slots:
+                    run = ref_run_struct(slots)
+                    base = address + kernel.elem_base
+                    values = heap.unpack_from(run, base)
+                    heap.pack_into(
+                        run,
+                        base,
+                        *[translate(v) if v else 0 for v in values],
+                    )
+                charge(kernel.object_cost + slots * cost.skyway_pointer_fixup)
+            else:
+                if kernel.ref_unpack is not None:
+                    values = heap.unpack_from(kernel.ref_unpack, address)
+                    for slot, relative in zip(kernel.ref_offsets, values):
+                        if relative:
+                            heap.pack_into(
+                                WORD_STRUCT, address + slot, translate(relative)
+                            )
+                charge(kernel.finish_cost)
 
         # GC integration: make the new pointers card-table visible.
         for chunk in self.buffer.chunks:
@@ -148,8 +192,8 @@ class ObjectGraphReceiver:
         (paper §3.3: e.g. re-initializing a timestamp field)."""
         if not self._update_functions:
             return
-        for address, klass in self._placed:
-            hooks = self._update_functions.get(klass.name)
+        for address, kernel in self._placed:
+            hooks = self._update_functions.get(kernel.klass.name)
             if not hooks:
                 continue
             for field_name, fn in hooks:

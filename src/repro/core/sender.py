@@ -40,6 +40,13 @@ from repro.heap.heap import NULL, ManagedHeap
 from repro.heap.klass import Klass
 from repro.heap.layout import HeapLayout, KLASS_OFFSET, MARK_OFFSET, OBJECT_ALIGNMENT, align_up
 from repro.jvm.jvm import JVM
+from repro.core.kernels import (
+    HEADER3_STRUCT as _HEADER3,
+    CloneKernel,
+    WORD_STRUCT,
+    clone_kernel_for,
+    ref_run_struct,
+)
 from repro.core.output_buffer import OutputBuffer
 from repro.types import descriptors
 from repro.types.loader import ClassLoader
@@ -88,6 +95,7 @@ class ObjectGraphSender:
         sid: int,
         thread_id: int = 0,
         target_layout: Optional[HeapLayout] = None,
+        use_kernels: bool = True,
     ) -> None:
         self.jvm = jvm
         self.buffer = buffer
@@ -96,6 +104,15 @@ class ObjectGraphSender:
         self.source_layout = jvm.layout
         self.target_layout = target_layout if target_layout is not None else jvm.layout
         self.heterogeneous = self.target_layout != self.source_layout
+        #: Compiled-kernel fast path: homogeneous sends only (heterogeneous
+        #: re-formatting stays interpreted), and only into a buffer whose
+        #: ``write_object`` is not overridden — instrumenting subclasses
+        #: (the streaming-ablation bench) observe the interpreted path.
+        self.use_kernels = (
+            use_kernels
+            and not self.heterogeneous
+            and type(buffer).write_object is OutputBuffer.write_object
+        )
         self._target_loader: Optional[ClassLoader] = None
         self._target_cache: Dict[str, Klass] = {}
         #: Thread-local fallback table for objects first claimed by another
@@ -146,6 +163,11 @@ class ObjectGraphSender:
                 self.top_marks.append(existing)
                 return existing
 
+        if self.use_kernels:
+            root_addr = self._send_graph_kernel(root)
+            self.top_marks.append(root_addr)
+            return root_addr
+
         root_addr = self._claim(root)
         gray: Deque[Tuple[int, int]] = deque([(root, root_addr)])
         while gray:
@@ -172,13 +194,198 @@ class ObjectGraphSender:
             heap.write_baddr(obj, compose_baddr(self.sid, self.thread_id, addr))
         return addr
 
+    def _send_graph_kernel(self, root: int) -> int:
+        """The compiled-kernel BFS: Algorithm 2 with every per-object step
+        precomputed at class-load time and every hot accessor hoisted to a
+        local.
+
+        Per object this loop performs ONE klass resolution (a dict hit on
+        the cached kernel), ONE slice copy heap→segment, ONE header pack,
+        one batched pointer unpack, and ONE clock charge — versus the
+        interpreted path's per-field reads, per-pointer charges, and three
+        klass resolutions.  Baddr words are read/written with a compiled
+        ``struct`` directly against the heap's backing store; tallies
+        accumulate in locals and flush once per root.
+        """
+        heap = self.jvm.heap
+        cost = self.jvm.cost_model
+        charge = self.jvm.clock.charge
+        mem = heap.memory_view
+        hbase = heap.base
+        boff = heap.layout.baddr_offset
+        aoff = heap.layout.array_length_offset
+        resolver = heap.klass_resolver
+        if resolver is None:
+            heap.klass_of(root)  # raises the canonical HeapError
+        layout = self.target_layout
+        sid_tag = self.sid & _SID_MASK
+        thread_id = self.thread_id
+        #: The constant high bits of every baddr this stream stamps.
+        claim_bits = (sid_tag << 48) | (thread_id << _REL_BITS)
+        reserve = self.buffer.reserve
+        begin_clone = self.buffer.begin_clone
+        shared = self._shared_table
+        traverse_word = cost.traverse_word
+        unpack_word = WORD_STRUCT.unpack_from
+        pack_word = WORD_STRUCT.pack_into
+        reset_mark = markword.reset_for_transfer
+        cloned_append = self.cloned.append
+        gray: Deque[Tuple[int, int, CloneKernel, int, int]] = deque()
+        gray_append = gray.append
+        gray_pop = gray.popleft
+
+        objects = 0
+        bytes_out = 0
+        header_b = pointer_b = data_b = padding_b = 0
+
+        def claim(obj: int, off: int, foreign: bool) -> int:
+            """Resolve class once, reserve, stamp/table the baddr, queue."""
+            klass = resolver(unpack_word(mem, off + KLASS_OFFSET)[0])
+            if klass.tid is None:
+                raise SendError(
+                    f"class {klass.name} has no global type ID — is the "
+                    f"Skyway type registry attached to this JVM?"
+                )
+            kernel = klass.clone_kernel
+            if (
+                kernel is None
+                or kernel.tid != klass.tid
+                or kernel.layout is not layout
+                or kernel.cost is not cost
+            ):
+                kernel = clone_kernel_for(klass, layout, cost)
+            size = kernel.size
+            if size is None:
+                length = int.from_bytes(mem[off + aoff : off + aoff + 4], "little")
+                size = kernel.array_size(length)
+            else:
+                length = 0
+            addr = reserve(size)
+            if addr > _REL_MASK:
+                raise ValueError(
+                    f"relative address exceeds 5 bytes: {addr:#x}"
+                )
+            if foreign:
+                shared[obj] = addr
+            else:
+                pack_word(mem, off + boff, claim_bits | addr)
+            gray_append((obj, addr, kernel, size, length))
+            return addr
+
+        root_off = root - hbase
+        root_word = unpack_word(mem, root_off + boff)[0]
+        # write_object already handled "claimed by this stream"; a matching
+        # sID here can only mean another thread holds the baddr.
+        root_addr = claim(root, root_off, (root_word >> 48) == sid_tag)
+
+        while gray:
+            source, addr, kernel, size, length = gray_pop()
+            soff = source - hbase
+
+            # CLONEINBUFFER: one slice assignment heap→segment.
+            seg, off = begin_clone(addr, size)
+            seg[off : off + size] = mem[soff : soff + size]
+
+            # Header fixup in one pack: mark reset (hashcode preserved),
+            # tID klass word, zeroed baddr.
+            mark = reset_mark(unpack_word(seg, off)[0])
+            header_struct = kernel.header_struct
+            if header_struct is _HEADER3:
+                header_struct.pack_into(seg, off, mark, kernel.tid, 0)
+            else:
+                header_struct.pack_into(seg, off, mark, kernel.tid)
+
+            # Reference relativization off the kernel's precomputed slots.
+            nonnull = 0
+            if kernel.is_array:
+                if kernel.has_ref_elements and length:
+                    run = ref_run_struct(length)
+                    elem_off = off + kernel.elem_base
+                    relativized = []
+                    rel_append = relativized.append
+                    for ref in run.unpack_from(seg, elem_off):
+                        if ref == NULL:
+                            rel_append(0)
+                            continue
+                        nonnull += 1
+                        roff = ref - hbase
+                        word = unpack_word(mem, roff + boff)[0]
+                        if (word >> 48) == sid_tag:
+                            if ((word >> _REL_BITS) & _THREAD_MASK) == thread_id:
+                                rel_append(word & _REL_MASK)
+                                continue
+                            existing = shared.get(ref)
+                            if existing is not None:
+                                rel_append(existing)
+                                continue
+                            rel_append(claim(ref, roff, True))
+                        else:
+                            rel_append(claim(ref, roff, False))
+                    run.pack_into(seg, elem_off, *relativized)
+                    ref_slots = length
+                    pointer_b += length * 8
+                else:
+                    ref_slots = 0
+                    data_b += length * kernel.elem_size
+                header_b += kernel.array_header_bytes
+                padding_b += max(
+                    0,
+                    size - kernel.array_header_bytes
+                    - length * (8 if ref_slots else kernel.elem_size),
+                )
+                charge(kernel.array_cost(size, ref_slots)
+                       + nonnull * traverse_word)
+            else:
+                ref_unpack = kernel.ref_unpack
+                if ref_unpack is not None:
+                    for slot, ref in zip(
+                        kernel.ref_offsets, ref_unpack.unpack_from(seg, off)
+                    ):
+                        if ref == NULL:
+                            relative = 0
+                        else:
+                            nonnull += 1
+                            roff = ref - hbase
+                            word = unpack_word(mem, roff + boff)[0]
+                            if (word >> 48) == sid_tag:
+                                if ((word >> _REL_BITS) & _THREAD_MASK) == thread_id:
+                                    relative = word & _REL_MASK
+                                else:
+                                    relative = shared.get(ref)
+                                    if relative is None:
+                                        relative = claim(ref, roff, True)
+                            else:
+                                relative = claim(ref, roff, False)
+                        pack_word(seg, off + slot, relative)
+                header_b += kernel.header_bytes
+                pointer_b += kernel.pointer_bytes
+                data_b += kernel.data_bytes
+                padding_b += kernel.padding_bytes
+                charge(kernel.base_cost + nonnull * traverse_word)
+
+            cloned_append((source, addr, size))
+            objects += 1
+            bytes_out += size
+
+        self.objects_sent += objects
+        self.bytes_sent += bytes_out
+        self.header_bytes += header_b
+        self.pointer_bytes += pointer_b
+        self.data_bytes += data_b
+        self.padding_bytes += padding_b
+        return root_addr
+
     def _resolve_reference(self, obj: int, gray: Deque[Tuple[int, int]]) -> int:
         """Relativized address for a referenced object, claiming it (and
         queueing it for cloning) on first visit this phase."""
         if obj == NULL:
             return 0
-        cost = self.jvm.cost_model
-        self.jvm.clock.charge(cost.traverse_word)
+        self.jvm.clock.charge(self.jvm.cost_model.traverse_word)
+        return self._resolve_uncharged(obj, gray)
+
+    def _resolve_uncharged(self, obj: int, gray: Deque[Tuple[int, int]]) -> int:
+        """:meth:`_resolve_reference` minus the null check and the clock
+        charge — the kernel path batches traversal charges per object."""
         heap = self.jvm.heap
         word = heap.read_baddr(obj)
         if baddr_sid(word) == (self.sid & _SID_MASK):
@@ -343,7 +550,14 @@ class ObjectGraphSender:
         else:
             source_fields = {f.name: f for f in klass.all_fields()}
             for tf in target.all_fields():
-                sf = source_fields[tf.name]
+                sf = source_fields.get(tf.name)
+                if sf is None:
+                    raise SendError(
+                        f"cannot re-format {klass.name} for the receiver's "
+                        f"layout: target class {target.name} declares field "
+                        f"{tf.name!r} ({tf.descriptor}) that the source "
+                        f"class does not have"
+                    )
                 if tf.is_reference:
                     ref = heap.read_word(source + sf.offset)
                     rel = self._resolve_reference(ref, gray)

@@ -58,7 +58,10 @@ class DriverRegistry:
     def __init__(self) -> None:
         self._ids: Dict[str, int] = {}
         self._names: Dict[int, str] = {}
-        self._next_id = 0
+        # tID 0 is reserved: a zero klass word in a stream always means a
+        # slot that was never stamped, so the receiver can reject it as
+        # corruption instead of silently resolving it to a real class.
+        self._next_id = 1
         self.lookup_requests = 0
         self.view_requests = 0
 
@@ -100,7 +103,7 @@ class DriverRegistry:
         side).  Future registrations continue past the merged maximum."""
         self._ids = dict(mapping)
         self._names = {tid: name for name, tid in mapping.items()}
-        self._next_id = max(self._names, default=-1) + 1
+        self._next_id = max(self._names, default=0) + 1
 
     def snapshot(self) -> Dict[str, int]:
         return dict(self._ids)

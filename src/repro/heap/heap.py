@@ -129,6 +129,7 @@ class ManagedHeap:
         #: Disjoint address space per heap (bit 44+ identifies the heap).
         self.base = next(_heap_counter) << 44
         self._memory = bytearray(total)
+        self._memory_view: Optional[memoryview] = None
 
         cursor = self.base
         self.eden = Region("eden", cursor, cursor + eden_bytes)
@@ -164,6 +165,35 @@ class ManagedHeap:
                 f" [{self.base:#x}, {self.base + len(self._memory):#x})"
             )
         return offset
+
+    def index_of(self, address: int, nbytes: int) -> int:
+        """Bounds-checked byte offset of ``address`` into :attr:`memory_view`.
+
+        The clone-kernel fast path slices object images straight out of the
+        heap's backing store instead of round-tripping through
+        :meth:`read_bytes` copies.
+        """
+        return self._index(address, nbytes)
+
+    @property
+    def memory_view(self) -> memoryview:
+        """A zero-copy view of the heap's backing store.
+
+        The backing ``bytearray`` is allocated once and never resized, so
+        the view stays valid for the heap's lifetime.
+        """
+        view = self._memory_view
+        if view is None:
+            view = self._memory_view = memoryview(self._memory)
+        return view
+
+    def unpack_from(self, codec: struct.Struct, address: int):
+        """Unpack ``codec`` (a compiled Struct) at ``address``, bounds-checked."""
+        return codec.unpack_from(self._memory, self._index(address, codec.size))
+
+    def pack_into(self, codec: struct.Struct, address: int, *values) -> None:
+        """Pack ``values`` with ``codec`` at ``address``, bounds-checked."""
+        codec.pack_into(self._memory, self._index(address, codec.size), *values)
 
     def read_bytes(self, address: int, nbytes: int) -> bytes:
         i = self._index(address, nbytes)

@@ -139,6 +139,57 @@ class SparkContext:
 
         return DeltaHeapBroadcast(self.cluster, root, policy=policy)
 
+    def parallel_send(
+        self,
+        worker_name: str,
+        roots: Sequence[int],
+        streams: Optional[int] = None,
+        retain: bool = False,
+        **knobs,
+    ):
+        """Ship driver-heap roots to one socket worker over N parallel
+        Skyway streams (paper §4.2 per-thread output buffers, transport
+        edition).
+
+        Requires a socket transport: each stream gets its own connection
+        and ``thread_id``, roots interleave round-robin, and shared
+        subgraphs are cloned once per stream.  ``streams`` defaults to
+        ``config.shuffle_threads``.  Returns a
+        :class:`repro.transport.parallel.ParallelSendReport`.
+        """
+        from repro.transport.client import WorkerClient
+        from repro.transport.errors import TransportError
+        from repro.transport.parallel import ParallelGraphSender
+
+        if self.transport is None or not hasattr(self.transport, "clients"):
+            raise TransportError(
+                "parallel_send needs a socket transport "
+                "(SparkContext(transport=SocketBroadcastTransport(...)))"
+            )
+        base = self.transport.clients.get(worker_name)
+        if base is None:
+            raise TransportError(
+                f"no socket worker registered for cluster node "
+                f"{worker_name!r}"
+            )
+        n = streams if streams is not None else max(1, self.config.shuffle_threads)
+        extras: List[WorkerClient] = []
+        try:
+            for _ in range(n - 1):
+                extras.append(
+                    WorkerClient(
+                        base.runtime, base.host, base.port,
+                        node_name=base.node_name, metrics=base.metrics,
+                        account_node=base.account_node,
+                        account_remote=base.account_remote,
+                    ).connect()
+                )
+            sender = ParallelGraphSender([base] + extras)
+            return sender.send(roots, retain=retain, **knobs)
+        finally:
+            for client in extras:
+                client.close()
+
     def node_for_partition(self, partition: int) -> Node:
         workers = self.cluster.workers
         return workers[partition % len(workers)]

@@ -198,6 +198,52 @@ class WorkerClient:
             conn.expect_frame(frames.RESULT), what="RESULT"
         )
 
+    def begin_graph(
+        self,
+        retain: bool = False,
+        thread_id: int = 0,
+        fresh_phase: bool = True,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        queue_chunks: int = DEFAULT_QUEUE_CHUNKS,
+        store_and_forward: bool = False,
+        throttle_mbps: Optional[float] = None,
+    ) -> "GraphSendStream":
+        """Open a ``recv_graph`` stream and return a handle the caller
+        drives root by root.
+
+        This is the building block under both :meth:`send_graph` (one
+        stream, all roots) and the multi-stream parallel send (N clients,
+        each with its own ``thread_id``, interleaving roots).  With
+        ``fresh_phase=False`` the caller owns the shuffling phase —
+        parallel streams must share one ``shuffle_start`` so their baddr
+        words carry the same sID and foreign-stream baddrs resolve through
+        the §4.2 shared-object crossover instead of being rejected as
+        stale.
+        """
+        conn = self._require_conn()
+        self._sync_registry()
+        if fresh_phase:
+            # Each socket send is its own shuffling phase: bumping the sID
+            # invalidates baddr words left in driver-heap objects by
+            # earlier sends (including aborted ones) — without this,
+            # re-sending a graph emits references into a buffer that no
+            # longer exists.
+            self.runtime.shuffle_start()
+        conn.send_frame(
+            frames.CALL,
+            frames.encode_json({"op": "recv_graph", "retain": retain}),
+        )
+        pipeline = ChunkPipeline(
+            conn, chunk_bytes=chunk_bytes, queue_chunks=queue_chunks,
+            store_and_forward=store_and_forward, throttle_mbps=throttle_mbps,
+            metrics=self.metrics,
+        )
+        out = SkywayObjectOutputStream(
+            self.runtime, destination=f"socket:{self.host}:{self.port}",
+            thread_id=thread_id, transport=pipeline,
+        )
+        return GraphSendStream(self, conn, pipeline, out)
+
     def send_graph(
         self,
         roots,
@@ -213,45 +259,15 @@ class WorkerClient:
         The returned bytes are what an in-process ``accept()`` would have
         consumed — callers use them for the byte-identical cross-check.
         """
-        conn = self._require_conn()
-        self._sync_registry()
-        # Each socket send is its own shuffling phase: bumping the sID
-        # invalidates baddr words left in driver-heap objects by earlier
-        # sends (including aborted ones) — without this, re-sending a
-        # graph emits references into a buffer that no longer exists.
-        self.runtime.shuffle_start()
-        conn.send_frame(
-            frames.CALL,
-            frames.encode_json({"op": "recv_graph", "retain": retain}),
+        stream = self.begin_graph(
+            retain=retain, chunk_bytes=chunk_bytes,
+            queue_chunks=queue_chunks, store_and_forward=store_and_forward,
+            throttle_mbps=throttle_mbps,
         )
-        pipeline = ChunkPipeline(
-            conn, chunk_bytes=chunk_bytes, queue_chunks=queue_chunks,
-            store_and_forward=store_and_forward, throttle_mbps=throttle_mbps,
-            metrics=self.metrics,
-        )
-        out = SkywayObjectOutputStream(
-            self.runtime, destination=f"socket:{self.host}:{self.port}",
-            transport=pipeline,
-        )
-        try:
-            with self.metrics.phase("traverse+send"):
-                for root in roots:
-                    out.write_object(root)
-                data = out.close()
-        except TransportError as exc:
-            pipeline.abort()
-            remote = conn.pending_remote_error()
-            if remote is not None:
-                raise remote from exc
-            raise
-        result = frames.decode_json(
-            conn.expect_frame(frames.RESULT), what="RESULT"
-        )
-        if self.account_node is not None:
-            self.account_node.account_fetch(
-                len(data), remote=self.account_remote
-            )
-        return result, data
+        with self.metrics.phase("traverse+send"):
+            for root in roots:
+                stream.write_object(root)
+            return stream.finish()
 
     def send_blob(
         self,
@@ -312,6 +328,76 @@ class WorkerClient:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class GraphSendStream:
+    """One open ``recv_graph`` stream on one connection.
+
+    Drive it with :meth:`write_object` per root, then :meth:`finish` to
+    flush the tail, read the worker's RESULT, and account the bytes.  Any
+    mid-stream transport failure aborts the pipeline and surfaces the
+    worker's ERROR frame if one is pending.
+    """
+
+    def __init__(
+        self,
+        client: "WorkerClient",
+        conn: FrameConnection,
+        pipeline: ChunkPipeline,
+        out: SkywayObjectOutputStream,
+    ) -> None:
+        self._client = client
+        self._conn = conn
+        self._pipeline = pipeline
+        self._out = out
+        self._done = False
+
+    @property
+    def thread_id(self) -> int:
+        return self._out.sender.thread_id
+
+    @property
+    def objects_sent(self) -> int:
+        return self._out.sender.objects_sent
+
+    def write_object(self, root: int) -> int:
+        """Traverse-and-stream one root; returns its stream offset."""
+        try:
+            return self._out.write_object(root)
+        except TransportError as exc:
+            self._fail(exc)
+
+    def finish(self) -> Tuple[dict, bytes]:
+        """Close the stream and return ``(worker result, framed bytes)``."""
+        if self._done:
+            raise TransportError("finish() called twice on a graph stream")
+        self._done = True
+        try:
+            data = self._out.close()
+        except TransportError as exc:
+            self._fail(exc)
+        result = frames.decode_json(
+            self._conn.expect_frame(frames.RESULT), what="RESULT"
+        )
+        client = self._client
+        if client.account_node is not None:
+            client.account_node.account_fetch(
+                len(data), remote=client.account_remote
+            )
+        return result, data
+
+    def abort(self) -> None:
+        """Tear down the writer without a TRAILER (stream abandoned)."""
+        self._done = True
+        self._pipeline.abort()
+
+    def _fail(self, exc: TransportError) -> None:
+        self._done = True
+        self._pipeline.abort()
+        remote = self._conn.pending_remote_error()
+        if remote is not None:
+            raise remote from exc
+        raise exc
 
 
 class SocketBroadcastTransport:

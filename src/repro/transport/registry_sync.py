@@ -44,7 +44,10 @@ def merge_registries(driver_map: Dict[str, int],
         raise HandshakeError(
             "driver registry snapshot assigns one tID to multiple classes"
         )
-    next_id = max(driver_map.values(), default=-1) + 1
+    # tID 0 stays reserved as the "never stamped" sentinel even when the
+    # driver's snapshot is empty (a fresh driver learning classes from a
+    # seasoned worker would otherwise hand a real class the null tID).
+    next_id = max(driver_map.values(), default=0) + 1
     for name in sorted(worker_extras):
         if name in merged:
             continue

@@ -11,6 +11,14 @@ loopback TCP port.  The protocol per connection:
 3. BYE ends the connection; the worker keeps accepting new ones (this is
    what lets a driver's retry/backoff recover from a killed connection).
 
+Connections are served one thread each, so a driver can hold N streams
+open at once (the multi-stream parallel send).  Everything that mutates
+shared state — the heap, the class loader, the registry, placement — runs
+under one server-wide lock taken per *chunk*, not per stream: socket reads
+stay concurrent while heap mutation stays serialized, so N arriving
+streams interleave placement the way the paper's per-thread output buffers
+interleave on the send side (§4.2).
+
 Any exception inside an op is reported as one ERROR frame naming the
 exception type, then the connection closes — mid-stream state is
 unrecoverable, a fresh connection is not.
@@ -38,10 +46,11 @@ from __future__ import annotations
 
 import dataclasses
 import socket
+import threading
 import zlib
-from typing import Optional
+from typing import List, Optional
 
-from repro.core.streams import SkywayObjectInputStream
+from repro.core.streams import IncrementalStreamDecoder
 from repro.transport import frames, registry_sync
 from repro.transport.bootstrap import MB, build_runtime
 from repro.transport.connection import FrameConnection
@@ -75,6 +84,25 @@ class _ConnPump:
         self.stream_bytes = pump_stream(self._conn, decoder)
 
 
+class _LockedDecoder:
+    """Serialize a concurrent receive at chunk granularity.
+
+    Each connection thread reads its own socket, but every byte a decoder
+    turns into heap mutation (segment placement, class loading, registry
+    lookups) runs under the server-wide state lock.  Locking per chunk
+    rather than per stream is what lets N parallel streams interleave
+    placement — the receive half of the multi-stream send."""
+
+    def __init__(self, decoder: IncrementalStreamDecoder,
+                 lock: threading.Lock) -> None:
+        self._decoder = decoder
+        self._lock = lock
+
+    def feed(self, chunk: bytes) -> None:
+        with self._lock:
+            self._decoder.feed(chunk)
+
+
 class _BlobSink:
     """A trivial decoder standing in for the stream decoder: recv_blob
     pumps opaque bytes (e.g. Java-serializer broadcast payloads)."""
@@ -98,6 +126,12 @@ class WorkerServer:
         self.metrics = TransportMetrics()
         self._running = True
         self.graphs_received = 0
+        #: One lock guards every mutation of shared runtime state (heap,
+        #: loader, registry, placement, tallies).  Connection threads take
+        #: it per chunk, so streams interleave without interleaving *inside*
+        #: an object placement.
+        self._state_lock = threading.Lock()
+        self._conn_threads: List[threading.Thread] = []
 
     # -- op handlers -------------------------------------------------------
 
@@ -106,25 +140,31 @@ class WorkerServer:
                 "worker": self.spec.name}
 
     def _op_recv_graph(self, conn: FrameConnection, call: dict) -> dict:
+        lock = self._state_lock
+        with lock:
+            decoder = IncrementalStreamDecoder(self.runtime)
         pump = _ConnPump(conn)
-        stream = SkywayObjectInputStream(self.runtime, transport=pump)
         with self.metrics.phase("receive"):
-            stream.accept()
-        receiver = stream.receiver
-        with self.metrics.phase("digest"):
-            digest = graph_digest(self.runtime.jvm, receiver)
-        result = {
-            "op": "recv_graph",
-            "roots": stream.root_count,
-            "objects": receiver.objects_received,
-            "logical_bytes": receiver.buffer.logical_size,
-            "stream_bytes": pump.stream_bytes,
-            "digest": digest,
-            "retained": bool(call.get("retain", False)),
-        }
-        self.graphs_received += 1
-        if not call.get("retain", False):
-            stream.close()  # unpin roots; GC reclaims on future pressure
+            pump.pump(_LockedDecoder(decoder, lock))
+        with lock:
+            roots = decoder.finish()
+            receiver = decoder.receiver
+            token = self.runtime.track_input_buffer(receiver, roots)
+            with self.metrics.phase("digest"):
+                digest = graph_digest(self.runtime.jvm, receiver)
+            result = {
+                "op": "recv_graph",
+                "roots": len(roots),
+                "objects": receiver.objects_received,
+                "logical_bytes": receiver.buffer.logical_size,
+                "stream_bytes": pump.stream_bytes,
+                "digest": digest,
+                "retained": bool(call.get("retain", False)),
+            }
+            self.graphs_received += 1
+            if not call.get("retain", False):
+                # unpin roots; GC reclaims on future pressure
+                self.runtime.free_input_buffer(token)
         return result
 
     def _op_recv_blob(self, conn: FrameConnection, call: dict) -> dict:
@@ -170,15 +210,16 @@ class WorkerServer:
                 f"protocol version mismatch: peer {peer!r} speaks "
                 f"v{version}, this worker v{frames.PROTOCOL_VERSION}"
             )
-        extras = registry_sync.extra_names(
-            self.runtime.view.snapshot(), driver_map
-        )
-        conn.send_frame(
-            frames.HELLO_ACK,
-            frames.encode_hello_ack(self.spec.name, extras),
-        )
-        merged = registry_sync.merge_registries(driver_map, extras)
-        registry_sync.install_merged(self.runtime, merged)
+        with self._state_lock:
+            extras = registry_sync.extra_names(
+                self.runtime.view.snapshot(), driver_map
+            )
+            conn.send_frame(
+                frames.HELLO_ACK,
+                frames.encode_hello_ack(self.spec.name, extras),
+            )
+            merged = registry_sync.merge_registries(driver_map, extras)
+            registry_sync.install_merged(self.runtime, merged)
 
     def serve_connection(self, conn: FrameConnection) -> None:
         """Run one connection to completion (BYE, EOF, or a fatal op
@@ -215,23 +256,42 @@ class WorkerServer:
                     pass
                 return
 
+    def _serve_thread(self, conn: FrameConnection) -> None:
+        try:
+            self.serve_connection(conn)
+        finally:
+            conn.close()
+
     def serve_forever(self, listener: socket.socket) -> None:
+        """Accept loop: one daemon thread per connection, so N driver
+        streams can be in flight at once.  Shutdown drains the accept
+        loop, then joins whatever connections are still open."""
         listener.settimeout(0.25)  # poll so shutdown can exit the loop
-        while self._running:
-            try:
-                sock, _addr = listener.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                return
-            conn = FrameConnection(
-                sock, read_timeout=self.spec.read_timeout,
-                metrics=self.metrics,
-            )
-            try:
-                self.serve_connection(conn)
-            finally:
-                conn.close()
+        try:
+            while self._running:
+                try:
+                    sock, _addr = listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return
+                conn = FrameConnection(
+                    sock, read_timeout=self.spec.read_timeout,
+                    metrics=self.metrics,
+                )
+                thread = threading.Thread(
+                    target=self._serve_thread, args=(conn,),
+                    name=f"skyway-conn-{len(self._conn_threads)}",
+                    daemon=True,
+                )
+                self._conn_threads = [
+                    t for t in self._conn_threads if t.is_alive()
+                ]
+                self._conn_threads.append(thread)
+                thread.start()
+        finally:
+            for thread in self._conn_threads:
+                thread.join(timeout=5.0)
 
 
 def worker_main(spec: WorkerSpec, port_pipe) -> None:

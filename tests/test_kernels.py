@@ -1,0 +1,222 @@
+"""Tests for the compiled clone-kernel fast path.
+
+The contract: for every homogeneous send the kernel path must produce the
+*exact* framed bytes the interpreted per-field traversal produces — same
+clones, same relativized references, same charges on the simulated clock.
+Kernels may only change how fast the Python gets there.
+"""
+
+import pytest
+
+from repro.core.kernels import clone_kernel_for
+from repro.core.receiver import ReceiveError
+from repro.core.runtime import attach_skyway
+from repro.core.sender import SendError
+from repro.core.streams import SkywayObjectInputStream, SkywayObjectOutputStream
+from repro.heap.layout import BASELINE_LAYOUT
+from repro.jvm.jvm import JVM
+from repro.types.classdef import ClassPath
+from repro.types.corelib import install_core_classes
+
+from tests.conftest import make_date, make_list, read_date, read_list
+
+
+@pytest.fixture
+def pair(classpath):
+    src = JVM("k-src", classpath=classpath)
+    dst = JVM("k-dst", classpath=classpath)
+    attach_skyway(src, [dst])
+    return src, dst
+
+
+def framed(src, roots, use_kernels, thread_id=0):
+    """One fresh-phase send of ``roots``; returns the framed byte stream."""
+    src.skyway.use_kernels = use_kernels
+    src.skyway.shuffle_start()
+    out = SkywayObjectOutputStream(
+        src.skyway, destination="kernel-test", thread_id=thread_id
+    )
+    for root in roots:
+        out.write_object(root)
+    return out.close()
+
+
+def roundtrip(dst, data):
+    inp = SkywayObjectInputStream(dst.skyway)
+    inp.accept(data)
+    return inp
+
+
+# ---------------------------------------------------------------------------
+# byte-for-byte parity with the interpreted traversal
+# ---------------------------------------------------------------------------
+
+class TestKernelByteParity:
+    def assert_parity(self, src, roots):
+        assert framed(src, roots, True) == framed(src, roots, False)
+
+    def test_instance_graph(self, pair):
+        src, _ = pair
+        self.assert_parity(src, [make_date(src, 2018, 3, 24)])
+
+    def test_linked_list(self, pair):
+        src, _ = pair
+        self.assert_parity(src, [make_list(src, range(100))])
+
+    def test_reference_array(self, pair):
+        src, _ = pair
+        arr = src.new_array("Ljava.lang.Object;", 5)
+        pin = src.pin(arr)
+        for i in range(4):  # last slot stays null
+            src.heap.write_element(pin.address, i, make_date(src, i, 1, 1))
+        self.assert_parity(src, [pin.address])
+
+    def test_primitive_arrays(self, pair):
+        src, _ = pair
+        roots = []
+        for desc, values in (("J", [1, -1, 2**40]), ("I", [3, -4]),
+                             ("B", [7] * 13), ("D", [0.5, -2.25])):
+            arr = src.new_array(desc, len(values))
+            for i, v in enumerate(values):
+                src.heap.write_element(arr, i, v)
+            roots.append(arr)
+        self.assert_parity(src, roots)
+
+    def test_diamond_sharing(self, pair):
+        """A leaf reachable twice serializes once + one backward ref."""
+        src, _ = pair
+        shared = src.new_instance("Day2D")
+        src.set_field(shared, "day", 9)
+        d1, d2 = src.new_instance("Date"), src.new_instance("Date")
+        src.set_field(d1, "day", shared)
+        src.set_field(d2, "day", shared)
+        holder = src.new_array("Ljava.lang.Object;", 2)
+        pin = src.pin(holder)
+        src.heap.write_element(pin.address, 0, d1)
+        src.heap.write_element(pin.address, 1, d2)
+        self.assert_parity(src, [pin.address])
+
+    def test_null_references(self, pair):
+        src, _ = pair
+        date = src.new_instance("Date")  # all three fields null
+        self.assert_parity(src, [date])
+
+    def test_mixed_field_gaps(self, pair):
+        """Sub-word fields + alignment gaps: the scattered-unpack kernel
+        must relativize exactly the reference slots and nothing else."""
+        src, _ = pair
+        m = src.new_instance("Mixed")
+        for f, v in (("b", 7), ("z", 1), ("c", 65), ("s", -2),
+                     ("i", 12345), ("f", 2.5), ("j", 2**50), ("d", -0.125)):
+            src.set_field(m, f, v)
+        src.set_field(m, "ref", make_date(src, 1, 2, 3))
+        self.assert_parity(src, [m])
+
+    def test_roundtrip_and_clock_parity(self, classpath):
+        """Same graph shape through two fresh clusters: identical receiver
+        values AND identical simulated-time charges either way."""
+        times = {}
+        for use_kernels in (True, False):
+            src = JVM("cp-src", classpath=classpath)
+            dst = JVM("cp-dst", classpath=classpath)
+            attach_skyway(src, [dst])
+            head = make_list(src, range(50))
+            before = src.clock.total()
+            data = framed(src, [head], use_kernels)
+            times[use_kernels] = src.clock.total() - before
+            inp = roundtrip(dst, data)
+            assert read_list(dst, inp.read_object()) == list(range(50))
+        assert times[True] == pytest.approx(times[False], rel=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# kernel lifecycle
+# ---------------------------------------------------------------------------
+
+class TestKernelLifecycle:
+    def test_send_compiles_and_caches_kernels(self, pair):
+        src, _ = pair
+        framed(src, [make_date(src, 1, 1, 1)], True)
+        klass = src.loader.load("Date")
+        kernel = klass.clone_kernel
+        assert kernel is not None and kernel.tid == klass.tid
+        framed(src, [make_date(src, 2, 2, 2)], True)
+        assert klass.clone_kernel is kernel  # cache hit, no recompile
+
+    def test_tid_reassignment_invalidates_kernel(self, pair):
+        src, _ = pair
+        framed(src, [make_date(src, 1, 1, 1)], True)
+        klass = src.loader.load("Date")
+        stale = klass.clone_kernel
+        assert stale is not None
+        klass.tid = klass.tid + 1000  # e.g. a HELLO merge renumbering
+        assert klass.clone_kernel is None
+        framed(src, [make_date(src, 3, 3, 3)], True)
+        assert klass.clone_kernel is not None
+        assert klass.clone_kernel is not stale
+        assert klass.clone_kernel.tid == klass.tid
+
+    def test_clone_kernel_for_rejects_untyped_class(self, pair):
+        src, _ = pair
+        klass = src.loader.load("Date")
+        layout, cost = src.layout, src.cost_model
+        kernel = clone_kernel_for(klass, layout, cost)
+        assert kernel.size == klass.object_size()
+        assert len(kernel.ref_offsets) == 3
+
+    def test_receiver_memoizes_kernels_per_tid(self, pair):
+        src, dst = pair
+        data = framed(src, [make_list(src, range(10))], True)
+        inp = roundtrip(dst, data)
+        kernels = inp.receiver._kernels
+        # 10 ListNodes, one tID, one compiled receive kernel.
+        assert len(kernels) == 1
+        assert inp.receiver.objects_received == 10
+
+
+# ---------------------------------------------------------------------------
+# satellite regressions: typed errors out of the conversion/receive paths
+# ---------------------------------------------------------------------------
+
+class TestHeterogeneousFieldMismatch:
+    def test_missing_source_field_is_a_send_error(self, classpath):
+        """A receiver-side class declaring a field the sender's class lacks
+        must surface as a SendError naming both, not a bare KeyError."""
+        src = JVM("h-src", classpath=classpath)
+        dst = JVM("h-dst", classpath=classpath, layout=BASELINE_LAYOUT)
+        attach_skyway(src, [dst])
+        date = make_date(src, 1, 1, 1)
+        src.skyway.shuffle_start()
+        sender = src.skyway.new_sender(
+            "h", target_layout=BASELINE_LAYOUT, fresh_buffer=True
+        )
+        assert sender.heterogeneous and not sender.use_kernels
+
+        # The destination evolved: its Date has an extra "era" field.
+        evolved = install_core_classes(ClassPath())
+        evolved.define("Year4D", [("year", "I")])
+        evolved.define("Month2D", [("month", "I")])
+        evolved.define("Day2D", [("day", "I")])
+        evolved.define("Date", [
+            ("year", "LYear4D;"), ("month", "LMonth2D;"),
+            ("day", "LDay2D;"), ("era", "I"),
+        ])
+        target = JVM("h-evolved", classpath=evolved, layout=BASELINE_LAYOUT)
+        sender._target_cache["Date"] = target.loader.load("Date")
+
+        with pytest.raises(SendError, match=r"Date.*'era'"):
+            sender.write_object(date)
+
+
+class TestNullTidRejection:
+    def test_zero_klass_word_is_a_receive_error(self, pair):
+        src, dst = pair
+        src.skyway.shuffle_start()
+        sender = src.skyway.new_sender("z", fresh_buffer=True)
+        sender.write_object(make_date(src, 1, 1, 1))
+        sender.buffer.flush()
+        data = bytearray(b"".join(sender.buffer.drain_segments()))
+        data[8:16] = bytes(8)  # stomp the root's klass word with tID 0
+        receiver = dst.skyway.new_receiver()
+        with pytest.raises(ReceiveError, match="null tID at segment offset 0"):
+            receiver.feed(bytes(data))

@@ -136,5 +136,7 @@ def test_merge_rejects_duplicate_driver_ids():
         merge_registries({"A": 0, "B": 0}, [])
 
 
-def test_merge_empty_driver_map():
-    assert merge_registries({}, ["B", "A"]) == {"A": 0, "B": 1}
+def test_merge_empty_driver_map_reserves_null_tid():
+    # tID 0 is the "never stamped" sentinel; even a fresh driver learning
+    # every class from the worker must not hand it to a real class.
+    assert merge_registries({}, ["B", "A"]) == {"A": 1, "B": 2}

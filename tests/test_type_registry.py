@@ -20,7 +20,9 @@ class TestDriverRegistry:
     def test_ids_are_dense_and_unique(self):
         reg = DriverRegistry()
         ids = [reg.register(f"C{i}") for i in range(10)]
-        assert ids == list(range(10))
+        # Dense from 1: tID 0 is reserved as the "never stamped" sentinel
+        # so receivers can reject zero klass words as corruption.
+        assert ids == list(range(1, 11))
 
     def test_lookup_creates_when_missing(self):
         reg = DriverRegistry()
