@@ -1,0 +1,38 @@
+"""B-EXCHANGE — the exchange layer's cross-substrate contract, measured.
+
+Four channels per mutation rate — {delta, full-only} x {loopback, socket}
+with pairwise-pinned channel ids — ship two epochs of one driver-heap
+vertex graph.  The gate: the two substrates frame byte-identical epochs,
+every receiving heap agrees digest-wise whether the epoch arrived FULL or
+as a DELTA patch, and on a paced wire the DELTA epoch beats the FULL epoch
+in wire bytes *and* wall-clock at ≤10% mutation (with the policy's
+fallback visible at 100%).
+"""
+
+from repro.bench.exchange_experiments import (
+    exchange_checks_pass,
+    format_exchange_report,
+    run_exchange_experiment,
+)
+
+from conftest import bench_scale, emit_json, publish
+
+
+def test_exchange_parity_and_delta_win(benchmark):
+    vertices = max(800, int(4_000 * bench_scale()))
+    result = benchmark.pedantic(
+        lambda: run_exchange_experiment(vertices=vertices),
+        rounds=1, iterations=1,
+    )
+
+    publish("exchange", format_exchange_report(result))
+    emit_json("exchange", result)
+
+    checks = result["checks"]
+    assert checks["frames_byte_identical"], (
+        "loopback and socket substrates framed different epoch bytes"
+    )
+    assert checks["digests_identical"], (
+        "delta-patched receiver heap diverged from a full receive"
+    )
+    assert exchange_checks_pass(result), f"B-EXCHANGE gate failed: {checks}"

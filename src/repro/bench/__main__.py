@@ -16,15 +16,24 @@ Regenerates any of the paper's tables/figures without pytest:
     python -m repro.bench transport
     python -m repro.bench kernels
     python -m repro.bench kernels --smoke   # CI parity gate, exits 1 on drift
+    python -m repro.bench exchange
+    python -m repro.bench exchange --smoke  # CI parity gate, exits 1 on drift
     python -m repro.bench all
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 
 from repro.bench.delta_experiments import run_delta_iterative, run_mutation_sweep
+from repro.bench.exchange_experiments import (
+    exchange_checks_pass,
+    format_exchange_report,
+    run_exchange_experiment,
+)
 from repro.bench.extra_bytes import average_composition, measure_extra_byte_composition
 from repro.bench.flink_experiments import run_figure8b, summarize_table4
 from repro.bench.kernel_experiments import (
@@ -177,6 +186,28 @@ def cmd_kernels(args) -> None:
                          "interpreted streams diverged")
 
 
+def cmd_exchange(args) -> None:
+    # --scale 0.02 maps to the full 4k-vertex graph; --smoke shrinks it.
+    vertices = max(800, int(round(4_000 * args.scale / 0.02)))
+    result = run_exchange_experiment(vertices=vertices, smoke=args.smoke)
+    report = format_exchange_report(result)
+    print(report)
+    results_dir = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    if results_dir.parent.is_dir():  # running from the repo tree
+        results_dir.mkdir(exist_ok=True)
+        (results_dir / "exchange.txt").write_text(report + "\n")
+        (results_dir / "exchange.json").write_text(
+            json.dumps(result, indent=2, sort_keys=True, default=str) + "\n"
+        )
+    if not exchange_checks_pass(result):
+        raise SystemExit(
+            "B-EXCHANGE gate failed: " + "  ".join(
+                f"{name}={'pass' if ok else 'FAIL'}"
+                for name, ok in result["checks"].items()
+            )
+        )
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "fig3": cmd_fig3,
@@ -191,6 +222,7 @@ COMMANDS = {
     "delta-sweep": cmd_delta_sweep,
     "transport": cmd_transport,
     "kernels": cmd_kernels,
+    "exchange": cmd_exchange,
 }
 
 
@@ -207,7 +239,8 @@ def main(argv=None) -> int:
     parser.add_argument("--full", action="store_true",
                         help="fig8a: all four graphs (slow)")
     parser.add_argument("--smoke", action="store_true",
-                        help="kernels: small graph, fail on parity drift")
+                        help="kernels/exchange: small graph, fail on "
+                             "parity drift")
     args = parser.parse_args(argv)
 
     if args.experiment == "all":

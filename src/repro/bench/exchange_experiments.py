@@ -1,0 +1,268 @@
+"""B-EXCHANGE — one exchange layer, every substrate, measured end to end.
+
+The refactor's contract is that a :class:`~repro.exchange.channel
+.GraphChannel` behaves identically whichever substrate carries it: the
+in-process loopback and a spawned socket worker must frame *byte-identical*
+epochs for the same sends, and the receiving heaps must agree digest-wise
+whether an epoch arrived FULL or as a DELTA patch.  This experiment holds
+that contract as a measurement:
+
+* one driver runtime, one heap-resident vertex graph per mutation rate;
+* four channels per rate — {delta, full-only} x {loopback, socket} — with
+  channel ids *pinned pairwise* so the two substrates frame the same ids;
+* epoch 1 bootstraps all four (always FULL), one PageRank superstep
+  mutates ``rate`` of the vertices, epoch 2 is the measured send.
+
+The socket wire is paced to a configurable Mb/s (loopback TCP would hide
+the transfer-size difference), so the headline numbers are real wall-clock:
+at low mutation rates the DELTA epoch must beat the FULL epoch in wire
+bytes *and* seconds; at 100% mutation the policy's fallback shows up as a
+FULL epoch and no win is claimed.  ``exchange_checks_pass`` is the CI gate
+over all of it — byte parity, digest parity, and the delta win.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.incremental import IncrementalPageRank, build_vertex_graph
+from repro.core.runtime import SkywayRuntime
+from repro.exchange import (
+    ChannelCapabilities,
+    LoopbackGraphChannel,
+    SocketGraphChannel,
+)
+from repro.jvm.jvm import JVM
+from repro.transport import WorkerClient, WorkerHandle, WorkerSpec
+from repro.transport.bootstrap import MB, build_runtime
+from repro.transport.testing import SAMPLE_FACTORY, sample_worker_classpath
+
+DEFAULT_VERTICES = 4_000
+#: Slow enough that the FULL epoch's wire time dominates its serialization
+#: time — the regime where transfer size decides wall-clock (the testbed
+#: Ethernet's role in the paper, scaled to this reproduction's encoder).
+DEFAULT_WIRE_MBPS = 4.0
+SMOKE_VERTICES = 800
+DEFAULT_RATES = (0.01, 0.10, 1.0)
+
+#: Delta channels request the full epoch protocol; full-only channels
+#: decline the delta capability, which routes every epoch through FULL
+#: framing on the same channel implementation (no separate code path).
+DELTA_REQUEST = ChannelCapabilities(kernel=True, delta=True)
+FULL_REQUEST = ChannelCapabilities(kernel=True, delta=False)
+
+
+def irregular_edges(n: int) -> List[tuple]:
+    """A ring plus quadratic chords: deterministic, connected, and with
+    *varying* in-degrees — a uniform ring-and-permutation graph is already
+    PageRank's fixpoint, so nothing would ever mutate."""
+    return ([(i, (i + 1) % n) for i in range(n)]
+            + [(i, (i * i + 1) % n) for i in range(n)])
+
+
+def _loopback_receiver(driver: SkywayRuntime, tag: str) -> SkywayRuntime:
+    """A fresh in-process receiving runtime, classpath-identical to the
+    socket worker so both substrates translate to the same layout."""
+    jvm = JVM(f"exchange-recv-{tag}", classpath=sample_worker_classpath(),
+              old_bytes=512 * MB)
+    return SkywayRuntime(jvm, driver.driver_registry, is_driver=False)
+
+
+def _timed_send(channel, roots) -> Dict[str, object]:
+    started = time.perf_counter()
+    receipt = channel.send(roots, digest=True)
+    return {
+        "seconds": time.perf_counter() - started,
+        "receipt": receipt,
+    }
+
+
+def _run_rate(
+    driver: SkywayRuntime,
+    client: WorkerClient,
+    vertices: int,
+    rate: float,
+    index: int,
+    wire_mbps: Optional[float],
+) -> Dict[str, object]:
+    """One mutation rate: four channels, two epochs, all cross-checks."""
+    edges = irregular_edges(vertices)
+    pin = driver.jvm.pin(build_vertex_graph(driver.jvm, edges))
+    graph = pin.address
+    pagerank = IncrementalPageRank(driver.jvm, graph)
+    receiver = _loopback_receiver(driver, f"{index}")
+
+    # Pinned pairwise ids: the loopback and socket member of each pair
+    # frame the same channel id (and, with one shared sender heap, the
+    # same bytes); the delta and full pairs stay distinct per receiver.
+    delta_id = 9_000 + index * 10 + 1
+    full_id = 9_000 + index * 10 + 2
+    dest = f"exchange-bench-{index}"
+    channels = {
+        "loop_delta": LoopbackGraphChannel(
+            driver, destination=dest, requested=DELTA_REQUEST,
+            receiver_runtime=receiver, channel_id=delta_id),
+        "loop_full": LoopbackGraphChannel(
+            driver, destination=dest, requested=FULL_REQUEST,
+            receiver_runtime=receiver, channel_id=full_id),
+        "sock_delta": SocketGraphChannel(
+            driver, client, requested=DELTA_REQUEST, channel_id=delta_id,
+            destination=dest, throttle_mbps=wire_mbps),
+        "sock_full": SocketGraphChannel(
+            driver, client, requested=FULL_REQUEST, channel_id=full_id,
+            destination=dest, throttle_mbps=wire_mbps),
+    }
+    try:
+        # Epoch 1: bootstrap (always FULL), untimed — it warms both heaps
+        # and pins the parity baseline.
+        epoch1 = {name: ch.send([graph], digest=True)
+                  for name, ch in channels.items()}
+        mutated = pagerank.step(active_fraction=rate)
+        # Epoch 2: the measured epoch.  Loopback first (no wire to time),
+        # then the paced socket sends, each wall-clocked.
+        epoch2 = {
+            "loop_delta": channels["loop_delta"].send([graph], digest=True),
+            "loop_full": channels["loop_full"].send([graph], digest=True),
+        }
+        timed = {
+            "sock_delta": _timed_send(channels["sock_delta"], [graph]),
+            "sock_full": _timed_send(channels["sock_full"], [graph]),
+        }
+        epoch2["sock_delta"] = timed["sock_delta"]["receipt"]
+        epoch2["sock_full"] = timed["sock_full"]["receipt"]
+
+        frames_identical = all(
+            epoch[f"loop_{kind}"].frame == epoch[f"sock_{kind}"].frame
+            for epoch in (epoch1, epoch2)
+            for kind in ("delta", "full")
+        )
+        digests = {epoch2[name].digest for name in epoch2}
+        digests_identical = (
+            len({r.digest for r in epoch1.values()}) == 1
+            and len(digests) == 1
+            and None not in digests
+        )
+        delta_seconds = timed["sock_delta"]["seconds"]
+        full_seconds = timed["sock_full"]["seconds"]
+        decision = epoch2["sock_delta"]
+        row = {
+            "mutation_fraction": rate,
+            "vertices": vertices,
+            "vertices_mutated": mutated,
+            "delta_mode": decision.mode,
+            "delta_reason": decision.reason,
+            "delta_wire_bytes": decision.wire_bytes,
+            "full_wire_bytes": epoch2["sock_full"].wire_bytes,
+            "bytes_ratio": (epoch2["sock_full"].wire_bytes
+                            / decision.wire_bytes),
+            "delta_seconds": round(delta_seconds, 4),
+            "full_seconds": round(full_seconds, 4),
+            "time_ratio": round(full_seconds / delta_seconds, 3),
+            "frames_byte_identical": frames_identical,
+            "digests_identical": digests_identical,
+            "nack_recovered": any(r.nack_recovered for r in epoch2.values()),
+        }
+        if index == 0:
+            # One unified metrics snapshot per substrate, to show the
+            # merged ledger (sim breakdown + delta stats + wire counters).
+            row["metrics"] = {
+                "loopback": channels["loop_delta"].metrics().as_dict(),
+                "socket": channels["sock_delta"].metrics().as_dict(),
+            }
+        return row
+    finally:
+        for channel in channels.values():
+            channel.close()
+        driver.jvm.unpin(pin)
+
+
+def run_exchange_experiment(
+    vertices: int = DEFAULT_VERTICES,
+    mutation_rates: Sequence[float] = DEFAULT_RATES,
+    wire_mbps: Optional[float] = DEFAULT_WIRE_MBPS,
+    smoke: bool = False,
+) -> Dict[str, object]:
+    """Returns a JSON-serializable result dict (see module docstring)."""
+    if smoke:
+        vertices = min(vertices, SMOKE_VERTICES)
+    handle = WorkerHandle.spawn(WorkerSpec(
+        name="exchange-worker", classpath_factory=SAMPLE_FACTORY,
+        old_bytes=512 * MB, read_timeout=300.0,
+    ))
+    driver = build_runtime("exchange-driver", SAMPLE_FACTORY,
+                           old_bytes=512 * MB)
+    client = WorkerClient(driver, handle.host, handle.port,
+                          read_timeout=300.0).connect()
+    try:
+        rows = [
+            _run_rate(driver, client, vertices, rate, i, wire_mbps)
+            for i, rate in enumerate(mutation_rates)
+        ]
+        return {
+            "vertices": vertices,
+            "wire_mbps": wire_mbps,
+            "smoke": smoke,
+            "rows": rows,
+            "worker_epochs_received": client.stats().get("epochs_received"),
+            "checks": _checks(rows),
+        }
+    finally:
+        try:
+            client.shutdown_worker()
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+        client.close()
+        handle.stop()
+
+
+def _checks(rows: List[Dict[str, object]]) -> Dict[str, bool]:
+    low = [r for r in rows if float(r["mutation_fraction"]) <= 0.10]
+    return {
+        "frames_byte_identical": all(r["frames_byte_identical"]
+                                     for r in rows),
+        "digests_identical": all(r["digests_identical"] for r in rows),
+        "delta_mode_at_low_mutation": all(r["delta_mode"] == "delta"
+                                          for r in low),
+        "delta_beats_full_bytes": all(
+            r["delta_wire_bytes"] < r["full_wire_bytes"] for r in low),
+        "delta_beats_full_seconds": all(
+            r["delta_seconds"] < r["full_seconds"] for r in low),
+    }
+
+
+def exchange_checks_pass(result: Dict[str, object]) -> bool:
+    return all(result["checks"].values())
+
+
+def format_exchange_report(result: Dict[str, object]) -> str:
+    lines = [
+        "B-EXCHANGE — delta vs full epochs over the paced socket wire, "
+        "with loopback parity",
+        f"  graph: {result['vertices']} vertices per rate; wire paced to "
+        f"{result['wire_mbps']} Mb/s",
+        f"  worker epochs received: {result['worker_epochs_received']}",
+        "",
+        f"  {'mutated':>8} {'mode':<6} {'delta_B':>9} {'full_B':>9} "
+        f"{'B_ratio':>8} {'delta_s':>8} {'full_s':>8} {'t_ratio':>8} "
+        f"{'parity':>7}",
+    ]
+    for row in result["rows"]:
+        parity = ("ok" if row["frames_byte_identical"]
+                  and row["digests_identical"] else "FAIL")
+        lines.append(
+            f"  {row['mutation_fraction']:>7.0%} {row['delta_mode']:<6} "
+            f"{row['delta_wire_bytes']:>9} {row['full_wire_bytes']:>9} "
+            f"{row['bytes_ratio']:>7.1f}x {row['delta_seconds']:>8.3f} "
+            f"{row['full_seconds']:>8.3f} {row['time_ratio']:>7.2f}x "
+            f"{parity:>7}"
+        )
+    checks = result["checks"]
+    lines += [
+        "",
+        "  checks: " + "  ".join(
+            f"{name}={'pass' if ok else 'FAIL'}"
+            for name, ok in checks.items()
+        ),
+    ]
+    return "\n".join(lines)

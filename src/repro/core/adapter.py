@@ -4,23 +4,31 @@
 Input/OutputStream with our SkywayInput/OutputStream objects... The entire
 SkywaySerializer class contains less than 100 lines of code."  This module
 is exactly that shim: it implements the generic
-:class:`~repro.serial.base.Serializer` interface over Skyway's streams, so
-the Spark and Flink engines (and JSBS) can swap serializers by
+:class:`~repro.serial.base.Serializer` interface over the exchange layer,
+so the Spark and Flink engines (and JSBS) can swap serializers by
 configuration, unchanged.
+
+The adapter holds no protocol logic of its own: writers are plain Skyway
+output streams or (in delta mode) unbound
+:class:`~repro.exchange.loopback.LoopbackGraphChannel` endpoints, and
+*every* reader comes from :func:`repro.exchange.dispatch.open_reader`,
+which routes epoch frames and plain streams by the leading byte — the
+sniffing that used to live here.
 
 Both JVMs involved must have a :class:`~repro.core.runtime.SkywayRuntime`
 attached (sharing one driver registry) — the same cluster-wide setup the
 paper requires.
+
+Exchange-layer imports happen lazily inside methods: this module loads
+during ``repro.core`` package init, before :mod:`repro.delta` /
+:mod:`repro.exchange` (which import back into ``repro.core``) can.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.streams import SkywayObjectInputStream, SkywayObjectOutputStream
-from repro.delta.channel import DeltaReceiveEndpoint, DeltaSendChannel
-from repro.delta.policy import DeltaPolicy
-from repro.delta.wire import is_delta_frame
 from repro.jvm.jvm import JVM
 from repro.serial.base import (
     DeserializationStream,
@@ -28,6 +36,10 @@ from repro.serial.base import (
     SerializationStream,
     Serializer,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.delta.policy import DeltaPolicy
+    from repro.exchange.channel import GraphChannel
 
 
 def _runtime_of(jvm: JVM):
@@ -45,12 +57,11 @@ class SkywaySerializer(Serializer):
     future-work compact transfer encoding for every stream.
 
     ``delta=True`` opts into epoch-based incremental transfer: streams for
-    the same ``(jvm, channel)`` pair share a
-    :class:`~repro.delta.channel.DeltaSendChannel`, so the first close
-    ships the full graph and later closes ship only what mutated since.
-    Readers sniff the frame byte and route DELTA/FULL frames through the
-    receiver runtime's :class:`~repro.delta.channel.DeltaReceiveEndpoint`;
-    plain Skyway frames still take the stateless stream path.
+    the same ``(jvm, channel)`` pair share one unbound exchange channel,
+    so the first close ships the full graph and later closes ship only
+    what mutated since.  Channels hold a card table on the sender's write
+    barrier until released — callers that retire a channel key should call
+    :meth:`release_channel` (or :meth:`close` for all of them).
     """
 
     name = "skyway"
@@ -58,37 +69,58 @@ class SkywaySerializer(Serializer):
     def __init__(self, thread_id: int = 0,
                  compress_headers: bool = False,
                  delta: bool = False,
-                 delta_policy: DeltaPolicy = None) -> None:
+                 delta_policy: Optional["DeltaPolicy"] = None) -> None:
         self.thread_id = thread_id
         self.compress_headers = compress_headers
         self.delta = delta
         self.delta_policy = delta_policy
-        #: Per-(sender JVM, channel key) delta channels, created lazily.
-        self._channels: Dict[Tuple[str, str], DeltaSendChannel] = {}
+        #: Per-(sender JVM, channel key) exchange channels, created lazily.
+        self._channels: Dict[Tuple[str, str], "GraphChannel"] = {}
 
     def new_stream(self, jvm: JVM, thread_id: int = None,
                    channel: str = "default"):
         tid = self.thread_id if thread_id is None else thread_id
         if self.delta:
-            return DeltaSerializationStream(self.channel_for(jvm, channel))
+            return ChannelSerializationStream(self.channel_for(jvm, channel))
         return SkywaySerializationStream(jvm, tid, self.compress_headers)
 
-    def new_reader(self, jvm: JVM, data: bytes):
-        if is_delta_frame(data):
-            return DeltaDeserializationStream(jvm, data)
-        return SkywayDeserializationStream(jvm, data)
+    def new_reader(self, jvm: JVM, data: bytes) -> DeserializationStream:
+        from repro.exchange.dispatch import open_reader
 
-    def channel_for(self, jvm: JVM, channel: str = "default") -> DeltaSendChannel:
-        """The (lazily created) delta channel for one ``(jvm, key)`` pair."""
+        return open_reader(_runtime_of(jvm), data)
+
+    def channel_for(self, jvm: JVM, channel: str = "default") -> "GraphChannel":
+        """The (lazily created) exchange channel for one ``(jvm, key)``
+        pair — an unbound loopback endpoint: it frames epochs, the engine
+        moves the bytes."""
+        from repro.exchange.capabilities import ChannelCapabilities
+        from repro.exchange.loopback import LoopbackGraphChannel
+
         runtime = _runtime_of(jvm)
         key = (jvm.name, channel)
         existing = self._channels.get(key)
         if existing is None:
-            existing = DeltaSendChannel(
-                runtime, destination=channel, policy=self.delta_policy
+            existing = LoopbackGraphChannel(
+                runtime,
+                destination=channel,
+                requested=ChannelCapabilities(kernel=True, delta=True),
+                policy=self.delta_policy,
             )
             self._channels[key] = existing
         return existing
+
+    def release_channel(self, jvm: JVM, channel: str = "default") -> None:
+        """Close and drop one channel (detaching its card table from the
+        sender's write barrier); a later use of the key starts fresh."""
+        existing = self._channels.pop((jvm.name, channel), None)
+        if existing is not None:
+            existing.close()
+
+    def close(self) -> None:
+        """Release every channel this serializer created."""
+        for existing in self._channels.values():
+            existing.close()
+        self._channels.clear()
 
 
 class SkywaySerializationStream(SerializationStream):
@@ -118,28 +150,13 @@ class SkywaySerializationStream(SerializationStream):
         return self._stream.bytes_written
 
 
-class SkywayDeserializationStream(DeserializationStream):
-    def __init__(self, jvm: JVM, data: bytes) -> None:
-        runtime = _runtime_of(jvm)
-        self._stream = SkywayObjectInputStream(runtime)
-        self._stream.accept(data)
+class ChannelSerializationStream(SerializationStream):
+    """Delta-mode writer: roots accumulate, close() ships one epoch
+    through the exchange channel and returns its framed bytes."""
 
-    def read_object(self) -> int:
-        return self._stream.read_object()
-
-    def has_next(self) -> bool:
-        return self._stream.has_next()
-
-    def close(self) -> None:
-        self._stream.close()
-
-
-class DeltaSerializationStream(SerializationStream):
-    """Delta-mode writer: roots accumulate, close() frames one epoch."""
-
-    def __init__(self, channel: DeltaSendChannel) -> None:
+    def __init__(self, channel: "GraphChannel") -> None:
         self._channel = channel
-        self._roots: List[int] = []
+        self._roots: list = []
         self._frame_bytes = 0
         self._closed = False
 
@@ -152,36 +169,10 @@ class DeltaSerializationStream(SerializationStream):
         if self._closed:
             raise SerializationError("delta stream already closed")
         self._closed = True
-        frame = self._channel.send(self._roots)
-        self._frame_bytes = len(frame)
-        return frame
+        receipt = self._channel.send(self._roots)
+        self._frame_bytes = len(receipt.frame)
+        return receipt.frame
 
     @property
     def bytes_written(self) -> int:
         return self._frame_bytes
-
-
-class DeltaDeserializationStream(DeserializationStream):
-    """Delta-mode reader: frames route to the runtime's one endpoint
-    (channel state — the retained buffer — must outlive any one reader,
-    so close() keeps the buffer; a later FULL frame frees it)."""
-
-    def __init__(self, jvm: JVM, data: bytes) -> None:
-        runtime = _runtime_of(jvm)
-        self._endpoint = DeltaReceiveEndpoint.for_runtime(runtime)
-        self._roots = self._endpoint.receive(data)
-        self._cursor = 0
-
-    def read_object(self) -> int:
-        if self._cursor >= len(self._roots):
-            raise SerializationError("no more objects in this delta epoch")
-        root = self._roots[self._cursor]
-        self._cursor += 1
-        return root
-
-    def has_next(self) -> bool:
-        return self._cursor < len(self._roots)
-
-    def close(self) -> None:
-        # Deliberately not freeing: the epoch's buffer is channel state.
-        self._roots = []

@@ -114,13 +114,16 @@ class SkywayRuntime:
         thread_id: int = 0,
         target_layout: Optional[HeapLayout] = None,
         fresh_buffer: bool = False,
+        use_kernels: Optional[bool] = None,
     ) -> ObjectGraphSender:
         buffer = self.output_buffer(destination, thread_id)
         if fresh_buffer:
             buffer.clear()
         return ObjectGraphSender(
             self.jvm, buffer, sid=self.sid, thread_id=thread_id,
-            target_layout=target_layout, use_kernels=self.use_kernels,
+            target_layout=target_layout,
+            use_kernels=(self.use_kernels if use_kernels is None
+                         else use_kernels),
         )
 
     def new_receiver(self) -> ObjectGraphReceiver:

@@ -97,12 +97,13 @@ class SkywayObjectOutputStream:
         target_layout: Optional[HeapLayout] = None,
         compress_headers: bool = False,
         transport=None,
+        use_kernels: Optional[bool] = None,
     ) -> None:
         self.runtime = runtime
         self._frame = ByteOutputStream()
         self.sender: ObjectGraphSender = runtime.new_sender(
             destination, thread_id=thread_id, target_layout=target_layout,
-            fresh_buffer=True,
+            fresh_buffer=True, use_kernels=use_kernels,
         )
         self._codec: Optional[CompactSegmentCodec] = None
         if compress_headers:

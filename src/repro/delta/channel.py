@@ -59,11 +59,27 @@ class DeltaSendChannel:
         policy: Optional[DeltaPolicy] = None,
         target_layout: Optional[HeapLayout] = None,
         card_size: int = DELTA_CARD_SIZE,
+        channel_id: Optional[int] = None,
+        delta_enabled: bool = True,
+        use_kernels: Optional[bool] = None,
     ) -> None:
         self.runtime = runtime
         self.destination = destination
-        self.channel_id = next(_channel_ids)
+        #: Channel ids are process-global by default; a caller may pin one
+        #: explicitly so that two substrates (in-process loopback and a
+        #: socket worker) frame byte-identical epochs for the same sends —
+        #: the cross-substrate parity gate.  Receiver endpoints route by
+        #: this id, so pinned ids must be unique per receiving runtime.
+        self.channel_id = (next(_channel_ids) if channel_id is None
+                           else channel_id)
         self.policy = policy if policy is not None else DeltaPolicy()
+        #: A channel with delta disabled frames every epoch FULL and skips
+        #: the write barrier entirely (no card table attached) — the plain
+        #: full-send mode of the exchange layer, on the same wire format.
+        self.delta_enabled = delta_enabled
+        #: None inherits the runtime's clone engine; the exchange layer
+        #: passes the negotiated capability explicitly.
+        self.use_kernels = use_kernels
         #: PATCH overwrites clones in place, so the destination must share
         #: this JVM's object layout; heterogeneous destinations always
         #: take the full-send path.
@@ -71,8 +87,11 @@ class DeltaSendChannel:
             target_layout is not None and target_layout != runtime.jvm.layout
         )
         self.cache = EpochCache()
-        self.tracker = DeltaTracker.attach(runtime.jvm.heap, card_size)
-        self.table = self.tracker.new_table()
+        self.tracker = None
+        self.table = None
+        if delta_enabled:
+            self.tracker = DeltaTracker.attach(runtime.jvm.heap, card_size)
+            self.table = self.tracker.new_table()
         self.stats = ChannelStats()
         self.epoch = 0
         self.last_decision: Optional[EpochDecision] = None
@@ -96,9 +115,10 @@ class DeltaSendChannel:
                 self.last_decision = decision
                 return frame
 
-        if decision.reason != "delta":
-            if decision.reason != "first_epoch":
-                self.stats.note_fallback(decision.reason)
+        if decision.reason not in ("delta", "first_epoch", "delta_disabled"):
+            # delta_disabled is this channel's configured mode, not a
+            # reversion worth counting against the policy.
+            self.stats.note_fallback(decision.reason)
         self.last_decision = decision
         return self._send_full(roots, gc)
 
@@ -110,6 +130,8 @@ class DeltaSendChannel:
         if self._force_full:
             self._force_full = False
             return EpochDecision(mode="full", reason="forced")
+        if not self.delta_enabled:
+            return EpochDecision(mode="full", reason="delta_disabled")
         if self.heterogeneous:
             return EpochDecision(mode="full", reason="heterogeneous")
         if record is None:
@@ -161,16 +183,21 @@ class DeltaSendChannel:
         stream = SkywayObjectOutputStream(
             self.runtime,
             destination=f"delta:{self.channel_id}:{self.destination}",
+            use_kernels=self.use_kernels,
         )
         for root in roots:
             stream.write_object(root)
         embedded = stream.close()
-        self.cache.record_full_send(
-            self.destination, stream.sender.cloned,
-            gc.minor_collections, gc.full_collections,
-            epoch=self.epoch,
-        )
-        self.table.clear()
+        if self.delta_enabled:
+            # The epoch record only feeds delta decisions; a full-only
+            # channel stays stateless.
+            self.cache.record_full_send(
+                self.destination, stream.sender.cloned,
+                gc.minor_collections, gc.full_collections,
+                epoch=self.epoch,
+            )
+        if self.table is not None:
+            self.table.clear()
         frame = frame_full(self.channel_id, self.epoch, embedded)
         self.stats.full_sends += 1
         self.stats.bytes_full += len(frame)
@@ -178,7 +205,9 @@ class DeltaSendChannel:
 
     def close(self) -> None:
         """Detach this channel's table from the write barrier."""
-        self.tracker.release_table(self.table)
+        if self.tracker is not None and self.table is not None:
+            self.tracker.release_table(self.table)
+            self.table = None
         self.cache.invalidate(self.destination)
 
 

@@ -1,0 +1,37 @@
+"""The exchange layer's error taxonomy.
+
+:class:`ExchangeError` is the base; :class:`ExchangeProtocolError` wraps
+every malformed-epoch failure (truncated or bit-flipped FULL/DELTA frames,
+unparseable embedded streams) so consumers of
+:func:`~repro.exchange.dispatch.receive_epoch` catch one type instead of
+the union of wire/stream/apply errors underneath.
+
+:class:`~repro.delta.channel.DeltaStaleError` is re-exported rather than
+wrapped: staleness is the NACK of the epoch protocol — control flow, not
+corruption — and channels react to it (force the next epoch full), so it
+must stay distinguishable from a damaged frame.
+"""
+
+from __future__ import annotations
+
+from repro.delta.channel import DeltaStaleError
+
+__all__ = [
+    "DeltaStaleError",
+    "ExchangeConfigError",
+    "ExchangeError",
+    "ExchangeProtocolError",
+]
+
+
+class ExchangeError(RuntimeError):
+    """Base of everything the exchange layer raises itself."""
+
+
+class ExchangeConfigError(ExchangeError):
+    """The exchange was asked for something its configuration lacks
+    (unknown worker, no Skyway runtime, unsupported substrate)."""
+
+
+class ExchangeProtocolError(ExchangeError):
+    """A received epoch frame could not be decoded or applied."""

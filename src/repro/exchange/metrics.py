@@ -1,0 +1,93 @@
+"""Unified per-channel observability.
+
+Before the exchange layer, three ledgers existed and never met: the
+simulated :class:`~repro.simtime.Breakdown` (what the cost model predicts),
+the measured :class:`~repro.transport.metrics.TransportMetrics` (what the
+wire did), and the delta :class:`~repro.delta.policy.ChannelStats` (what
+the epoch protocol decided).  :class:`ExchangeMetrics` is the one snapshot
+merging all three for one channel — JSON-exportable, consumed by
+B-EXCHANGE and anything tracking send behavior across runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Mapping, Optional
+
+from repro.delta.policy import ChannelStats
+from repro.simtime import Breakdown, Category
+
+
+def delta_stats_dict(stats: ChannelStats) -> Dict[str, object]:
+    out = dataclasses.asdict(stats)
+    out["bytes_total"] = stats.bytes_total
+    return out
+
+
+@dataclasses.dataclass
+class ExchangeMetrics:
+    """One channel's merged ledger at snapshot time."""
+
+    substrate: str
+    destination: str
+    channel_id: int
+    capabilities: Dict[str, object]
+    #: Exchange-level sends (one per ``send()`` call; a NACK recovery is
+    #: one send shipping two wire frames).
+    sends: int
+    wire_bytes: int
+    nack_recoveries: int
+    #: Simulated clock seconds this channel charged, by category.
+    breakdown: Breakdown
+    #: The epoch protocol's ledger (full/delta counts, fallbacks, ...).
+    delta: Dict[str, object]
+    #: Measured wire counters; None on the loopback substrate (no wire).
+    transport: Optional[Dict[str, object]] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "substrate": self.substrate,
+            "destination": self.destination,
+            "channel_id": self.channel_id,
+            "capabilities": dict(self.capabilities),
+            "sends": self.sends,
+            "wire_bytes": self.wire_bytes,
+            "nack_recoveries": self.nack_recoveries,
+            "breakdown": self.breakdown.as_dict(),
+            "delta": dict(self.delta),
+            "transport": (dict(self.transport)
+                          if self.transport is not None else None),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def build(
+        cls,
+        substrate: str,
+        destination: str,
+        channel_id: int,
+        capabilities: Dict[str, object],
+        sends: int,
+        wire_bytes: int,
+        nack_recoveries: int,
+        sim_totals: Mapping[Category, float],
+        stats: ChannelStats,
+        transport: Optional[Dict[str, object]] = None,
+    ) -> "ExchangeMetrics":
+        return cls(
+            substrate=substrate,
+            destination=destination,
+            channel_id=channel_id,
+            capabilities=capabilities,
+            sends=sends,
+            wire_bytes=wire_bytes,
+            nack_recoveries=nack_recoveries,
+            breakdown=Breakdown.from_totals(
+                dict(sim_totals), bytes_written=wire_bytes,
+            ),
+            delta=delta_stats_dict(stats),
+            transport=transport,
+        )

@@ -1,0 +1,143 @@
+"""The socket substrate: epochs delivered to a worker process.
+
+A :class:`SocketGraphChannel` frames epochs with the same
+:class:`~repro.delta.channel.DeltaSendChannel` the loopback substrate uses
+and ships each frame through :meth:`WorkerClient.send_epoch` (CALL + EPOCH
+header + DATA chunks + TRAILER).  The worker applies it through *its*
+runtime's delta endpoint and answers with receiver roots and a semantic
+graph digest — the same handle the loopback receipt carries, so the two
+substrates are directly comparable.
+
+NACK recovery, socket edition: a stale receiver (worker restarted, full GC
+on the worker heap, epoch gap) answers an ERROR frame naming
+``DeltaStaleError`` and closes the connection.  ``send()`` catches exactly
+that remote kind, reconnects, forces the next epoch full, and resends —
+one ``send()`` call, two wire frames, receipt flagged
+``nack_recovered=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.runtime import SkywayRuntime
+from repro.delta.channel import DeltaSendChannel
+from repro.exchange.capabilities import (
+    ChannelCapabilities,
+    DEFAULT_REQUEST,
+    SOCKET_OFFER,
+)
+from repro.exchange.channel import GraphChannel, SendReceipt, collect_roots
+from repro.exchange.errors import ExchangeConfigError
+from repro.simtime import Category
+from repro.transport.client import WorkerClient
+from repro.transport.errors import RemoteWorkerError
+from repro.transport.pipeline import DEFAULT_CHUNK_BYTES, DEFAULT_QUEUE_CHUNKS
+
+
+class SocketGraphChannel(GraphChannel):
+    """One sending endpoint bound to a worker connection."""
+
+    substrate = "socket"
+
+    def __init__(
+        self,
+        runtime: SkywayRuntime,
+        client: WorkerClient,
+        requested: ChannelCapabilities = DEFAULT_REQUEST,
+        policy=None,
+        channel_id: Optional[int] = None,
+        destination: Optional[str] = None,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        queue_chunks: int = DEFAULT_QUEUE_CHUNKS,
+        store_and_forward: bool = False,
+        throttle_mbps: Optional[float] = None,
+    ) -> None:
+        dest = destination if destination is not None else (
+            client.peer_name or f"{client.host}:{client.port}"
+        )
+        super().__init__(dest, requested, SOCKET_OFFER)
+        if client.runtime is not runtime:
+            raise ExchangeConfigError(
+                f"client speaks for runtime {client.runtime.jvm.name!r}, "
+                f"channel for {runtime.jvm.name!r}"
+            )
+        self.runtime = runtime
+        self.client = client
+        self._send_opts = dict(
+            chunk_bytes=chunk_bytes, queue_chunks=queue_chunks,
+            store_and_forward=store_and_forward, throttle_mbps=throttle_mbps,
+        )
+        self._channel = DeltaSendChannel(
+            runtime,
+            destination=dest,
+            policy=policy,
+            channel_id=channel_id,
+            delta_enabled=self.capabilities.delta,
+            use_kernels=self.capabilities.kernel,
+        )
+
+    def rebind(self, client: WorkerClient) -> None:
+        """Point this channel at a replacement connection (typically to a
+        restarted worker).  The epoch record is kept: the next delta will
+        draw the fresh worker's NACK and converge through the forced-full
+        path — which is the behavior under test for restarts."""
+        if client.runtime is not self.runtime:
+            raise ExchangeConfigError(
+                f"replacement client speaks for runtime "
+                f"{client.runtime.jvm.name!r}, channel for "
+                f"{self.runtime.jvm.name!r}"
+            )
+        self.client = client
+
+    # ------------------------------------------------------------------
+
+    def send(self, roots: Sequence[int], digest: bool = False) -> SendReceipt:
+        channel = self._require_open()
+        roots = collect_roots(roots)
+        clock = self.runtime.jvm.clock
+        snap = clock.snapshot()
+        with clock.phase(Category.SERIALIZATION):
+            frame = channel.send(roots)
+        decision = channel.last_decision
+        wire_bytes = len(frame)
+        nack = False
+        try:
+            result = self._ship(frame, channel, digest)
+        except RemoteWorkerError as exc:
+            if exc.kind != "DeltaStaleError":
+                raise
+            # The worker closed the connection after the ERROR frame, so
+            # recovery is reconnect first, forced-full resend second.
+            nack = True
+            self.client.close()
+            self.client.connect()
+            channel.force_full_next()
+            with clock.phase(Category.SERIALIZATION):
+                frame = channel.send(roots)
+            decision = channel.last_decision
+            wire_bytes += len(frame)
+            result = self._ship(frame, channel, digest)
+        self._note_sim(clock.since(snap))
+        receipt = SendReceipt(
+            mode=decision.mode,
+            reason=decision.reason,
+            epoch=channel.epoch,
+            wire_bytes=wire_bytes,
+            frame=frame,
+            roots=tuple(result.get("root_addresses", ())),
+            digest=result.get("digest"),
+            nack_recovered=nack,
+            result=result,
+        )
+        return self._account_send(receipt)
+
+    def _ship(self, frame: bytes, channel: DeltaSendChannel,
+              digest: bool) -> dict:
+        return self.client.send_epoch(
+            frame, channel.channel_id, channel.epoch, digest=digest,
+            **self._send_opts,
+        )
+
+    def _transport_dict(self):
+        return self.client.metrics.as_dict()

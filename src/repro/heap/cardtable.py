@@ -6,11 +6,19 @@ divided into fixed-size cards and a card is dirtied whenever a reference is
 stored into it.  Skyway's receiver must "update the card table appropriately
 to represent new pointers generated from each data transfer" (paper §4.3) —
 that call site is :meth:`mark_range`.
+
+Dirty cards are kept as a set of card indices, not a byte-per-card array:
+every consumer (the minor-GC scan, the delta tracker's epoch diff, the
+undo-log snapshot) walks *dirty* cards, so all operations cost O(dirty)
+rather than O(heap size / card size) — the difference between a delta
+epoch costing proportional to its mutations and costing a full-heap scan.
+A real JVM keeps the byte array for its write-barrier store; here the
+barrier is already a method call, so the sparse form is strictly better.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import FrozenSet, Iterator, Tuple
 
 
 class CardTable:
@@ -24,7 +32,7 @@ class CardTable:
         self.start = start
         self.end = end
         self.card_size = card_size
-        self._cards: List[bool] = [False] * self._card_count()
+        self._dirty: set = set()
         self.marks = 0
 
     def _card_count(self) -> int:
@@ -38,7 +46,7 @@ class CardTable:
 
     def mark(self, address: int) -> None:
         """Dirty the card containing ``address``."""
-        self._cards[self.card_index(address)] = True
+        self._dirty.add(self.card_index(address))
         self.marks += 1
 
     def mark_range(self, address: int, nbytes: int) -> None:
@@ -48,35 +56,45 @@ class CardTable:
             return
         first = self.card_index(address)
         last = self.card_index(min(address + nbytes - 1, self.end - 1))
-        for i in range(first, last + 1):
-            self._cards[i] = True
+        self._dirty.update(range(first, last + 1))
         self.marks += last - first + 1
 
     def is_dirty(self, address: int) -> bool:
-        return self._cards[self.card_index(address)]
+        return self.card_index(address) in self._dirty
 
     def dirty_ranges(self) -> Iterator[Tuple[int, int]]:
         """Yield ``(start_address, end_address)`` for each maximal run of
         dirty cards."""
-        i = 0
-        n = len(self._cards)
-        while i < n:
-            if not self._cards[i]:
-                i += 1
-                continue
-            j = i
-            while j < n and self._cards[j]:
-                j += 1
-            yield (
-                self.start + i * self.card_size,
-                min(self.start + j * self.card_size, self.end),
-            )
-            i = j
+        run_start = run_end = None
+        for i in sorted(self._dirty):
+            if run_start is None:
+                run_start = run_end = i
+            elif i == run_end + 1:
+                run_end = i
+            else:
+                yield self._range_of(run_start, run_end)
+                run_start = run_end = i
+        if run_start is not None:
+            yield self._range_of(run_start, run_end)
+
+    def _range_of(self, first: int, last: int) -> Tuple[int, int]:
+        return (
+            self.start + first * self.card_size,
+            min(self.start + (last + 1) * self.card_size, self.end),
+        )
 
     def clear(self) -> None:
-        for i in range(len(self._cards)):
-            self._cards[i] = False
+        self._dirty.clear()
+
+    def snapshot(self) -> FrozenSet[int]:
+        """The dirty set as an immutable value (the GC undo log's card
+        checkpoint); O(dirty cards), not O(heap)."""
+        return frozenset(self._dirty)
+
+    def restore(self, snapshot: FrozenSet[int]) -> None:
+        """Reset the dirty set to an earlier :meth:`snapshot`."""
+        self._dirty = set(snapshot)
 
     @property
     def dirty_count(self) -> int:
-        return sum(self._cards)
+        return len(self._dirty)

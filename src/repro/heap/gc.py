@@ -138,7 +138,7 @@ class GarbageCollector:
             "handles": [],    # (handle, original address)
             "old_top": heap.old.top,
             "old_count": len(heap.old.object_starts),
-            "cards": list(heap.card_table._cards),
+            "cards": heap.card_table.snapshot(),
         }
 
     def _rollback(self) -> None:
@@ -153,7 +153,7 @@ class GarbageCollector:
         heap.old.top = undo["old_top"]
         del heap.old.object_starts[undo["old_count"]:]
         heap.survivor_to.reset()
-        heap.card_table._cards[:] = undo["cards"]
+        heap.card_table.restore(undo["cards"])
 
     def _evacuate(self, address: int) -> int:
         """Copy a young object out of the collected space, returning its new

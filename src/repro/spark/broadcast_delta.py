@@ -7,17 +7,18 @@ superstep (PageRank ranks, connected-components labels).
 
 :class:`DeltaHeapBroadcast` keeps the authoritative copy of the value *on
 the driver heap* and maintains one
-:class:`~repro.delta.channel.DeltaSendChannel` per worker.  Each
-``push()`` ships one epoch to every worker: FULL the first time, DELTA
-thereafter — only the objects mutated through the heap write barrier since
-the previous push travel the wire.  Receivers patch their retained input
-buffers in place, so the worker-side address of the value is stable across
-epochs (``value_on(worker)`` keeps returning the same root).
+:class:`~repro.exchange.channel.GraphChannel` per worker, opened through
+the cluster's :class:`~repro.exchange.service.Exchange` — so the same
+broadcast works over the in-process substrate and over socket workers.
+Each ``push()`` ships one epoch to every worker: FULL the first time,
+DELTA thereafter — only the objects mutated through the heap write barrier
+since the previous push travel the wire.  Receivers patch their retained
+input buffers in place, so the worker-side address of the value is stable
+across epochs (``value_on(worker)`` keeps returning the same root).
 
-Staleness is handled like a NACK: if a worker raises
-:class:`~repro.delta.channel.DeltaStaleError` (its old generation was
-compacted, or it lost channel state), the driver forces that channel full
-and resends the whole graph once.
+Staleness (the NACK) is the channel's problem now: a stale receiver makes
+``send()`` force a full resend inside one call, and the receipt reports it
+— ``push()`` just counts the recoveries.
 """
 
 from __future__ import annotations
@@ -25,14 +26,10 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional
 
-from repro.delta.channel import (
-    DeltaReceiveEndpoint,
-    DeltaSendChannel,
-    DeltaStaleError,
-)
 from repro.delta.policy import ChannelStats, DeltaPolicy
+from repro.exchange.channel import GraphChannel
+from repro.exchange.service import Exchange
 from repro.net.cluster import Cluster, Node
-from repro.simtime import Category
 
 
 @dataclasses.dataclass
@@ -53,21 +50,21 @@ class DeltaHeapBroadcast:
         cluster: Cluster,
         root: int,
         policy: Optional[DeltaPolicy] = None,
+        exchange: Optional[Exchange] = None,
     ) -> None:
         driver = cluster.driver
-        runtime = driver.jvm.skyway
-        if runtime is None:
+        if driver.jvm.skyway is None:
             raise RuntimeError(
                 "delta broadcast needs Skyway attached to the cluster "
                 "(repro.core.attach_skyway)"
             )
         self.cluster = cluster
+        self.exchange = (exchange if exchange is not None
+                         else Exchange.loopback(cluster))
         self.root = root
         self._pin = driver.jvm.pin(root)
-        self._channels: Dict[str, DeltaSendChannel] = {
-            worker.name: DeltaSendChannel(
-                runtime, destination=worker.name, policy=policy
-            )
+        self._channels: Dict[str, GraphChannel] = {
+            worker.name: self.exchange.channel_to(worker.name, policy=policy)
             for worker in cluster.workers
         }
         self._worker_roots: Dict[str, int] = {}
@@ -79,47 +76,25 @@ class DeltaHeapBroadcast:
 
     def push(self) -> PushReport:
         """Ship one epoch of the value to every worker."""
-        driver = self.cluster.driver
         total = 0
         modes: Dict[str, str] = {}
         resends = 0
         epoch = 0
         for worker in self.cluster.workers:
             channel = self._channels[worker.name]
-            sent = self._push_one(driver, worker, channel)
-            if sent < 0:  # stale: forced full resend happened
+            receipt = channel.send([self.root])
+            if receipt.nack_recovered:
                 resends += 1
-                sent = -sent
-            total += sent
-            modes[worker.name] = self._channels[worker.name].last_decision.mode
-            epoch = channel.epoch
+            total += receipt.wire_bytes
+            modes[worker.name] = receipt.mode
+            epoch = receipt.epoch
+            if receipt.roots:
+                self._worker_roots[worker.name] = receipt.roots[0]
         report = PushReport(
             epoch=epoch, wire_bytes=total, modes=modes, resends=resends
         )
         self.pushes.append(report)
         return report
-
-    def _push_one(self, driver: Node, worker: Node,
-                  channel: DeltaSendChannel) -> int:
-        with driver.clock.phase(Category.SERIALIZATION):
-            frame = channel.send([self.root])
-        try:
-            self._deliver(driver, worker, frame)
-            return len(frame)
-        except DeltaStaleError:
-            # NACK: rebuild the worker's copy with one forced full send.
-            channel.force_full_next()
-            with driver.clock.phase(Category.SERIALIZATION):
-                frame = channel.send([self.root])
-            self._deliver(driver, worker, frame)
-            return -len(frame)
-
-    def _deliver(self, driver: Node, worker: Node, frame: bytes) -> None:
-        self.cluster.transfer(driver, worker, len(frame))
-        endpoint = DeltaReceiveEndpoint.for_runtime(worker.jvm.skyway)
-        with worker.clock.phase(Category.DESERIALIZATION):
-            roots = endpoint.receive(frame)
-        self._worker_roots[worker.name] = roots[0]
 
     # ------------------------------------------------------------------
     # reading / accounting
@@ -141,6 +116,11 @@ class DeltaHeapBroadcast:
 
     def channel_stats(self) -> Dict[str, ChannelStats]:
         return {name: ch.stats for name, ch in self._channels.items()}
+
+    def metrics(self) -> Dict[str, dict]:
+        """Per-worker unified exchange metrics (one snapshot each)."""
+        return {name: ch.metrics().as_dict()
+                for name, ch in self._channels.items()}
 
     def close(self) -> None:
         """Unpin the driver copy and detach every channel's card table."""

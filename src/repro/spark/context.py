@@ -6,6 +6,7 @@ import dataclasses
 import itertools
 from typing import Any, Callable, Iterable, List, Optional, Sequence
 
+from repro.exchange.service import Exchange
 from repro.jvm.marshal import from_heap, to_heap
 from repro.net.cluster import Cluster, Node
 from repro.serial.base import Serializer
@@ -68,16 +69,16 @@ class SparkContext:
         serializer: Serializer,
         default_parallelism: Optional[int] = None,
         config: Optional[SparkConfig] = None,
-        transport=None,
+        exchange: Optional[Exchange] = None,
     ) -> None:
         self.cluster = cluster
         self.serializer = serializer
-        #: Optional real-byte transport: an object whose
-        #: ``transfer(src_node, dst_node, data)`` moves the serialized
-        #: bytes over an actual boundary (e.g.
-        #: :class:`repro.transport.SocketBroadcastTransport`) and accounts
-        #: them on ``dst``.  ``None`` keeps the in-process simulated wire.
-        self.transport = transport
+        #: The data-movement substrate.  Default: the in-process loopback
+        #: exchange over the simulated wire; pass
+        #: ``Exchange.socket(cluster, clients)`` to move broadcast blobs,
+        #: epochs and parallel streams through real worker processes.
+        self.exchange = (exchange if exchange is not None
+                         else Exchange.loopback(cluster))
         self.config = config if config is not None else SparkConfig()
         self.default_parallelism = (
             default_parallelism
@@ -120,10 +121,7 @@ class SparkContext:
         with driver.clock.phase(Category.SERIALIZATION):
             data = serializer.serialize(driver.jvm, addr)
         for worker in self.cluster.workers:
-            if self.transport is not None:
-                self.transport.transfer(driver, worker, data)
-            else:
-                self.cluster.transfer(driver, worker, len(data))
+            self.exchange.transfer_blob(driver, worker, data)
             with worker.clock.phase(Category.DESERIALIZATION):
                 reader = serializer.new_reader(worker.jvm, data)
                 received = reader.read_object()
@@ -134,10 +132,13 @@ class SparkContext:
     def delta_broadcast(self, root: int, policy=None):
         """Broadcast a driver-heap object graph incrementally: ``push()``
         ships only what mutated since the previous push (requires Skyway
-        attached; see :mod:`repro.spark.broadcast_delta`)."""
+        attached; see :mod:`repro.spark.broadcast_delta`).  Epochs travel
+        this context's exchange, whichever substrate it runs."""
         from repro.spark.broadcast_delta import DeltaHeapBroadcast
 
-        return DeltaHeapBroadcast(self.cluster, root, policy=policy)
+        return DeltaHeapBroadcast(
+            self.cluster, root, policy=policy, exchange=self.exchange
+        )
 
     def parallel_send(
         self,
@@ -147,48 +148,19 @@ class SparkContext:
         retain: bool = False,
         **knobs,
     ):
-        """Ship driver-heap roots to one socket worker over N parallel
-        Skyway streams (paper §4.2 per-thread output buffers, transport
-        edition).
-
-        Requires a socket transport: each stream gets its own connection
-        and ``thread_id``, roots interleave round-robin, and shared
-        subgraphs are cloned once per stream.  ``streams`` defaults to
+        """Ship driver-heap roots to one worker over N parallel Skyway
+        streams (paper §4.2 per-thread output buffers): each stream gets
+        its own ``thread_id`` (and, on the socket substrate, its own
+        connection), roots interleave round-robin, and shared subgraphs
+        are cloned once per stream.  ``streams`` defaults to
         ``config.shuffle_threads``.  Returns a
-        :class:`repro.transport.parallel.ParallelSendReport`.
+        :class:`repro.transport.parallel.ParallelSendReport` on either
+        substrate.
         """
-        from repro.transport.client import WorkerClient
-        from repro.transport.errors import TransportError
-        from repro.transport.parallel import ParallelGraphSender
-
-        if self.transport is None or not hasattr(self.transport, "clients"):
-            raise TransportError(
-                "parallel_send needs a socket transport "
-                "(SparkContext(transport=SocketBroadcastTransport(...)))"
-            )
-        base = self.transport.clients.get(worker_name)
-        if base is None:
-            raise TransportError(
-                f"no socket worker registered for cluster node "
-                f"{worker_name!r}"
-            )
         n = streams if streams is not None else max(1, self.config.shuffle_threads)
-        extras: List[WorkerClient] = []
-        try:
-            for _ in range(n - 1):
-                extras.append(
-                    WorkerClient(
-                        base.runtime, base.host, base.port,
-                        node_name=base.node_name, metrics=base.metrics,
-                        account_node=base.account_node,
-                        account_remote=base.account_remote,
-                    ).connect()
-                )
-            sender = ParallelGraphSender([base] + extras)
-            return sender.send(roots, retain=retain, **knobs)
-        finally:
-            for client in extras:
-                client.close()
+        return self.exchange.parallel_send(
+            worker_name, roots, streams=n, retain=retain, **knobs
+        )
 
     def node_for_partition(self, partition: int) -> Node:
         workers = self.cluster.workers

@@ -18,13 +18,9 @@ Entry points:
 * the typed error taxonomy in :mod:`repro.transport.errors`.
 """
 
-from repro.transport.client import (
-    SocketBroadcastTransport,
-    WorkerClient,
-    WorkerHandle,
-)
+from repro.transport.client import WorkerClient, WorkerHandle
 from repro.transport.connection import FrameConnection, connect_with_retry
-from repro.transport.digest import graph_digest
+from repro.transport.digest import graph_digest, semantic_graph_digest
 from repro.transport.errors import (
     FrameCorruptionError,
     HandshakeError,
@@ -51,7 +47,6 @@ __all__ = [
     "FrameCorruptionError",
     "HandshakeError",
     "RemoteWorkerError",
-    "SocketBroadcastTransport",
     "TransportClosed",
     "TransportError",
     "TransportMetrics",
@@ -64,5 +59,6 @@ __all__ = [
     "connect_with_retry",
     "graph_digest",
     "pump_stream",
+    "semantic_graph_digest",
     "worker_main",
 ]

@@ -306,6 +306,60 @@ class WorkerClient:
             )
         return result
 
+    def send_epoch(
+        self,
+        frame_bytes: bytes,
+        channel_id: int,
+        epoch: int,
+        digest: bool = True,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        queue_chunks: int = DEFAULT_QUEUE_CHUNKS,
+        store_and_forward: bool = False,
+        throttle_mbps: Optional[float] = None,
+    ) -> dict:
+        """Ship one already-framed FULL/DELTA epoch to the worker's delta
+        endpoint: CALL, an EPOCH frame naming (channel, epoch, kind), then
+        the frame bytes as DATA chunks + TRAILER.
+
+        A stale receiver answers ERROR naming ``DeltaStaleError`` — raised
+        here as :class:`RemoteWorkerError` with that ``kind`` (the NACK);
+        the worker closes the connection afterwards, so recovery is
+        reconnect + forced-full resend.
+        """
+        conn = self._require_conn()
+        self._sync_registry()
+        kind = frame_bytes[0] if frame_bytes else 0
+        conn.send_frame(
+            frames.CALL,
+            frames.encode_json({"op": "recv_epoch", "digest": digest}),
+        )
+        conn.send_frame(
+            frames.EPOCH, frames.encode_epoch_header(channel_id, epoch, kind)
+        )
+        pipeline = ChunkPipeline(
+            conn, chunk_bytes=chunk_bytes, queue_chunks=queue_chunks,
+            store_and_forward=store_and_forward, throttle_mbps=throttle_mbps,
+            metrics=self.metrics,
+        )
+        try:
+            with self.metrics.phase("traverse+send"):
+                pipeline.feed(frame_bytes)
+                pipeline.finish(len(frame_bytes), zlib.crc32(frame_bytes))
+        except TransportError as exc:
+            pipeline.abort()
+            remote = conn.pending_remote_error()
+            if remote is not None:
+                raise remote from exc
+            raise
+        result = frames.decode_json(
+            conn.expect_frame(frames.RESULT), what="RESULT"
+        )
+        if self.account_node is not None:
+            self.account_node.account_fetch(
+                len(frame_bytes), remote=self.account_remote
+            )
+        return result
+
     def shutdown_worker(self) -> dict:
         conn = self._require_conn()
         conn.send_frame(frames.CALL, frames.encode_json({"op": "shutdown"}))
@@ -398,25 +452,3 @@ class GraphSendStream:
         if remote is not None:
             raise remote from exc
         raise exc
-
-
-class SocketBroadcastTransport:
-    """The ``SparkContext(transport=...)`` seam, socket edition.
-
-    Maps cluster worker names to :class:`WorkerClient` connections; each
-    ``transfer`` ships the serialized broadcast bytes over the real wire
-    and accounts them on the receiving node's fetch counters.
-    """
-
-    def __init__(self, clients) -> None:
-        #: {cluster node name -> connected WorkerClient}
-        self.clients = dict(clients)
-
-    def transfer(self, src: Node, dst: Node, data: bytes) -> None:
-        client = self.clients.get(dst.name)
-        if client is None:
-            raise TransportError(
-                f"no socket worker registered for cluster node {dst.name!r}"
-            )
-        client.send_blob(data)
-        dst.account_fetch(len(data), remote=src is not dst)

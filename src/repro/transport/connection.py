@@ -43,9 +43,7 @@ def connect_with_retry(
     last_error: Optional[Exception] = None
     for attempt in range(attempts):
         if metrics is not None:
-            metrics.connect_attempts += 1
-            if attempt:
-                metrics.retries += 1
+            metrics.note_connect_attempt(retry=bool(attempt))
         try:
             return socket.create_connection((host, port), timeout=connect_timeout)
         except (ConnectionError, socket.timeout, OSError) as exc:
@@ -92,8 +90,7 @@ class FrameConnection:
                 f"peer closed while sending {frames.frame_name(ftype)} "
                 f"frame: {exc}"
             ) from exc
-        self.metrics.frames_sent += 1
-        self.metrics.bytes_sent += len(data)
+        self.metrics.note_frame_sent(len(data))
 
     # -- receiving ---------------------------------------------------------
 
@@ -102,8 +99,9 @@ class FrameConnection:
         while True:
             frame = self._decoder.next_frame()
             if frame is not None:
-                self.metrics.frames_received += 1
-                self.metrics.bytes_received += frames.HEADER_BYTES + len(frame[1])
+                self.metrics.note_frame_received(
+                    frames.HEADER_BYTES + len(frame[1])
+                )
                 return frame
             try:
                 data = self._sock.recv(_RECV_BYTES)

@@ -21,9 +21,10 @@ digest, whatever their heaps looked like beforehand.
 from __future__ import annotations
 
 import hashlib
+from typing import Sequence
 
 from repro.core.receiver import ObjectGraphReceiver
-from repro.heap.layout import KLASS_OFFSET
+from repro.heap.layout import KLASS_OFFSET, MARK_OFFSET
 from repro.jvm.jvm import JVM
 
 
@@ -55,6 +56,69 @@ def graph_digest(jvm: JVM, receiver: ObjectGraphReceiver) -> str:
         for offset in heap.reference_offsets(address):
             pointer = int.from_bytes(image[offset:offset + 8], "little")
             image[offset:offset + 8] = to_logical(pointer).to_bytes(8, "little")
+        digest.update(klass.name.encode("utf-8"))
+        digest.update(len(image).to_bytes(8, "little"))
+        digest.update(bytes(image))
+    return digest.hexdigest()
+
+
+def semantic_graph_digest(jvm: JVM, roots: Sequence[int]) -> str:
+    """SHA-256 over the object graph *reachable from roots*, in traversal
+    coordinates.
+
+    :func:`graph_digest` hashes a received input buffer in placement order,
+    which ties it to one receive event: a heap patched in place by delta
+    epochs has no placement order matching a hypothetical fresh full
+    receive.  This digest instead canonicalizes by a deterministic BFS from
+    the given roots — every address maps to its visit index, so two heaps
+    holding semantically identical graphs (same classes, same primitive
+    bytes, same shape) digest identically regardless of where or in what
+    order their objects were placed, or which epochs built them.
+
+    Normalized per object: the mark word (hashcodes differ per allocation
+    history), the klass word (hashed as the class *name*), the ``baddr``
+    word if the layout carries one (sender-side scratch state), and every
+    reference word (rewritten to the referent's visit index; 0 for null).
+    """
+    heap = jvm.heap
+    layout = heap.layout
+    index: dict = {}
+    order: list = []
+    queue: list = []
+    for root in roots:
+        if root and root not in index:
+            index[root] = len(order) + 1
+            order.append(root)
+            queue.append(root)
+    head = 0
+    while head < len(queue):
+        address = queue[head]
+        head += 1
+        for offset in heap.reference_offsets(address):
+            target = heap.read_word(address + offset)
+            if target and target not in index:
+                index[target] = len(order) + 1
+                order.append(target)
+                queue.append(target)
+
+    digest = hashlib.sha256()
+    digest.update(len(roots).to_bytes(8, "little"))
+    for root in roots:
+        digest.update(index.get(root, 0).to_bytes(8, "little"))
+    for address in order:
+        klass = heap.klass_of(address)
+        size = heap.object_size(address)
+        image = bytearray(heap.read_bytes(address, size))
+        image[MARK_OFFSET:MARK_OFFSET + 8] = b"\x00" * 8
+        image[KLASS_OFFSET:KLASS_OFFSET + 8] = b"\x00" * 8
+        if layout.has_baddr:
+            off = layout.baddr_offset
+            image[off:off + 8] = b"\x00" * 8
+        for offset in heap.reference_offsets(address):
+            pointer = int.from_bytes(image[offset:offset + 8], "little")
+            image[offset:offset + 8] = index.get(pointer, 0).to_bytes(
+                8, "little"
+            )
         digest.update(klass.name.encode("utf-8"))
         digest.update(len(image).to_bytes(8, "little"))
         digest.update(bytes(image))

@@ -57,11 +57,16 @@ ERROR = 5
 CALL = 6
 RESULT = 7
 BYE = 8
+#: Epoch announcement for a delta-capable graph channel: names the channel
+#: id, epoch number, and the delta-wire frame kind of the DATA stream that
+#: follows (FULL or DELTA); the worker routes the reassembled frame to its
+#: per-runtime :class:`~repro.delta.channel.DeltaReceiveEndpoint`.
+EPOCH = 9
 
 FRAME_NAMES = {
     HELLO: "HELLO", HELLO_ACK: "HELLO_ACK", DATA: "DATA",
     TRAILER: "TRAILER", ERROR: "ERROR", CALL: "CALL",
-    RESULT: "RESULT", BYE: "BYE",
+    RESULT: "RESULT", BYE: "BYE", EPOCH: "EPOCH",
 }
 
 
@@ -184,6 +189,20 @@ def decode_trailer(payload: bytes) -> Tuple[int, int, int]:
     def parse(inp: ByteInputStream):
         return inp.read_varint(), inp.read_u32(), inp.read_varint()
     return _wrap_decode(parse, payload, "TRAILER")
+
+
+def encode_epoch_header(channel_id: int, epoch: int, kind: int) -> bytes:
+    out = ByteOutputStream()
+    out.write_varint(channel_id)
+    out.write_varint(epoch)
+    out.write_u8(kind)
+    return out.getvalue()
+
+
+def decode_epoch_header(payload: bytes) -> Tuple[int, int, int]:
+    def parse(inp: ByteInputStream):
+        return inp.read_varint(), inp.read_varint(), inp.read_u8()
+    return _wrap_decode(parse, payload, "EPOCH")
 
 
 def encode_error(kind: str, message: str) -> bytes:

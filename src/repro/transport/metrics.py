@@ -5,19 +5,29 @@ cost model; the socket transport moves real bytes in real time, so it keeps
 its own measured ledger.  Benchmarks report both side by side: the sim
 clock says what the *model* predicts, these counters say what the wire
 *did* (the pipelining win is a wall-clock fact, not a modeled one).
+
+Thread safety: one metrics object is mutated from several threads at once —
+the traversal thread feeds the chunk pipeline while its writer thread sends
+DATA frames, and a multi-stream parallel send runs N connections against N
+per-stream objects that later merge into one report.  Every mutation goes
+through a ``note_*`` method holding the object's lock, and ``merge``/
+``merged`` lock both sides (in a stable order) so aggregate counts are
+exact, not racy ``+=`` approximations.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Sequence
 
 
 class TransportMetrics:
     """Byte/chunk/retry counters plus per-phase wall-clock seconds."""
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self.bytes_sent = 0
         self.bytes_received = 0
         self.frames_sent = 0
@@ -32,6 +42,37 @@ class TransportMetrics:
         self.stall_seconds = 0.0
         self.phases: Dict[str, float] = {}
 
+    # -- locked mutators ----------------------------------------------------
+
+    def note_frame_sent(self, nbytes: int) -> None:
+        with self._lock:
+            self.frames_sent += 1
+            self.bytes_sent += nbytes
+
+    def note_frame_received(self, nbytes: int) -> None:
+        with self._lock:
+            self.frames_received += 1
+            self.bytes_received += nbytes
+
+    def note_chunk_sent(self) -> None:
+        with self._lock:
+            self.chunks_sent += 1
+
+    def note_chunk_received(self) -> None:
+        with self._lock:
+            self.chunks_received += 1
+
+    def note_connect_attempt(self, retry: bool = False) -> None:
+        with self._lock:
+            self.connect_attempts += 1
+            if retry:
+                self.retries += 1
+
+    def note_stall(self, seconds: float) -> None:
+        with self._lock:
+            self.queue_full_stalls += 1
+            self.stall_seconds += seconds
+
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Accumulate wall-clock time under ``name`` ("traverse", "send",
@@ -43,36 +84,62 @@ class TransportMetrics:
             self.add_phase(name, time.perf_counter() - start)
 
     def add_phase(self, name: str, seconds: float) -> None:
-        self.phases[name] = self.phases.get(name, 0.0) + seconds
+        with self._lock:
+            self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    # -- merging ------------------------------------------------------------
 
     def merge(self, other: "TransportMetrics") -> None:
-        self.bytes_sent += other.bytes_sent
-        self.bytes_received += other.bytes_received
-        self.frames_sent += other.frames_sent
-        self.frames_received += other.frames_received
-        self.chunks_sent += other.chunks_sent
-        self.chunks_received += other.chunks_received
-        self.connect_attempts += other.connect_attempts
-        self.retries += other.retries
-        self.queue_full_stalls += other.queue_full_stalls
-        self.stall_seconds += other.stall_seconds
-        for name, seconds in other.phases.items():
-            self.add_phase(name, seconds)
+        """Fold ``other``'s counters into this object, exactly once each.
+
+        Both locks are taken (in a stable ``id`` order, so two concurrent
+        cross-merges cannot deadlock); the snapshot of ``other`` is
+        therefore consistent even if its connection threads are still
+        running.
+        """
+        if other is self:
+            raise ValueError("cannot merge a TransportMetrics into itself")
+        first, second = sorted((self, other), key=id)
+        with first._lock, second._lock:
+            self.bytes_sent += other.bytes_sent
+            self.bytes_received += other.bytes_received
+            self.frames_sent += other.frames_sent
+            self.frames_received += other.frames_received
+            self.chunks_sent += other.chunks_sent
+            self.chunks_received += other.chunks_received
+            self.connect_attempts += other.connect_attempts
+            self.retries += other.retries
+            self.queue_full_stalls += other.queue_full_stalls
+            self.stall_seconds += other.stall_seconds
+            for name, seconds in other.phases.items():
+                self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    @classmethod
+    def merged(cls, parts: Sequence["TransportMetrics"]) -> "TransportMetrics":
+        """A deterministic aggregate: a fresh object folding ``parts`` in
+        the given order (the parallel sender passes streams in thread-id
+        order, so two identical runs report identical aggregates)."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
 
     def as_dict(self) -> Dict[str, object]:
-        return {
-            "bytes_sent": self.bytes_sent,
-            "bytes_received": self.bytes_received,
-            "frames_sent": self.frames_sent,
-            "frames_received": self.frames_received,
-            "chunks_sent": self.chunks_sent,
-            "chunks_received": self.chunks_received,
-            "connect_attempts": self.connect_attempts,
-            "retries": self.retries,
-            "queue_full_stalls": self.queue_full_stalls,
-            "stall_seconds": round(self.stall_seconds, 6),
-            "phases": {k: round(v, 6) for k, v in sorted(self.phases.items())},
-        }
+        with self._lock:
+            return {
+                "bytes_sent": self.bytes_sent,
+                "bytes_received": self.bytes_received,
+                "frames_sent": self.frames_sent,
+                "frames_received": self.frames_received,
+                "chunks_sent": self.chunks_sent,
+                "chunks_received": self.chunks_received,
+                "connect_attempts": self.connect_attempts,
+                "retries": self.retries,
+                "queue_full_stalls": self.queue_full_stalls,
+                "stall_seconds": round(self.stall_seconds, 6),
+                "phases": {k: round(v, 6)
+                           for k, v in sorted(self.phases.items())},
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"TransportMetrics({self.as_dict()!r})"

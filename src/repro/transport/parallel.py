@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.transport.client import GraphSendStream, WorkerClient
 from repro.transport.errors import TransportError
+from repro.transport.metrics import TransportMetrics
 from repro.transport.pipeline import DEFAULT_CHUNK_BYTES, DEFAULT_QUEUE_CHUNKS
 
 
@@ -68,6 +69,10 @@ class ParallelSendReport:
 
     streams: List[StreamReport]
     elapsed_seconds: float
+    #: All streams' measured wire counters folded into one ledger (fresh
+    #: object, deterministic fold order = thread-id order); None when the
+    #: sender had no metrics to merge.
+    transport: Optional[TransportMetrics] = None
 
     @property
     def digests(self) -> List[str]:
@@ -90,6 +95,8 @@ class ParallelSendReport:
             "total_stream_bytes": self.total_stream_bytes,
             "elapsed_seconds": round(self.elapsed_seconds, 6),
             "digests": self.digests,
+            "transport": (self.transport.as_dict()
+                          if self.transport is not None else None),
         }
 
 
@@ -162,4 +169,15 @@ class ParallelGraphSender:
         return ParallelSendReport(
             streams=reports,
             elapsed_seconds=time.perf_counter() - started,
+            transport=self._merged_metrics(),
         )
+
+    def _merged_metrics(self) -> TransportMetrics:
+        """One deterministic aggregate over the clients' metrics objects —
+        deduplicated by identity first, since several clients may share one
+        ledger (each distinct ledger counts exactly once)."""
+        unique: List[TransportMetrics] = []
+        for client in self.clients:
+            if not any(client.metrics is m for m in unique):
+                unique.append(client.metrics)
+        return TransportMetrics.merged(unique)

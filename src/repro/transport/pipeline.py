@@ -129,10 +129,9 @@ class ChunkPipeline:
         try:
             self._queue.put_nowait(chunk)
         except queue.Full:
-            self.metrics.queue_full_stalls += 1
             start = time.perf_counter()
             self._queue.put(chunk)
-            self.metrics.stall_seconds += time.perf_counter() - start
+            self.metrics.note_stall(time.perf_counter() - start)
         self._raise_writer_error()
 
     def _drain(self) -> None:
@@ -150,7 +149,7 @@ class ChunkPipeline:
     def _send_chunk(self, chunk: bytes) -> None:
         started = time.perf_counter()
         self._conn.send_frame(frames.DATA, chunk)
-        self.metrics.chunks_sent += 1
+        self.metrics.note_chunk_sent()
         if self._pace:
             budget = len(chunk) / self._pace
             elapsed = time.perf_counter() - started
@@ -190,7 +189,7 @@ def pump_stream(connection: FrameConnection, decoder,
             chunks += 1
             total += len(body)
             running_crc = zlib.crc32(body, running_crc)
-            metrics.chunks_received += 1
+            metrics.note_chunk_received()
             decoder.feed(body)
             continue
         expected_total, expected_crc, expected_chunks = frames.decode_trailer(body)

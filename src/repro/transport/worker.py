@@ -36,6 +36,14 @@ Ops:
 ``recv_blob``
     Receive an opaque byte blob (the Spark broadcast path) and reply with
     its size and CRC.
+``recv_epoch``
+    Receive one FULL/DELTA epoch frame for a delta-capable graph channel:
+    an EPOCH frame announces (channel id, epoch, kind), DATA chunks carry
+    the delta-wire frame, and the worker routes it through the runtime's
+    :class:`~repro.delta.channel.DeltaReceiveEndpoint`.  A stale delta
+    (worker restarted, state dropped, epoch gap) answers an ERROR frame
+    naming ``DeltaStaleError`` — the cross-process NACK the sender reacts
+    to by forcing its next epoch full.
 ``stats``
     Runtime + transport counters.
 ``shutdown``
@@ -51,10 +59,12 @@ import zlib
 from typing import List, Optional
 
 from repro.core.streams import IncrementalStreamDecoder
+from repro.delta.channel import DeltaReceiveEndpoint
+from repro.delta.wire import FRAME_DELTA, FRAME_FULL, DeltaFrame, parse_frame
 from repro.transport import frames, registry_sync
 from repro.transport.bootstrap import MB, build_runtime
 from repro.transport.connection import FrameConnection
-from repro.transport.digest import graph_digest
+from repro.transport.digest import graph_digest, semantic_graph_digest
 from repro.transport.errors import TransportClosed, TransportError
 from repro.transport.metrics import TransportMetrics
 from repro.transport.pipeline import pump_stream
@@ -126,6 +136,7 @@ class WorkerServer:
         self.metrics = TransportMetrics()
         self._running = True
         self.graphs_received = 0
+        self.epochs_received = 0
         #: One lock guards every mutation of shared runtime state (heap,
         #: loader, registry, placement, tallies).  Connection threads take
         #: it per chunk, so streams interleave without interleaving *inside*
@@ -177,11 +188,54 @@ class WorkerServer:
             "crc32": zlib.crc32(bytes(sink.data)),
         }
 
+    def _op_recv_epoch(self, conn: FrameConnection, call: dict) -> dict:
+        header = frames.decode_epoch_header(
+            conn.expect_frame(frames.EPOCH)
+        )
+        channel_id, epoch, kind = header
+        sink = _BlobSink()
+        with self.metrics.phase("receive"):
+            stream_bytes = pump_stream(conn, sink)
+        data = bytes(sink.data)
+        with self._state_lock:
+            frame = parse_frame(data)
+            actual_kind = (FRAME_DELTA if isinstance(frame, DeltaFrame)
+                           else FRAME_FULL)
+            if (frame.channel_id, frame.epoch, actual_kind) \
+                    != (channel_id, epoch, kind):
+                raise TransportError(
+                    f"EPOCH header announced channel {channel_id} epoch "
+                    f"{epoch} kind {kind:#x}, frame carries channel "
+                    f"{frame.channel_id} epoch {frame.epoch} kind "
+                    f"{actual_kind:#x}"
+                )
+            endpoint = DeltaReceiveEndpoint.for_runtime(self.runtime)
+            # DeltaStaleError propagates to the op dispatcher, which turns
+            # it into the ERROR frame the driver reads as a NACK.
+            roots = endpoint.receive(data)
+            result = {
+                "op": "recv_epoch",
+                "channel_id": channel_id,
+                "epoch": epoch,
+                "kind": "delta" if actual_kind == FRAME_DELTA else "full",
+                "roots": len(roots),
+                "root_addresses": list(roots),
+                "stream_bytes": stream_bytes,
+            }
+            if call.get("digest", True):
+                with self.metrics.phase("digest"):
+                    result["digest"] = semantic_graph_digest(
+                        self.runtime.jvm, roots
+                    )
+            self.epochs_received += 1
+        return result
+
     def _op_stats(self, conn: FrameConnection, call: dict) -> dict:
         return {
             "op": "stats",
             "worker": self.spec.name,
             "graphs_received": self.graphs_received,
+            "epochs_received": self.epochs_received,
             "runtime": {
                 k: v for k, v in self.runtime.stats().items()
                 if isinstance(v, (int, str, bool))
@@ -197,6 +251,7 @@ class WorkerServer:
         "ping": _op_ping,
         "recv_graph": _op_recv_graph,
         "recv_blob": _op_recv_blob,
+        "recv_epoch": _op_recv_epoch,
         "stats": _op_stats,
         "shutdown": _op_shutdown,
     }

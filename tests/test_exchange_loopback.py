@@ -1,0 +1,222 @@
+"""The exchange layer on its in-process substrate: capability negotiation,
+full→delta epochs with receiver-value checks, the unified metrics snapshot,
+in-process NACK recovery, and the serializer adapter's channel lifecycle."""
+
+import json
+
+import pytest
+
+from repro.core.adapter import SkywaySerializer
+from repro.core.runtime import attach_skyway
+from repro.exchange import (
+    ChannelCapabilities,
+    Exchange,
+    ExchangeConfigError,
+    ExchangeError,
+    LOOPBACK_OFFER,
+    LoopbackGraphChannel,
+    SOCKET_OFFER,
+)
+from repro.jvm.jvm import JVM
+from repro.net.cluster import Cluster
+
+from tests.conftest import make_list, read_list, sample_classpath
+
+
+def make_cluster(workers: int = 1) -> Cluster:
+    classpath = sample_classpath()
+    cluster = Cluster(lambda name: JVM(name, classpath=classpath),
+                      worker_count=workers)
+    attach_skyway(cluster.driver.jvm, [w.jvm for w in cluster.workers],
+                  cluster=cluster)
+    return cluster
+
+
+class TestCapabilities:
+    def test_intersect_ands_booleans_and_clamps_streams(self):
+        requested = ChannelCapabilities(kernel=True, delta=True,
+                                        compact_headers=True,
+                                        parallel_streams=8)
+        granted = requested.intersect(SOCKET_OFFER)
+        assert granted.kernel and granted.delta
+        assert not granted.compact_headers  # socket never offers it
+        assert granted.parallel_streams == 8
+        assert requested.intersect(
+            ChannelCapabilities(parallel_streams=0)
+        ).parallel_streams == 1
+
+    def test_delta_wins_over_compact_headers(self):
+        # Both granted by the loopback offer, but PATCH records address
+        # the uncompacted layout: the channel must drop compact, not delta.
+        cluster = make_cluster()
+        channel = Exchange.loopback(cluster).channel_to(
+            cluster.workers[0].name,
+            requested=ChannelCapabilities(kernel=True, delta=True,
+                                          compact_headers=True),
+        )
+        assert channel.capabilities.delta
+        assert not channel.capabilities.compact_headers
+        assert LOOPBACK_OFFER.compact_headers  # the offer did include it
+
+    def test_declining_delta_forces_full_epochs(self):
+        cluster = make_cluster()
+        channel = Exchange.loopback(cluster).channel_to(
+            cluster.workers[0].name,
+            requested=ChannelCapabilities(kernel=True, delta=False),
+        )
+        head = make_list(cluster.driver.jvm, range(10))
+        for _ in range(2):
+            receipt = channel.send([head])
+            assert receipt.mode == "full"
+        assert channel.last_decision.reason == "delta_disabled"
+        assert channel.stats.fallbacks == {}  # configured, not a reversion
+
+
+class TestLoopbackEpochs:
+    def test_full_then_delta_with_receiver_values(self):
+        cluster = make_cluster()
+        driver = cluster.driver.jvm
+        worker = cluster.workers[0]
+        exchange = Exchange.loopback(cluster)
+        channel = exchange.channel_to(worker.name)
+
+        head = make_list(driver, range(20))
+        pin = driver.pin(head)
+        first = channel.send([head], digest=True)
+        assert first.mode == "full" and first.epoch == 1
+        assert read_list(worker.jvm, first.roots[0]) == list(range(20))
+
+        driver.set_field(head, "payload", 999)
+        second = channel.send([head], digest=True)
+        assert second.mode == "delta" and second.epoch == 2
+        # Patch-in-place: same receiver root, new value.
+        assert second.roots == first.roots
+        assert read_list(worker.jvm, second.roots[0])[0] == 999
+        assert second.wire_bytes < first.wire_bytes
+        assert second.digest != first.digest
+        assert second.digest == channel.receiver_digest(second.roots)
+        driver.unpin(pin)
+
+    def test_send_after_close_is_typed(self):
+        cluster = make_cluster()
+        channel = Exchange.loopback(cluster).channel_to(
+            cluster.workers[0].name)
+        channel.close()
+        with pytest.raises(ExchangeError, match="closed"):
+            channel.send([1])
+
+    def test_empty_roots_rejected(self):
+        cluster = make_cluster()
+        channel = Exchange.loopback(cluster).channel_to(
+            cluster.workers[0].name)
+        with pytest.raises(ExchangeError, match="at least one root"):
+            channel.send([])
+
+    def test_unbound_channel_has_no_receiver_digest(self):
+        cluster = make_cluster()
+        runtime = cluster.driver.jvm.skyway
+        channel = LoopbackGraphChannel(runtime, destination="nowhere")
+        head = make_list(cluster.driver.jvm, range(3))
+        receipt = channel.send([head])
+        assert receipt.roots == ()  # frames only; nothing delivered
+        with pytest.raises(ExchangeConfigError, match="no receiver"):
+            channel.receiver_digest([head])
+
+
+class TestNackRecovery:
+    def test_receiver_full_gc_recovers_inside_one_send(self):
+        cluster = make_cluster()
+        driver = cluster.driver.jvm
+        worker = cluster.workers[0]
+        channel = Exchange.loopback(cluster).channel_to(worker.name)
+
+        head = make_list(driver, range(15))
+        pin = driver.pin(head)
+        channel.send([head])
+        driver.set_field(head, "payload", 111)
+        channel.send([head])  # a delta epoch, to prove deltas worked
+
+        # Compaction voids the retained chunk addresses: the next delta
+        # draws the in-process NACK and must converge via a forced FULL.
+        driver.set_field(head, "payload", 222)
+        worker.jvm.gc.full()
+        receipt = channel.send([head], digest=True)
+        assert receipt.nack_recovered
+        assert receipt.mode == "full"
+        assert channel.nack_recoveries == 1
+        assert read_list(worker.jvm, receipt.roots[0])[0] == 222
+
+        # And the channel is healthy again: the next epoch is a delta.
+        driver.set_field(head, "payload", 333)
+        after = channel.send([head])
+        assert after.mode == "delta" and not after.nack_recovered
+        assert read_list(worker.jvm, after.roots[0])[0] == 333
+        driver.unpin(pin)
+
+
+class TestExchangeMetrics:
+    def test_snapshot_merges_all_three_ledgers(self):
+        cluster = make_cluster()
+        driver = cluster.driver.jvm
+        channel = Exchange.loopback(cluster).channel_to(
+            cluster.workers[0].name)
+        head = make_list(driver, range(12))
+        pin = driver.pin(head)
+        channel.send([head])
+        driver.set_field(head, "payload", 5)
+        channel.send([head])
+        driver.unpin(pin)
+
+        snap = channel.metrics()
+        d = snap.as_dict()
+        assert d["substrate"] == "loopback"
+        assert d["sends"] == 2
+        assert d["wire_bytes"] == channel.wire_bytes
+        assert d["capabilities"]["delta"] is True
+        assert d["delta"]["full_sends"] == 1
+        assert d["delta"]["delta_sends"] == 1
+        assert d["transport"] is None  # no wire on this substrate
+        assert d["breakdown"]["serialization"] > 0
+        assert json.loads(snap.to_json()) == d
+
+    def test_exchange_transfer_blob_rides_the_simulated_wire(self):
+        cluster = make_cluster()
+        exchange = Exchange.loopback(cluster)
+        worker = cluster.workers[0]
+        exchange.transfer_blob(cluster.driver, worker, b"x" * 123)
+        assert worker.remote_bytes_fetched == 123
+        with pytest.raises(ExchangeConfigError, match="no socket worker"):
+            exchange.client_for(worker.name)
+
+
+class TestSerializerChannelLifecycle:
+    def test_release_channel_detaches_the_card_table(self):
+        cluster = make_cluster()
+        driver = cluster.driver.jvm
+        serializer = SkywaySerializer(delta=True)
+        stream = serializer.new_stream(driver)
+        stream.write_object(make_list(driver, range(4)))
+        stream.close()
+        tracker = driver.heap.delta_tracker
+        before = tracker.table_count
+        serializer.release_channel(driver)
+        assert tracker.table_count == before - 1
+        # The key starts fresh afterwards: first epoch is FULL again.
+        stream = serializer.new_stream(driver)
+        stream.write_object(make_list(driver, range(4)))
+        stream.close()
+        assert serializer.channel_for(driver).last_decision.reason == \
+            "first_epoch"
+        serializer.close()
+        assert tracker.table_count == before - 1
+        assert serializer._channels == {}
+
+    def test_distinct_channel_keys_are_independent(self):
+        cluster = make_cluster()
+        driver = cluster.driver.jvm
+        serializer = SkywaySerializer(delta=True)
+        a = serializer.channel_for(driver, "a")
+        b = serializer.channel_for(driver, "b")
+        assert a is not b
+        assert a is serializer.channel_for(driver, "a")
+        serializer.close()

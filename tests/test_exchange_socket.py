@@ -1,0 +1,171 @@
+"""The exchange layer on its socket substrate, against live worker
+processes: cross-substrate frame/digest parity, the worker-restart NACK
+recovery, the typed staleness error on a replayed epoch, and
+``Exchange.parallel_send`` with merged wire metrics."""
+
+import pytest
+
+from repro.exchange import (
+    ChannelCapabilities,
+    Exchange,
+    LoopbackGraphChannel,
+    SocketGraphChannel,
+)
+from repro.core.runtime import SkywayRuntime
+from repro.jvm.jvm import JVM
+from repro.net.cluster import Cluster
+from repro.transport import WorkerClient, WorkerHandle, WorkerSpec
+from repro.transport.errors import RemoteWorkerError
+from repro.transport.testing import SAMPLE_FACTORY, sample_worker_classpath
+
+from tests.conftest import make_list, sample_classpath
+
+DELTA_REQUEST = ChannelCapabilities(kernel=True, delta=True)
+
+
+def _loopback_receiver(driver, tag):
+    jvm = JVM(f"parity-recv-{tag}", classpath=sample_worker_classpath())
+    return SkywayRuntime(jvm, driver.driver_registry, is_driver=False)
+
+
+def test_frame_and_digest_parity_across_substrates(
+    spawned_worker, transport_driver
+):
+    """With pinned channel ids and one sender heap, the loopback and
+    socket channels must frame byte-identical epochs (FULL and DELTA) and
+    their receivers must agree digest-wise."""
+    driver = transport_driver
+    head = make_list(driver.jvm, range(30))
+    pin = driver.jvm.pin(head)
+    client = WorkerClient(
+        driver, spawned_worker.host, spawned_worker.port,
+    ).connect()
+    loop = LoopbackGraphChannel(
+        driver, destination="parity", requested=DELTA_REQUEST,
+        receiver_runtime=_loopback_receiver(driver, "a"), channel_id=7101,
+    )
+    sock = SocketGraphChannel(
+        driver, client, requested=DELTA_REQUEST, channel_id=7101,
+        destination="parity",
+    )
+    try:
+        first = {"loop": loop.send([head], digest=True),
+                 "sock": sock.send([head], digest=True)}
+        assert first["loop"].mode == first["sock"].mode == "full"
+        assert first["loop"].frame == first["sock"].frame
+        assert first["loop"].digest == first["sock"].digest is not None
+
+        driver.jvm.set_field(head, "payload", 4242)
+        second = {"loop": loop.send([head], digest=True),
+                  "sock": sock.send([head], digest=True)}
+        assert second["loop"].mode == second["sock"].mode == "delta"
+        assert second["loop"].frame == second["sock"].frame
+        assert second["loop"].digest == second["sock"].digest is not None
+        assert second["loop"].digest != first["loop"].digest
+
+        socket_metrics = sock.metrics().as_dict()
+        assert socket_metrics["substrate"] == "socket"
+        assert socket_metrics["transport"] is not None  # wire counters
+    finally:
+        loop.close()
+        sock.close()
+        client.close()
+        driver.jvm.unpin(pin)
+
+
+def test_worker_restart_converges_through_forced_full(transport_driver):
+    """A restarted worker has no epoch state: the next delta draws the
+    staleness NACK and one ``send()`` recovers with a forced FULL, after
+    which the channel goes back to shipping deltas."""
+    driver = transport_driver
+    head = make_list(driver.jvm, range(25))
+    pin = driver.jvm.pin(head)
+    spec = WorkerSpec(name="restart-worker", classpath_factory=SAMPLE_FACTORY)
+    handle = WorkerHandle.spawn(spec)
+    client = WorkerClient(driver, handle.host, handle.port).connect()
+    channel = SocketGraphChannel(
+        driver, client, requested=DELTA_REQUEST, destination="restart",
+    )
+    try:
+        assert channel.send([head]).mode == "full"
+        driver.jvm.set_field(head, "payload", 1)
+        assert channel.send([head]).mode == "delta"
+
+        handle.stop()
+        handle = WorkerHandle.spawn(spec)
+        replacement = WorkerClient(driver, handle.host, handle.port).connect()
+        client.close()
+        client = replacement
+        channel.rebind(replacement)
+
+        driver.jvm.set_field(head, "payload", 2)
+        receipt = channel.send([head], digest=True)
+        assert receipt.nack_recovered
+        assert receipt.mode == "full"
+        assert receipt.digest is not None
+        assert channel.nack_recoveries == 1
+
+        driver.jvm.set_field(head, "payload", 3)
+        after = channel.send([head])
+        assert after.mode == "delta" and not after.nack_recovered
+    finally:
+        channel.close()
+        client.close()
+        handle.stop()
+        driver.jvm.unpin(pin)
+
+
+def test_replayed_delta_epoch_draws_typed_nack(
+    spawned_worker, transport_driver
+):
+    """Re-shipping an epoch the worker already applied is a staleness
+    error with a *named* kind — the NACK the channel's recovery keys on —
+    not a generic failure."""
+    driver = transport_driver
+    head = make_list(driver.jvm, range(10))
+    pin = driver.jvm.pin(head)
+    client = WorkerClient(
+        driver, spawned_worker.host, spawned_worker.port,
+    ).connect()
+    channel = SocketGraphChannel(
+        driver, client, requested=DELTA_REQUEST, destination="replay",
+    )
+    try:
+        channel.send([head])
+        driver.jvm.set_field(head, "payload", 9)
+        receipt = channel.send([head])
+        assert receipt.mode == "delta"
+        with pytest.raises(RemoteWorkerError) as excinfo:
+            client.send_epoch(receipt.frame, channel.channel_id,
+                              channel.epoch)
+        assert excinfo.value.kind == "DeltaStaleError"
+    finally:
+        channel.close()
+        client.close()
+        driver.jvm.unpin(pin)
+
+
+def test_exchange_parallel_send_merges_wire_metrics(
+    spawned_worker, transport_driver
+):
+    """``Exchange.parallel_send`` on the socket substrate shards roots
+    over real connections and the report carries merged wire counters."""
+    cluster = Cluster(
+        lambda name: JVM(name, classpath=sample_classpath()), worker_count=1,
+    )
+    client = WorkerClient(
+        transport_driver, spawned_worker.host, spawned_worker.port,
+    ).connect()
+    exchange = Exchange.socket(cluster, {"worker-0": client})
+    try:
+        roots = [make_list(transport_driver.jvm, range(6))
+                 for _ in range(4)]
+        report = exchange.parallel_send("worker-0", roots, streams=2)
+        assert len(report.streams) == 2
+        assert sum(s.roots for s in report.streams) == 4
+        assert report.transport is not None
+        merged = report.transport.as_dict()
+        assert merged["bytes_sent"] > 0
+        assert report.as_dict()["transport"] == merged
+    finally:
+        exchange.close()  # also closes the registered client

@@ -18,6 +18,10 @@ from repro.core.streams import (
     SkywayObjectOutputStream,
     SkywayStreamError,
 )
+from repro.exchange import ChannelCapabilities, LoopbackGraphChannel
+from repro.exchange.dispatch import receive_epoch
+from repro.exchange.errors import ExchangeProtocolError
+from repro.delta.channel import DeltaStaleError
 from repro.jvm.jvm import JVM
 
 from tests.conftest import make_date, make_list, sample_classpath
@@ -126,3 +130,104 @@ def test_error_reports_byte_offset():
     mangled[0] = 0xEE  # impossible codec id, detected at offset 0
     with pytest.raises(SkywayStreamError, match="codec id"):
         _try_accept(src, bytes(mangled))
+
+
+# ---------------------------------------------------------------------------
+# epoch-frame fuzzing (the exchange layer's FULL/DELTA wire shapes)
+# ---------------------------------------------------------------------------
+
+#: The only exceptions an epoch receive may surface: protocol damage is
+#: wrapped, and staleness is the epoch protocol's NACK (a bit flip landing
+#: in the channel-id or epoch varint legitimately looks stale).
+EPOCH_ERRORS = (ExchangeProtocolError, DeltaStaleError)
+
+
+@pytest.fixture(scope="module")
+def epoch_frames():
+    """One FULL frame and the DELTA frame that follows it on the same
+    channel (a PATCH, a NEW object, and a SAME-REF root), plus the sender
+    for building receivers."""
+    src = JVM("fuzz-epoch-src", classpath=sample_classpath())
+    attach_skyway(src, [])
+    channel = LoopbackGraphChannel(
+        src.skyway, destination="fuzz-epoch",
+        requested=ChannelCapabilities(kernel=True, delta=True),
+        channel_id=7321,
+    )
+    date = make_date(src, 2018, 3, 28)
+    head = make_list(src, range(30))
+    full = channel.send([date, head])
+    assert full.mode == "full"
+    # One field patched, one fresh node spliced in: PATCH + NEW records.
+    src.set_field(head, "payload", 777)
+    node = src.new_instance("ListNode")
+    src.set_field(node, "payload", 888)
+    src.set_field(node, "next", src.get_field(head, "next"))
+    src.set_field(head, "next", node)
+    delta = channel.send([date, head])
+    assert delta.mode == "delta"
+    return src, full.frame, delta.frame
+
+
+def _apply_epoch(src, data, prime=None):
+    """Apply an epoch frame on a fresh receiver (optionally primed with an
+    earlier frame to hold channel state); returns the root count."""
+    runtime = _fresh_receiver_runtime(src)
+    if prime is not None:
+        receive_epoch(runtime, prime)
+    return len(receive_epoch(runtime, data))
+
+
+def test_epoch_frames_apply_cleanly(epoch_frames):
+    src, full, delta = epoch_frames
+    assert _apply_epoch(src, full) == 2
+    assert _apply_epoch(src, delta, prime=full) == 2
+    # A DELTA with no channel state is the NACK, not a decode error.
+    with pytest.raises(DeltaStaleError):
+        _apply_epoch(src, delta)
+
+
+def test_full_frame_truncation_is_typed(epoch_frames):
+    src, full, _ = epoch_frames
+    for cut in range(len(full)):
+        with pytest.raises(EPOCH_ERRORS):
+            _apply_epoch(src, full[:cut])
+
+
+def test_delta_frame_truncation_is_typed(epoch_frames):
+    src, full, delta = epoch_frames
+    for cut in range(len(delta)):
+        with pytest.raises(EPOCH_ERRORS):
+            _apply_epoch(src, delta[:cut], prime=full)
+
+
+def test_full_frame_bit_flips_never_leak_bare_errors(epoch_frames):
+    src, full, _ = epoch_frames
+    flips_survived = 0
+    for pos in range(len(full)):
+        for bit in (0x01, 0x80):
+            mangled = bytearray(full)
+            mangled[pos] ^= bit
+            try:
+                roots = _apply_epoch(src, bytes(mangled))
+            except EPOCH_ERRORS:
+                continue
+            assert roots == 2  # payload damage must still parse whole
+            flips_survived += 1
+    assert flips_survived > 0
+
+
+def test_delta_frame_bit_flips_never_leak_bare_errors(epoch_frames):
+    src, full, delta = epoch_frames
+    flips_survived = 0
+    for pos in range(len(delta)):
+        for bit in (0x01, 0x80):
+            mangled = bytearray(delta)
+            mangled[pos] ^= bit
+            try:
+                roots = _apply_epoch(src, bytes(mangled), prime=full)
+            except EPOCH_ERRORS:
+                continue
+            assert roots == 2
+            flips_survived += 1
+    assert flips_survived > 0

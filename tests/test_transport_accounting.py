@@ -7,11 +7,12 @@ import zlib
 
 import pytest
 
+from repro.exchange import Exchange
 from repro.jvm.jvm import JVM
 from repro.net.cluster import DEFAULT_COST_MODEL, Cluster, Node
 from repro.serial.java_serializer import JavaSerializer
 from repro.spark.context import SparkContext
-from repro.transport import SocketBroadcastTransport, WorkerClient
+from repro.transport import WorkerClient
 
 from tests.conftest import make_list, sample_classpath
 
@@ -83,25 +84,26 @@ def test_socket_send_can_account_as_local(spawned_worker, transport_driver):
         client.close()
 
 
-class _RecordingTransport:
-    """A SparkContext ``transport=`` stub: records transfers and accounts
-    them like the socket transport would."""
+class _RecordingExchange(Exchange):
+    """A SparkContext ``exchange=`` stub: records blob transfers and
+    accounts them like the socket substrate would."""
 
-    def __init__(self):
+    def __init__(self, cluster: Cluster):
+        super().__init__(cluster)
         self.calls = []
 
-    def transfer(self, src: Node, dst: Node, data: bytes) -> None:
+    def transfer_blob(self, src: Node, dst: Node, data: bytes) -> None:
         self.calls.append((src.name, dst.name, len(data)))
         dst.account_fetch(len(data), remote=src is not dst)
 
 
-def test_spark_broadcast_routes_through_transport_seam():
+def test_spark_broadcast_routes_through_exchange():
     cluster = make_cluster(workers=2)
-    transport = _RecordingTransport()
-    sc = SparkContext(cluster, JavaSerializer(), transport=transport)
+    exchange = _RecordingExchange(cluster)
+    sc = SparkContext(cluster, JavaSerializer(), exchange=exchange)
     broadcast = sc.broadcast({"model": [1.0, 2.0, 3.0]})
-    assert len(transport.calls) == 2
-    for (src, dst, nbytes), worker in zip(transport.calls, cluster.workers):
+    assert len(exchange.calls) == 2
+    for (src, dst, nbytes), worker in zip(exchange.calls, cluster.workers):
         assert src == cluster.driver.name
         assert dst == worker.name
         assert nbytes == broadcast.wire_bytes
@@ -111,13 +113,13 @@ def test_spark_broadcast_routes_through_transport_seam():
 def test_spark_broadcast_default_path_unchanged():
     cluster = make_cluster(workers=2)
     sc = SparkContext(cluster, JavaSerializer())
-    assert sc.transport is None
+    assert sc.exchange.substrate == "loopback"
     broadcast = sc.broadcast([1, 2, 3])
     for worker in cluster.workers:
         assert worker.remote_bytes_fetched == broadcast.wire_bytes
 
 
-def test_socket_broadcast_transport_end_to_end(
+def test_socket_exchange_broadcast_end_to_end(
     spawned_worker, transport_driver
 ):
     """The real thing: SparkContext broadcast bytes travel over loopback
@@ -129,13 +131,13 @@ def test_socket_broadcast_transport_end_to_end(
         transport_driver, spawned_worker.host, spawned_worker.port,
     ).connect()
     try:
-        transport = SocketBroadcastTransport({node.name: client})
-        sc = SparkContext(cluster, JavaSerializer(), transport=transport)
+        exchange = Exchange.socket(cluster, {node.name: client})
+        sc = SparkContext(cluster, JavaSerializer(), exchange=exchange)
         broadcast = sc.broadcast("a broadcast value" * 100)
         assert node.remote_bytes_fetched == broadcast.wire_bytes
 
         with pytest.raises(Exception, match="no socket worker"):
-            transport.transfer(cluster.driver, cluster.driver, b"x")
+            exchange.transfer_blob(cluster.driver, cluster.driver, b"x")
     finally:
         client.close()
 
