@@ -28,6 +28,7 @@ import json
 import pathlib
 import sys
 
+from repro import obs
 from repro.bench.delta_experiments import run_delta_iterative, run_mutation_sweep
 from repro.bench.exchange_experiments import (
     exchange_checks_pass,
@@ -226,6 +227,32 @@ COMMANDS = {
 }
 
 
+def _results_dir() -> pathlib.Path:
+    return pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def _write_trace_artifacts(experiment: str) -> None:
+    """Export the enabled tracer's spans and the metrics snapshot next to
+    the experiment's ``benchmarks/results/*.json`` outputs."""
+    from repro.obs.export import to_chrome_trace
+
+    tracer = obs.get_tracer()
+    if tracer is None:
+        return
+    results_dir = _results_dir()
+    if not results_dir.parent.is_dir():  # not running from the repo tree
+        return
+    results_dir.mkdir(exist_ok=True)
+    doc = to_chrome_trace(tracer.spans(), trace_id=tracer.trace_id)
+    trace_path = results_dir / f"{experiment}.trace.json"
+    snap_path = results_dir / f"{experiment}.obs.json"
+    trace_path.write_text(json.dumps(doc, indent=2) + "\n")
+    snap_path.write_text(
+        json.dumps(obs.snapshot(), indent=2, default=str) + "\n"
+    )
+    print(f"\ntrace: {trace_path}\nsnapshot: {snap_path}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -241,14 +268,25 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="kernels/exchange: small graph, fail on "
                              "parity drift")
+    parser.add_argument("--trace", action="store_true",
+                        help="run with tracing enabled and write "
+                             "<experiment>.trace.json / <experiment>.obs.json "
+                             "to benchmarks/results")
     args = parser.parse_args(argv)
 
-    if args.experiment == "all":
-        for name, fn in COMMANDS.items():
-            print(f"\n{'#' * 70}\n# {name}\n{'#' * 70}")
-            fn(args)
-    else:
-        COMMANDS[args.experiment](args)
+    if args.trace:
+        obs.enable(process="driver")
+    try:
+        if args.experiment == "all":
+            for name, fn in COMMANDS.items():
+                print(f"\n{'#' * 70}\n# {name}\n{'#' * 70}")
+                fn(args)
+        else:
+            COMMANDS[args.experiment](args)
+    finally:
+        if args.trace:
+            _write_trace_artifacts(args.experiment)
+            obs.reset()
     return 0
 
 

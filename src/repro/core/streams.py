@@ -35,6 +35,7 @@ import struct
 import zlib
 from typing import List, Optional
 
+from repro import obs
 from repro.core.compact import CompactCodecError, CompactSegmentCodec
 from repro.core.input_buffer import InputBufferError
 from repro.core.receiver import ObjectGraphReceiver, ReceiveError
@@ -136,23 +137,28 @@ class SkywayObjectOutputStream:
         """Paper-compatible ``stream.writeObject(o)``."""
         if self._closed:
             raise SkywayStreamError("stream is closed")
-        return self.sender.write_object(root)
+        with obs.span("send.traverse", clock=self.runtime.jvm.clock) as sp:
+            offset = self.sender.write_object(root)
+            sp.set(objects=self.sender.objects_sent)
+        return offset
 
     def close(self) -> bytes:
         """Flush, append the trailer, and return the framed bytes."""
         if self._closed:
             raise SkywayStreamError("stream already closed")
         self._closed = True
-        self.sender.buffer.flush()
-        self._frame.write_varint(0)  # segment terminator
-        self._frame.write_varint(len(self.sender.top_marks))
-        for mark in self.sender.top_marks:
-            self._frame.write_varint(mark)
-        self._frame.write_varint(self.sender.buffer.logical_size)
-        data = self._frame.getvalue()
-        if self._transport is not None:
-            self._pump()
-            self._transport.finish(len(data), zlib.crc32(data))
+        with obs.span("send.flush", clock=self.runtime.jvm.clock) as sp:
+            self.sender.buffer.flush()
+            self._frame.write_varint(0)  # segment terminator
+            self._frame.write_varint(len(self.sender.top_marks))
+            for mark in self.sender.top_marks:
+                self._frame.write_varint(mark)
+            self._frame.write_varint(self.sender.buffer.logical_size)
+            data = self._frame.getvalue()
+            sp.set(stream_bytes=len(data))
+            if self._transport is not None:
+                self._pump()
+                self._transport.finish(len(data), zlib.crc32(data))
         return data
 
     @property
@@ -318,7 +324,12 @@ class IncrementalStreamDecoder:
                 f"bytes, trailer promised {self._expected_size}"
             )
         try:
-            return self.receiver.finish(self._marks)
+            with obs.span("recv.absolutize",
+                          clock=self.runtime.jvm.clock) as sp:
+                roots = self.receiver.finish(self._marks)
+                sp.set(roots=len(roots),
+                       objects=self.receiver.objects_received)
+            return roots
         except _DECODE_FAILURES as exc:
             raise SkywayStreamError(
                 f"absolutization failed: {exc.__class__.__name__}: {exc}"
@@ -354,15 +365,16 @@ class SkywayObjectInputStream:
         if self._finished:
             raise SkywayStreamError("stream already finished")
         decoder = IncrementalStreamDecoder(self.runtime, receiver=self.receiver)
-        if data is None:
-            if self._transport is None:
-                raise SkywayStreamError(
-                    "accept() without data requires a transport"
-                )
-            self._transport.pump(decoder)
-        else:
-            decoder.feed(data)
-        self._roots = decoder.finish()
+        with obs.span("recv.accept", clock=self.runtime.jvm.clock):
+            if data is None:
+                if self._transport is None:
+                    raise SkywayStreamError(
+                        "accept() without data requires a transport"
+                    )
+                self._transport.pump(decoder)
+            else:
+                decoder.feed(data)
+            self._roots = decoder.finish()
         self._buffer_token = self.runtime.track_input_buffer(
             self.receiver, self._roots
         )

@@ -22,6 +22,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Set
 
+from repro import obs
 from repro.core.streams import SkywayObjectInputStream, SkywayObjectOutputStream
 from repro.core.runtime import SkywayRuntime
 from repro.delta.apply import ApplyResult, DeltaApplier
@@ -103,6 +104,17 @@ class DeltaSendChannel:
 
     def send(self, roots: List[int]) -> bytes:
         """Frame one epoch carrying ``roots``; full or delta per policy."""
+        with obs.span("send.epoch", clock=self.runtime.jvm.clock,
+                      channel=self.channel_id,
+                      destination=self.destination) as sp:
+            frame = self._send_inner(roots)
+            decision = self.last_decision
+            sp.set(epoch=self.epoch, wire_bytes=len(frame),
+                   mode=decision.mode if decision else "?",
+                   reason=decision.reason if decision else "?")
+        return frame
+
+    def _send_inner(self, roots: List[int]) -> bytes:
         self.epoch += 1
         self.stats.epochs += 1
         gc = self.runtime.jvm.gc.stats
@@ -147,16 +159,23 @@ class DeltaSendChannel:
 
     def _dirty_members(self, record: EpochRecord) -> List[int]:
         cost = self.runtime.jvm.cost_model
-        members = list(record.members_overlapping(self.table.dirty_ranges()))
-        # Card intersection cost: one traversal word per candidate found.
-        self.runtime.jvm.clock.charge(cost.traverse_word * max(1, len(members)))
+        with obs.span("delta.diff", clock=self.runtime.jvm.clock) as sp:
+            members = list(
+                record.members_overlapping(self.table.dirty_ranges())
+            )
+            # Card intersection cost: one traversal word per candidate found.
+            self.runtime.jvm.clock.charge(
+                cost.traverse_word * max(1, len(members))
+            )
+            sp.set(dirty=len(members))
         return members
 
     def _try_delta(self, roots, record, gc, decision):
         encoder = DeltaEncoder(self.runtime.jvm, record)
-        frame, summary = encoder.encode(
-            roots, decision.dirty, self.channel_id, self.epoch
-        )
+        with obs.span("delta.encode", clock=self.runtime.jvm.clock):
+            frame, summary = encoder.encode(
+                roots, decision.dirty, self.channel_id, self.epoch
+            )
         if not self.policy.accept_encoded(record, len(frame)):
             self.stats.wasted_encode_bytes += len(frame)
             return None, EpochDecision(
@@ -177,6 +196,10 @@ class DeltaSendChannel:
         return frame, decision
 
     def _send_full(self, roots: List[int], gc) -> bytes:
+        with obs.span("send.full", clock=self.runtime.jvm.clock):
+            return self._send_full_inner(roots, gc)
+
+    def _send_full_inner(self, roots: List[int], gc) -> bytes:
         # A fresh shuffling phase invalidates stale baddrs (paper §3.3);
         # the epoch record, unlike baddrs, survives into later phases.
         self.runtime.shuffle_start()
@@ -245,9 +268,13 @@ class DeltaReceiveEndpoint:
     def receive(self, data: bytes) -> List[int]:
         """Apply one framed epoch; returns the epoch's root addresses."""
         frame = parse_frame(data)
-        if isinstance(frame, FullFrame):
-            return self._receive_full(frame)
-        return self._receive_delta(frame)
+        with obs.span("recv.epoch", clock=self.runtime.jvm.clock,
+                      channel=frame.channel_id, epoch=frame.epoch,
+                      kind=("full" if isinstance(frame, FullFrame)
+                            else "delta")):
+            if isinstance(frame, FullFrame):
+                return self._receive_full(frame)
+            return self._receive_delta(frame)
 
     def state_of(self, channel_id: int) -> Optional[_ReceiverState]:
         return self._states.get(channel_id)
@@ -298,7 +325,8 @@ class DeltaReceiveEndpoint:
                 f"compacted since epoch {state.epoch}; retained chunk "
                 f"addresses are void"
             )
-        result = state.applier.apply(frame)
+        with obs.span("recv.apply", clock=self.runtime.jvm.clock):
+            result = state.applier.apply(frame)
         # New roots must be GC-pinned like the first epoch's were.
         fresh = [
             self.runtime.jvm.pin(addr)

@@ -17,8 +17,10 @@ also what makes cross-substrate byte parity checkable at all).
 from __future__ import annotations
 
 import dataclasses
+import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.delta.channel import DeltaSendChannel
 from repro.delta.policy import ChannelStats, EpochDecision
 from repro.exchange.capabilities import ChannelCapabilities
@@ -50,6 +52,9 @@ class SendReceipt:
     result: Optional[dict] = None
 
 
+_obs_source_ids = itertools.count(1)
+
+
 class GraphChannel:
     """Base of both substrate channels: negotiation + shared bookkeeping."""
 
@@ -76,16 +81,39 @@ class GraphChannel:
         self._sim_totals: Dict[Category, float] = {}
         self._channel: Optional[DeltaSendChannel] = None  # set by subclass
         self._closed = False
+        #: Feed this channel's ExchangeMetrics into the obs registry;
+        #: deregistered on close() so no registry entry outlives the
+        #: channel (the PR 4 release_channel lifecycle, mirrored).
+        self._obs_source = (
+            f"exchange.{self.substrate}.{destination}"
+            f"#{next(_obs_source_ids)}"
+        )
+        obs.registry().register_source(self._obs_source, self._obs_metrics)
+
+    def _obs_metrics(self) -> Dict[str, object]:
+        if self._closed or self._channel is None:
+            return {"closed": True}
+        return self.metrics().as_dict()
 
     # -- the protocol -------------------------------------------------------
 
-    def send(self, roots: Sequence[int]) -> SendReceipt:
+    def send(self, roots: Sequence[int], **kwargs) -> SendReceipt:
+        with obs.span("exchange.send", substrate=self.substrate,
+                      destination=self.destination) as sp:
+            receipt = self._send_impl(roots, **kwargs)
+            sp.set(mode=receipt.mode, epoch=receipt.epoch,
+                   wire_bytes=receipt.wire_bytes,
+                   nack=receipt.nack_recovered)
+        return receipt
+
+    def _send_impl(self, roots: Sequence[int], **kwargs) -> SendReceipt:
         raise NotImplementedError
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
+        obs.registry().deregister_source(self._obs_source)
         if self._channel is not None:
             self._channel.close()
 

@@ -72,7 +72,8 @@ class LoopbackGraphChannel(GraphChannel):
 
     # ------------------------------------------------------------------
 
-    def send(self, roots: Sequence[int], digest: bool = False) -> SendReceipt:
+    def _send_impl(self, roots: Sequence[int],
+                   digest: bool = False) -> SendReceipt:
         channel = self._require_open()
         roots = collect_roots(roots)
         snaps = [(clock, clock.snapshot()) for clock in self._clocks()]

@@ -92,7 +92,8 @@ class SocketGraphChannel(GraphChannel):
 
     # ------------------------------------------------------------------
 
-    def send(self, roots: Sequence[int], digest: bool = False) -> SendReceipt:
+    def _send_impl(self, roots: Sequence[int],
+                   digest: bool = False) -> SendReceipt:
         channel = self._require_open()
         roots = collect_roots(roots)
         clock = self.runtime.jvm.clock

@@ -32,6 +32,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List
 
+from repro import obs
 from repro.heap import markword
 from repro.heap.handles import HandleTable
 from repro.heap.heap import ManagedHeap, NULL, OutOfMemoryError, Region
@@ -71,6 +72,10 @@ class GarbageCollector:
     # ------------------------------------------------------------------
 
     def minor(self) -> None:
+        with obs.span("gc.minor"):
+            self._minor()
+
+    def _minor(self) -> None:
         heap = self.heap
         to_space = heap.survivor_to
         if to_space.used:
@@ -246,6 +251,10 @@ class GarbageCollector:
     # ------------------------------------------------------------------
 
     def full(self) -> None:
+        with obs.span("gc.full"):
+            self._full()
+
+    def _full(self) -> None:
         heap = self.heap
 
         # 1. Trace the live graph (BFS from handles), assigning each live

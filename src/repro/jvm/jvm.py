@@ -9,9 +9,13 @@ would: scavenge, retry, full collection, retry, then a hard OOM.
 
 from __future__ import annotations
 
+import dataclasses
+import itertools
 import random
+import weakref
 from typing import Any, Callable, Dict, List, Optional
 
+from repro import obs
 from repro.heap.gc import GarbageCollector
 from repro.heap.handles import Handle, HandleTable
 from repro.heap.heap import MB, ManagedHeap, NULL, OutOfMemoryError
@@ -21,6 +25,9 @@ from repro.simtime import Category, CostModel, DEFAULT_COST_MODEL, SimClock
 from repro.types.classdef import ClassPath
 from repro.types.corelib import standard_classpath
 from repro.types.loader import ClassLoader
+
+
+_jvm_obs_ids = itertools.count(1)
 
 
 class JVM:
@@ -50,6 +57,24 @@ class JVM:
         self._hash_rng = random.Random(hash_seed ^ hash(name))
         #: Attached Skyway runtime, if any (set by SkywayRuntime.attach).
         self.skyway: Optional[Any] = None
+        # GC pauses and tallies feed the obs snapshot alongside the wire
+        # ledgers; keyed uniquely so same-named JVMs don't collide, and
+        # held through a weakref so the registry never pins a heap alive.
+        ref = weakref.ref(self)
+
+        def _gc_source() -> dict:
+            jvm = ref()
+            if jvm is None:
+                return {"collected": True}
+            return {
+                "jvm": jvm.name,
+                "sim_seconds": jvm.clock.total(),
+                **dataclasses.asdict(jvm.gc.stats),
+            }
+
+        obs.registry().register_source(
+            f"gc.{name}#{next(_jvm_obs_ids)}", _gc_source
+        )
 
     # ------------------------------------------------------------------
     # allocation with GC

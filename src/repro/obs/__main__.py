@@ -1,0 +1,108 @@
+"""``python -m repro.obs`` — observability artifacts from the terminal.
+
+* ``report <snapshot.json>`` — the paper-style phase breakdown: spans
+  rolled up by name, then the per-channel exchange ledgers byte-exact;
+* ``trace <trace.json>`` — validate an exported Chrome trace (all spans
+  closed, parents resolve and contain, one trace id); exit 1 on problems;
+* ``diff <old.json> <new.json>`` — numeric deltas between two snapshots;
+* ``smoke [--out DIR]`` — run the end-to-end traced scenario (loopback +
+  socket epochs + broadcast), export trace/snapshot JSON, self-check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.obs.export import (
+    render_diff,
+    render_phase_report,
+    validate_chrome_trace,
+)
+
+
+def _load(path: str) -> dict:
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    print(render_phase_report(_load(args.snapshot)))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    doc = _load(args.trace)
+    problems = validate_chrome_trace(doc)
+    events = doc.get("traceEvents", []) if isinstance(doc, dict) else []
+    spans = [e for e in events if isinstance(e, dict) and e.get("ph") == "X"]
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}")
+        return 1
+    print(f"ok: {len(spans)} spans, trace "
+          f"{doc.get('otherData', {}).get('trace_id', '?')}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    print(render_diff(_load(args.old), _load(args.new)))
+    return 0
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    from repro.obs.smoke import obs_checks_pass, run_obs_smoke
+
+    result = run_obs_smoke(out_dir=pathlib.Path(args.out),
+                           vertices=args.vertices)
+    print(render_phase_report(result.pop("snapshot")))
+    print()
+    for name, ok in result["checks"].items():
+        print(f"  {name}: {'pass' if ok else 'FAIL'}")
+    for problem in result["trace_errors"]:
+        print(f"  trace problem: {problem}")
+    print(f"  spans={result['spans']} worker_spans={result['worker_spans']} "
+          f"trace={result['trace_id']}")
+    if "trace_path" in result:
+        print(f"  wrote {result['trace_path']}")
+        print(f"  wrote {result['snapshot_path']}")
+    return 0 if obs_checks_pass(result) else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability reports, trace validation, and the "
+                    "traced smoke run.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("report", help="phase breakdown from a snapshot")
+    p.add_argument("snapshot", help="path to an obs snapshot JSON")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("trace", help="validate a Chrome trace JSON")
+    p.add_argument("trace", help="path to an exported trace JSON")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("diff", help="numeric deltas between two snapshots")
+    p.add_argument("old")
+    p.add_argument("new")
+    p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser("smoke", help="traced loopback+socket smoke run")
+    p.add_argument("--out", default="benchmarks/results",
+                   help="directory for trace/snapshot artifacts")
+    p.add_argument("--vertices", type=int, default=600)
+    p.set_defaults(func=_cmd_smoke)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # piped into head/less and truncated
+        sys.exit(0)

@@ -1,0 +1,118 @@
+"""One metrics registry the existing ledgers feed.
+
+Counters, gauges and histograms carry labels (encoded into the series key
+Prometheus-style: ``name{k=v,...}``); *sources* are the bridge to the
+ledgers that already exist — a registered callable is evaluated at
+:meth:`MetricsRegistry.snapshot` time, so ``ExchangeMetrics.as_dict()``,
+``TransportMetrics.as_dict()``, ``EventLog.as_dicts()`` and GC stats all
+land in one JSON document without being rewritten.
+
+Sources must deregister when their owner closes (channels do this in
+``GraphChannel.close()``, clients in ``WorkerClient.close()``) so no entry
+outlives the object it reads — the lifecycle mirror of the serializer's
+``release_channel`` fix.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Mapping
+
+
+def series_key(name: str, labels: Mapping[str, Any]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Thread-safe counters/gauges/histograms plus snapshot sources."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Dict[str, float]] = {}
+        self._sources: Dict[str, Callable[[], Any]] = {}
+
+    # -- series ------------------------------------------------------------
+
+    def counter(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        key = series_key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        key = series_key(name, labels)
+        with self._lock:
+            self._gauges[key] = float(value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        key = series_key(name, labels)
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = {
+                    "count": 0.0, "sum": 0.0,
+                    "min": float("inf"), "max": float("-inf"),
+                }
+            hist["count"] += 1
+            hist["sum"] += value
+            hist["min"] = min(hist["min"], value)
+            hist["max"] = max(hist["max"], value)
+
+    # -- sources -----------------------------------------------------------
+
+    def register_source(self, name: str, source: Callable[[], Any]) -> None:
+        with self._lock:
+            self._sources[name] = source
+
+    def deregister_source(self, name: str) -> None:
+        with self._lock:
+            self._sources.pop(name, None)
+
+    def source_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._sources)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._sources.clear()
+
+    # -- reading -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Evaluate every source and copy every series.  A source that
+        raises reports its error in place — one broken ledger must not
+        take the snapshot down."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = {k: dict(v) for k, v in self._histograms.items()}
+            sources = list(self._sources.items())
+        resolved: Dict[str, Any] = {}
+        for name, fn in sources:
+            try:
+                resolved[name] = fn()
+            except Exception as exc:  # noqa: BLE001 - reported, not raised
+                resolved[name] = {"error": f"{type(exc).__name__}: {exc}"}
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "sources": resolved,
+        }
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-global registry every layer feeds."""
+    return _REGISTRY

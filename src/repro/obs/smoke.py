@@ -1,0 +1,159 @@
+"""The obs smoke run: one traced send over every path, then self-check.
+
+One driver process, one spawned socket worker, one in-process receiver.
+Under a single enabled trace it performs a loopback epoch send, a socket
+epoch send (bootstrap + mutated delta each), and a ``SparkContext``
+broadcast over the socket exchange — so the resulting trace holds
+sender-side spans (traverse, delta diff, pipeline, wire write), worker-side
+spans grafted over the TRACE frame (receive, absolutize/apply), and the
+engine-level broadcast spans, all under one trace id.
+
+The checks are the CI gate: the exported Chrome trace validates (every
+span closed, parents resolve and contain their children, one trace id),
+worker spans are present and parented under driver spans, and the phase
+report's per-channel wire bytes equal the ``ExchangeMetrics`` ledger —
+byte-exact, because the report *reads* the ledger through the registry.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Optional
+
+from repro import obs
+from repro.apps.incremental import IncrementalPageRank, build_vertex_graph
+from repro.core.runtime import SkywayRuntime
+from repro.exchange import (
+    ChannelCapabilities,
+    Exchange,
+    LoopbackGraphChannel,
+    SocketGraphChannel,
+)
+from repro.jvm.jvm import JVM
+from repro.net.cluster import Cluster
+from repro.obs.export import to_chrome_trace, validate_chrome_trace
+from repro.serial.java_serializer import JavaSerializer
+from repro.spark.context import SparkContext
+from repro.transport import WorkerClient, WorkerHandle, WorkerSpec
+from repro.transport.bootstrap import MB, build_runtime
+from repro.transport.testing import SAMPLE_FACTORY, ring_edges, sample_worker_classpath
+
+DEFAULT_VERTICES = 600
+DELTA_REQUEST = ChannelCapabilities(kernel=True, delta=True)
+
+
+def run_obs_smoke(
+    out_dir: Optional[pathlib.Path] = None,
+    vertices: int = DEFAULT_VERTICES,
+) -> Dict[str, Any]:
+    """Run the traced smoke scenario; returns a JSON-safe result dict
+    whose ``checks`` map is the pass/fail gate (see module docstring)."""
+    obs.reset()
+    tracer = obs.enable(process="driver")
+    handle = WorkerHandle.spawn(WorkerSpec(
+        name="obs-worker", classpath_factory=SAMPLE_FACTORY,
+        old_bytes=256 * MB, read_timeout=120.0,
+    ))
+    driver = build_runtime("obs-driver", SAMPLE_FACTORY, old_bytes=256 * MB)
+    client = WorkerClient(driver, handle.host, handle.port,
+                          read_timeout=120.0).connect()
+    recv_jvm = JVM("obs-recv", classpath=sample_worker_classpath(),
+                   old_bytes=256 * MB)
+    receiver = SkywayRuntime(recv_jvm, driver.driver_registry,
+                             is_driver=False)
+    channels = {
+        "loopback": LoopbackGraphChannel(
+            driver, destination="obs-smoke", requested=DELTA_REQUEST,
+            receiver_runtime=receiver, channel_id=7101),
+        "socket": SocketGraphChannel(
+            driver, client, requested=DELTA_REQUEST, channel_id=7102,
+            destination="obs-smoke"),
+    }
+    cluster = Cluster(lambda name: JVM(name, classpath=sample_worker_classpath()),
+                      worker_count=1)
+    exchange = Exchange.socket(cluster, {cluster.workers[0].name: client})
+    try:
+        pin = driver.jvm.pin(
+            build_vertex_graph(driver.jvm, ring_edges(vertices, vertices // 4)))
+        graph = pin.address
+        pagerank = IncrementalPageRank(driver.jvm, graph)
+
+        # Epoch 1 bootstraps (always FULL), a PageRank superstep dirties a
+        # slice, epoch 2 exercises the delta diff/encode path under trace.
+        wire = {name: ch.send([graph], digest=True).wire_bytes
+                for name, ch in channels.items()}
+        pagerank.step(active_fraction=0.10)
+        for name, ch in channels.items():
+            wire[name] += ch.send([graph], digest=True).wire_bytes
+
+        sc = SparkContext(cluster, JavaSerializer(), exchange=exchange)
+        broadcast = sc.broadcast("obs smoke payload " * 64)
+
+        # Snapshot while the channels are open: their registry sources
+        # still publish the live ExchangeMetrics ledger.
+        snap = obs.snapshot()
+        spans = tracer.spans()
+        doc = to_chrome_trace(spans, trace_id=tracer.trace_id)
+        trace_errors = validate_chrome_trace(doc)
+
+        span_ids = {s.span_id for s in spans}
+        worker_spans = [s for s in spans if s.process.startswith("worker:")]
+        ledger_exact = _ledger_wire_bytes(snap, wire)
+        checks = {
+            "trace_valid": not trace_errors,
+            "all_spans_closed": not tracer.open_spans(),
+            "single_trace_id": {s.trace_id for s in spans} == {tracer.trace_id},
+            "worker_spans_present": bool(worker_spans),
+            "worker_spans_parented": all(
+                s.parent_id in span_ids for s in worker_spans),
+            "ledger_wire_bytes_exact": ledger_exact,
+        }
+        result: Dict[str, Any] = {
+            "vertices": vertices,
+            "broadcast_wire_bytes": broadcast.wire_bytes,
+            "channel_wire_bytes": wire,
+            "spans": len(spans),
+            "worker_spans": len(worker_spans),
+            "trace_id": tracer.trace_id,
+            "trace_errors": trace_errors,
+            "checks": checks,
+        }
+        if out_dir is not None:
+            out_dir = pathlib.Path(out_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            trace_path = out_dir / "obs_smoke.trace.json"
+            snap_path = out_dir / "obs_smoke.snapshot.json"
+            trace_path.write_text(json.dumps(doc, indent=2))
+            snap_path.write_text(json.dumps(snap, indent=2, default=str))
+            result["trace_path"] = str(trace_path)
+            result["snapshot_path"] = str(snap_path)
+        result["snapshot"] = snap
+        return result
+    finally:
+        for ch in channels.values():
+            ch.close()
+        try:
+            client.shutdown_worker()
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+        exchange.close()  # also closes the registered client
+        handle.stop()
+        obs.reset()
+
+
+def _ledger_wire_bytes(snap: Dict[str, Any],
+                       wire: Dict[str, int]) -> bool:
+    """Per-substrate receipt totals must equal the registered
+    ``ExchangeMetrics`` sources byte-for-byte."""
+    sources = snap.get("metrics", {}).get("sources", {})
+    seen = {}
+    for name, src in sources.items():
+        if isinstance(src, dict) and name.startswith("exchange."):
+            seen[src.get("substrate")] = src.get("wire_bytes")
+    return all(seen.get(substrate) == total
+               for substrate, total in wire.items())
+
+
+def obs_checks_pass(result: Dict[str, Any]) -> bool:
+    return all(result["checks"].values())

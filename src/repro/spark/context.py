@@ -6,6 +6,7 @@ import dataclasses
 import itertools
 from typing import Any, Callable, Iterable, List, Optional, Sequence
 
+from repro import obs
 from repro.exchange.service import Exchange
 from repro.jvm.marshal import from_heap, to_heap
 from repro.net.cluster import Cluster, Node
@@ -92,6 +93,11 @@ class SparkContext:
         self.events = EventLog()
         #: (stage, partition) pairs executed, for test introspection.
         self.tasks_run = 0
+        # The engine's event ledger feeds the obs snapshot; app_id keys
+        # the source so concurrent contexts don't collide.
+        obs.registry().register_source(
+            f"spark.events.app{self.app_id}", self.events.as_dicts
+        )
 
     # -- RDD creation -----------------------------------------------------------
 
@@ -117,16 +123,22 @@ class SparkContext:
         variables travel through the closure/JavaSerializer path)."""
         serializer = JavaSerializer()
         driver = self.cluster.driver
-        addr = to_heap(driver.jvm, value)
-        with driver.clock.phase(Category.SERIALIZATION):
-            data = serializer.serialize(driver.jvm, addr)
-        for worker in self.cluster.workers:
-            self.exchange.transfer_blob(driver, worker, data)
-            with worker.clock.phase(Category.DESERIALIZATION):
-                reader = serializer.new_reader(worker.jvm, data)
-                received = reader.read_object()
-                local = from_heap(worker.jvm, received)
-                reader.close()
+        with obs.span("spark.broadcast",
+                      clock=driver.clock, app=self.app_id) as sp:
+            addr = to_heap(driver.jvm, value)
+            with obs.span("send.serialize", clock=driver.clock), \
+                    driver.clock.phase(Category.SERIALIZATION):
+                data = serializer.serialize(driver.jvm, addr)
+            sp.set(wire_bytes=len(data), workers=len(self.cluster.workers))
+            for worker in self.cluster.workers:
+                self.exchange.transfer_blob(driver, worker, data)
+                with obs.span("recv.deserialize", clock=worker.clock,
+                              worker=worker.name), \
+                        worker.clock.phase(Category.DESERIALIZATION):
+                    reader = serializer.new_reader(worker.jvm, data)
+                    received = reader.read_object()
+                    local = from_heap(worker.jvm, received)
+                    reader.close()
         return Broadcast(value, len(data))
 
     def delta_broadcast(self, root: int, policy=None):

@@ -3,12 +3,18 @@
 Every task execution and shuffle file movement appends a structured event;
 tests and debugging tools read them to check *how* a job executed (task
 placement, shuffle fan-out, cache hits), not just what it produced.
+
+Emission is thread-safe: ``ParallelGraphSender`` worker threads emit
+concurrently, so ``emit`` appends under a lock and every reader
+(iteration, ``of_kind``, summaries, ``as_dicts``) works on a snapshot
+taken under the same lock.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Iterator, List, Optional
+import threading
+from typing import Any, Dict, Iterator, List
 
 
 @dataclasses.dataclass(frozen=True)
@@ -24,22 +30,38 @@ class EventLog:
     """Append-only event record for one SparkContext."""
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._events: List[Event] = []
 
     def emit(self, kind: str, **details: Any) -> None:
-        self._events.append(Event(kind, details))
+        event = Event(kind, details)
+        with self._lock:
+            self._events.append(event)
+
+    def snapshot(self) -> List[Event]:
+        with self._lock:
+            return list(self._events)
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._lock:
+            return len(self._events)
 
     def __iter__(self) -> Iterator[Event]:
-        return iter(self._events)
+        return iter(self.snapshot())
 
     def of_kind(self, kind: str) -> List[Event]:
-        return [e for e in self._events if e.kind == kind]
+        return [e for e in self.snapshot() if e.kind == kind]
 
     def clear(self) -> None:
-        self._events.clear()
+        with self._lock:
+            self._events.clear()
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """JSON-safe export — what the obs snapshot source publishes."""
+        return [
+            {"kind": e.kind, "details": dict(e.details)}
+            for e in self.snapshot()
+        ]
 
     # -- summaries -----------------------------------------------------------
 
@@ -64,10 +86,11 @@ class EventLog:
         }
 
     def render(self, limit: int = 50) -> str:
-        lines = [f"event log ({len(self._events)} events)"]
-        for event in self._events[:limit]:
+        events = self.snapshot()
+        lines = [f"event log ({len(events)} events)"]
+        for event in events[:limit]:
             detail = " ".join(f"{k}={v}" for k, v in event.details.items())
             lines.append(f"  {event.kind:<14} {detail}")
-        if len(self._events) > limit:
-            lines.append(f"  ... {len(self._events) - limit} more")
+        if len(events) > limit:
+            lines.append(f"  ... {len(events) - limit} more")
         return "\n".join(lines)

@@ -15,10 +15,12 @@ the simulated wire reports (Figure 3(b) stays one code path).
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import zlib
 from typing import Optional, Tuple, Type
 
+from repro import obs
 from repro.core.runtime import SkywayRuntime
 from repro.core.streams import SkywayObjectOutputStream
 from repro.net.cluster import Node
@@ -97,6 +99,9 @@ class WorkerHandle:
             self.process.join(timeout=timeout)
 
 
+_client_ids = itertools.count(1)
+
+
 class WorkerClient:
     """One framed connection from a driver runtime to a worker."""
 
@@ -134,6 +139,7 @@ class WorkerClient:
         #: from the worker's extras).
         self._synced_names: Optional[frozenset] = None
         self.peer_name: Optional[str] = None
+        self._obs_source: Optional[str] = None
 
     # -- connection & handshake -------------------------------------------
 
@@ -151,6 +157,17 @@ class WorkerClient:
         )
         self._synced_names = None
         self._sync_registry()
+        if self._obs_source is None:
+            # Feed this connection's wall-clock phase ledger into the obs
+            # snapshot; deregistered on close() so nothing outlives the
+            # connection.
+            self._obs_source = (
+                f"transport.{self.node_name}->{self.host}:{self.port}"
+                f"#{next(_client_ids)}"
+            )
+            obs.registry().register_source(
+                self._obs_source, self.metrics.as_dict
+            )
         return self
 
     def _require_conn(self) -> FrameConnection:
@@ -181,6 +198,15 @@ class WorkerClient:
         self._synced_names = frozenset(merged)
 
     # -- ops ---------------------------------------------------------------
+
+    def _send_trace(self, conn: FrameConnection) -> None:
+        """Propagate the driver's trace context (TRACE frame, v2) so the
+        worker's spans for the next CALL stitch under the current span.
+        Not sent when tracing is disabled — zero wire overhead."""
+        if obs.enabled():
+            trace_id, span_id = obs.current_context()
+            conn.send_frame(frames.TRACE,
+                            frames.encode_trace(trace_id, span_id))
 
     def ping(self, echo=None) -> dict:
         conn = self._require_conn()
@@ -229,6 +255,15 @@ class WorkerClient:
             # re-sending a graph emits references into a buffer that no
             # longer exists.
             self.runtime.shuffle_start()
+        # The wire span stays open for the whole stream: write_object
+        # traversal spans nest under it on this thread, pipeline writer
+        # spans parent to it explicitly, and the worker's spans graft
+        # under it at finish().
+        wire_span = obs.start_span(
+            "wire.send_graph", destination=f"{self.host}:{self.port}",
+            thread_id=thread_id,
+        )
+        self._send_trace(conn)
         conn.send_frame(
             frames.CALL,
             frames.encode_json({"op": "recv_graph", "retain": retain}),
@@ -242,7 +277,7 @@ class WorkerClient:
             self.runtime, destination=f"socket:{self.host}:{self.port}",
             thread_id=thread_id, transport=pipeline,
         )
-        return GraphSendStream(self, conn, pipeline, out)
+        return GraphSendStream(self, conn, pipeline, out, wire_span)
 
     def send_graph(
         self,
@@ -278,24 +313,29 @@ class WorkerClient:
         """Ship opaque bytes (the Spark broadcast path) through the same
         chunk pipeline; the worker answers size + CRC."""
         conn = self._require_conn()
-        conn.send_frame(frames.CALL, frames.encode_json({"op": "recv_blob"}))
-        pipeline = ChunkPipeline(
-            conn, chunk_bytes=chunk_bytes,
-            store_and_forward=store_and_forward, metrics=self.metrics,
-        )
-        try:
-            with self.metrics.phase("traverse+send"):
-                pipeline.feed(data)
-                pipeline.finish(len(data), zlib.crc32(data))
-        except TransportError as exc:
-            pipeline.abort()
-            remote = conn.pending_remote_error()
-            if remote is not None:
-                raise remote from exc
-            raise
-        result = frames.decode_json(
-            conn.expect_frame(frames.RESULT), what="RESULT"
-        )
+        with obs.span("wire.send_blob", bytes=len(data),
+                      destination=f"{self.host}:{self.port}") as sp:
+            self._send_trace(conn)
+            conn.send_frame(frames.CALL,
+                            frames.encode_json({"op": "recv_blob"}))
+            pipeline = ChunkPipeline(
+                conn, chunk_bytes=chunk_bytes,
+                store_and_forward=store_and_forward, metrics=self.metrics,
+            )
+            try:
+                with self.metrics.phase("traverse+send"):
+                    pipeline.feed(data)
+                    pipeline.finish(len(data), zlib.crc32(data))
+            except TransportError as exc:
+                pipeline.abort()
+                remote = conn.pending_remote_error()
+                if remote is not None:
+                    raise remote from exc
+                raise
+            result = frames.decode_json(
+                conn.expect_frame(frames.RESULT), what="RESULT"
+            )
+            obs.absorb_remote(result, sp)
         if result.get("crc32") != zlib.crc32(data):
             raise TransportError(
                 "worker acknowledged a blob with a different CRC"
@@ -329,31 +369,38 @@ class WorkerClient:
         conn = self._require_conn()
         self._sync_registry()
         kind = frame_bytes[0] if frame_bytes else 0
-        conn.send_frame(
-            frames.CALL,
-            frames.encode_json({"op": "recv_epoch", "digest": digest}),
-        )
-        conn.send_frame(
-            frames.EPOCH, frames.encode_epoch_header(channel_id, epoch, kind)
-        )
-        pipeline = ChunkPipeline(
-            conn, chunk_bytes=chunk_bytes, queue_chunks=queue_chunks,
-            store_and_forward=store_and_forward, throttle_mbps=throttle_mbps,
-            metrics=self.metrics,
-        )
-        try:
-            with self.metrics.phase("traverse+send"):
-                pipeline.feed(frame_bytes)
-                pipeline.finish(len(frame_bytes), zlib.crc32(frame_bytes))
-        except TransportError as exc:
-            pipeline.abort()
-            remote = conn.pending_remote_error()
-            if remote is not None:
-                raise remote from exc
-            raise
-        result = frames.decode_json(
-            conn.expect_frame(frames.RESULT), what="RESULT"
-        )
+        with obs.span("wire.send_epoch", channel=channel_id, epoch=epoch,
+                      bytes=len(frame_bytes),
+                      destination=f"{self.host}:{self.port}") as sp:
+            self._send_trace(conn)
+            conn.send_frame(
+                frames.CALL,
+                frames.encode_json({"op": "recv_epoch", "digest": digest}),
+            )
+            conn.send_frame(
+                frames.EPOCH,
+                frames.encode_epoch_header(channel_id, epoch, kind),
+            )
+            pipeline = ChunkPipeline(
+                conn, chunk_bytes=chunk_bytes, queue_chunks=queue_chunks,
+                store_and_forward=store_and_forward,
+                throttle_mbps=throttle_mbps, metrics=self.metrics,
+            )
+            try:
+                with self.metrics.phase("traverse+send"):
+                    pipeline.feed(frame_bytes)
+                    pipeline.finish(len(frame_bytes),
+                                    zlib.crc32(frame_bytes))
+            except TransportError as exc:
+                pipeline.abort()
+                remote = conn.pending_remote_error()
+                if remote is not None:
+                    raise remote from exc
+                raise
+            result = frames.decode_json(
+                conn.expect_frame(frames.RESULT), what="RESULT"
+            )
+            obs.absorb_remote(result, sp)
         if self.account_node is not None:
             self.account_node.account_fetch(
                 len(frame_bytes), remote=self.account_remote
@@ -368,6 +415,9 @@ class WorkerClient:
         )
 
     def close(self) -> None:
+        if self._obs_source is not None:
+            obs.registry().deregister_source(self._obs_source)
+            self._obs_source = None
         if self._conn is None:
             return
         try:
@@ -399,12 +449,14 @@ class GraphSendStream:
         conn: FrameConnection,
         pipeline: ChunkPipeline,
         out: SkywayObjectOutputStream,
+        wire_span=None,
     ) -> None:
         self._client = client
         self._conn = conn
         self._pipeline = pipeline
         self._out = out
         self._done = False
+        self._wire_span = wire_span
 
     @property
     def thread_id(self) -> int:
@@ -433,6 +485,11 @@ class GraphSendStream:
         result = frames.decode_json(
             self._conn.expect_frame(frames.RESULT), what="RESULT"
         )
+        if self._wire_span is not None:
+            self._wire_span.set(stream_bytes=len(data))
+            obs.absorb_remote(result, self._wire_span)
+            obs.end_span(self._wire_span)
+            self._wire_span = None
         client = self._client
         if client.account_node is not None:
             client.account_node.account_fetch(
@@ -444,10 +501,18 @@ class GraphSendStream:
         """Tear down the writer without a TRAILER (stream abandoned)."""
         self._done = True
         self._pipeline.abort()
+        self._end_wire_span(error="aborted")
+
+    def _end_wire_span(self, **attrs) -> None:
+        if self._wire_span is not None:
+            self._wire_span.set(**attrs)
+            obs.end_span(self._wire_span)
+            self._wire_span = None
 
     def _fail(self, exc: TransportError) -> None:
         self._done = True
         self._pipeline.abort()
+        self._end_wire_span(error=type(exc).__name__)
         remote = self._conn.pending_remote_error()
         if remote is not None:
             raise remote from exc

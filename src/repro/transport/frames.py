@@ -16,6 +16,9 @@ Frame conversation (driver = client, worker = server)::
     HELLO      -> driver's registry snapshot {class name -> tID}
     HELLO_ACK  <- worker's extra class names (present there, absent here);
                   both sides then install the same merged mapping
+    TRACE      -> optional (v2): trace id + parent span id, so worker
+                  spans stitch under the driver's trace; worker spans
+                  return inside the RESULT JSON under "trace"
     CALL       -> JSON op request ("recv_graph", "recv_blob", ...)
     DATA*      -> fixed-size chunks of the Skyway framed stream
     TRAILER    -> total bytes + whole-stream CRC + chunk count
@@ -38,7 +41,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.net.streams import ByteInputStream, ByteOutputStream, StreamError
 from repro.transport.errors import FrameCorruptionError
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Hard cap on one frame's payload; a corrupt length field beyond this is
 #: reported instead of allocated.
@@ -62,11 +65,17 @@ BYE = 8
 #: follows (FULL or DELTA); the worker routes the reassembled frame to its
 #: per-runtime :class:`~repro.delta.channel.DeltaReceiveEndpoint`.
 EPOCH = 9
+#: Optional trace-context announcement (protocol v2): carries the driver's
+#: trace id and current span id so worker-side spans stitch under the
+#: sender's trace.  Sent at most once per CALL, immediately before it; a
+#: worker that never sees one simply doesn't trace.  Worker spans travel
+#: back inside the RESULT JSON under the ``"trace"`` key.
+TRACE = 10
 
 FRAME_NAMES = {
     HELLO: "HELLO", HELLO_ACK: "HELLO_ACK", DATA: "DATA",
     TRAILER: "TRAILER", ERROR: "ERROR", CALL: "CALL",
-    RESULT: "RESULT", BYE: "BYE", EPOCH: "EPOCH",
+    RESULT: "RESULT", BYE: "BYE", EPOCH: "EPOCH", TRACE: "TRACE",
 }
 
 
@@ -203,6 +212,19 @@ def decode_epoch_header(payload: bytes) -> Tuple[int, int, int]:
     def parse(inp: ByteInputStream):
         return inp.read_varint(), inp.read_varint(), inp.read_u8()
     return _wrap_decode(parse, payload, "EPOCH")
+
+
+def encode_trace(trace_id: str, span_id: str) -> bytes:
+    out = ByteOutputStream()
+    out.write_utf(trace_id)
+    out.write_utf(span_id)
+    return out.getvalue()
+
+
+def decode_trace(payload: bytes) -> Tuple[str, str]:
+    def parse(inp: ByteInputStream):
+        return inp.read_utf(), inp.read_utf()
+    return _wrap_decode(parse, payload, "TRACE")
 
 
 def encode_error(kind: str, message: str) -> bytes:

@@ -25,6 +25,7 @@ import time
 import zlib
 from typing import Optional
 
+from repro import obs
 from repro.transport import frames
 from repro.transport.connection import FrameConnection
 from repro.transport.errors import TransportClosed, TransportError
@@ -69,6 +70,10 @@ class ChunkPipeline:
         self._finished = False
         self._writer_error: Optional[Exception] = None
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_chunks)
+        #: Writer-thread spans can't inherit the constructing thread's span
+        #: stack, so capture the current span id here and parent wire
+        #: writes to it explicitly.
+        self._obs_parent = obs.current_context()[1] or None
         self._writer: Optional[threading.Thread] = None
         if not store_and_forward:
             self._writer = threading.Thread(
@@ -130,7 +135,8 @@ class ChunkPipeline:
             self._queue.put_nowait(chunk)
         except queue.Full:
             start = time.perf_counter()
-            self._queue.put(chunk)
+            with obs.span("pipeline.stall", bytes=len(chunk)):
+                self._queue.put(chunk)
             self.metrics.note_stall(time.perf_counter() - start)
         self._raise_writer_error()
 
@@ -148,7 +154,9 @@ class ChunkPipeline:
 
     def _send_chunk(self, chunk: bytes) -> None:
         started = time.perf_counter()
-        self._conn.send_frame(frames.DATA, chunk)
+        with obs.span("wire.write", parent=self._obs_parent,
+                      bytes=len(chunk)):
+            self._conn.send_frame(frames.DATA, chunk)
         self.metrics.note_chunk_sent()
         if self._pace:
             budget = len(chunk) / self._pace

@@ -53,11 +53,14 @@ Ops:
 from __future__ import annotations
 
 import dataclasses
+import logging
+import os
 import socket
 import threading
 import zlib
 from typing import List, Optional
 
+from repro import obs
 from repro.core.streams import IncrementalStreamDecoder
 from repro.delta.channel import DeltaReceiveEndpoint
 from repro.delta.wire import FRAME_DELTA, FRAME_FULL, DeltaFrame, parse_frame
@@ -143,6 +146,9 @@ class WorkerServer:
         #: an object placement.
         self._state_lock = threading.Lock()
         self._conn_threads: List[threading.Thread] = []
+        #: Structured, attributable diagnostics: one logger per worker id,
+        #: level picked up from REPRO_LOG_LEVEL in :func:`worker_main`.
+        self.log = logging.getLogger(f"repro.worker.{spec.name}")
 
     # -- op handlers -------------------------------------------------------
 
@@ -155,13 +161,14 @@ class WorkerServer:
         with lock:
             decoder = IncrementalStreamDecoder(self.runtime)
         pump = _ConnPump(conn)
-        with self.metrics.phase("receive"):
+        with self.metrics.phase("receive"), \
+                obs.span("recv.receive", clock=self.runtime.jvm.clock):
             pump.pump(_LockedDecoder(decoder, lock))
         with lock:
             roots = decoder.finish()
             receiver = decoder.receiver
             token = self.runtime.track_input_buffer(receiver, roots)
-            with self.metrics.phase("digest"):
+            with self.metrics.phase("digest"), obs.span("recv.digest"):
                 digest = graph_digest(self.runtime.jvm, receiver)
             result = {
                 "op": "recv_graph",
@@ -180,7 +187,7 @@ class WorkerServer:
 
     def _op_recv_blob(self, conn: FrameConnection, call: dict) -> dict:
         sink = _BlobSink()
-        with self.metrics.phase("receive"):
+        with self.metrics.phase("receive"), obs.span("recv.receive"):
             pump_stream(conn, sink)
         return {
             "op": "recv_blob",
@@ -194,7 +201,8 @@ class WorkerServer:
         )
         channel_id, epoch, kind = header
         sink = _BlobSink()
-        with self.metrics.phase("receive"):
+        with self.metrics.phase("receive"), \
+                obs.span("recv.receive", channel=channel_id, epoch=epoch):
             stream_bytes = pump_stream(conn, sink)
         data = bytes(sink.data)
         with self._state_lock:
@@ -223,7 +231,7 @@ class WorkerServer:
                 "stream_bytes": stream_bytes,
             }
             if call.get("digest", True):
-                with self.metrics.phase("digest"):
+                with self.metrics.phase("digest"), obs.span("recv.digest"):
                     result["digest"] = semantic_graph_digest(
                         self.runtime.jvm, roots
                     )
@@ -275,10 +283,15 @@ class WorkerServer:
             )
             merged = registry_sync.merge_registries(driver_map, extras)
             registry_sync.install_merged(self.runtime, merged)
+        self.log.info(
+            "handshake with %s: %d driver classes, %d worker extras",
+            peer, len(driver_map), len(extras),
+        )
 
     def serve_connection(self, conn: FrameConnection) -> None:
         """Run one connection to completion (BYE, EOF, or a fatal op
         error).  Op failures answer ERROR then end the connection."""
+        trace_pending = False
         while self._running:
             try:
                 ftype, payload = conn.recv_frame()
@@ -290,6 +303,18 @@ class WorkerServer:
                 if ftype == frames.HELLO:
                     self._handshake(conn, payload)
                     continue
+                if ftype == frames.TRACE:
+                    # Driver trace context for the next CALL: enable (or
+                    # re-point) this worker's tracer and parent this
+                    # thread's spans under the driver's current span.
+                    trace_id, parent_span = frames.decode_trace(payload)
+                    tracer = obs.enable(
+                        process=f"worker:{self.spec.name}",
+                        trace_id=trace_id or None,
+                    )
+                    tracer.adopt_remote(parent_span or None)
+                    trace_pending = True
+                    continue
                 if ftype != frames.CALL:
                     raise TransportError(
                         f"protocol violation: unexpected "
@@ -299,9 +324,17 @@ class WorkerServer:
                 handler = self._OPS.get(call.get("op"))
                 if handler is None:
                     raise TransportError(f"unknown op {call.get('op')!r}")
-                result = handler(self, conn, call)
+                self.log.debug("serving op %s", call.get("op"))
+                if trace_pending:
+                    result = self._traced_call(conn, call, handler)
+                else:
+                    result = handler(self, conn, call)
                 conn.send_frame(frames.RESULT, frames.encode_json(result))
             except Exception as exc:  # noqa: BLE001 - reported as ERROR frame
+                self.log.warning(
+                    "op failed, answering ERROR: %s: %s",
+                    type(exc).__name__, exc,
+                )
                 try:
                     conn.send_frame(
                         frames.ERROR,
@@ -310,6 +343,24 @@ class WorkerServer:
                 except TransportError:
                     pass
                 return
+            finally:
+                if trace_pending and ftype == frames.CALL:
+                    trace_pending = False
+                    tracer = obs.get_tracer()
+                    if tracer is not None:
+                        tracer.clear_remote()
+
+    def _traced_call(self, conn: FrameConnection, call: dict,
+                     handler) -> dict:
+        """Serve one op inside a ``worker.<op>`` span and ship this
+        thread's spans back inside the RESULT under ``"trace"``."""
+        tracer = obs.get_tracer()
+        mark = tracer.mark()
+        with tracer.span(f"worker.{call.get('op')}",
+                         clock=self.runtime.jvm.clock):
+            result = handler(self, conn, call)
+        result["trace"] = tracer.export_payload(tracer.drain(mark))
+        return result
 
     def _serve_thread(self, conn: FrameConnection) -> None:
         try:
@@ -349,15 +400,32 @@ class WorkerServer:
                 thread.join(timeout=5.0)
 
 
+def configure_worker_logging() -> None:
+    """Structured logging for spawned workers: level from REPRO_LOG_LEVEL
+    (default WARNING), records tagged with the per-worker logger name."""
+    level_name = os.environ.get("REPRO_LOG_LEVEL", "WARNING").upper()
+    level = getattr(logging, level_name, None)
+    if not isinstance(level, int):
+        level = logging.WARNING
+    logging.basicConfig(
+        level=level,
+        format="%(asctime)s %(levelname)s %(name)s [pid %(process)d] "
+               "%(message)s",
+    )
+
+
 def worker_main(spec: WorkerSpec, port_pipe) -> None:
     """Entry point of the spawned process.  Binds, reports the actual port
     through ``port_pipe``, then serves until shutdown."""
+    configure_worker_logging()
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     try:
         server = WorkerServer(spec)
         listener.bind((spec.host, spec.port))
         listener.listen(8)
+        server.log.info("listening on %s:%d",
+                        spec.host, listener.getsockname()[1])
         port_pipe.send(("ok", listener.getsockname()[1]))
     except Exception as exc:  # noqa: BLE001 - parent re-raises as typed error
         try:

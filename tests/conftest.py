@@ -54,6 +54,23 @@ if not _HAVE_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
 
 
 # ---------------------------------------------------------------------------
+# observability isolation
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Every test starts and ends with no global tracer and an empty
+    metrics registry: JVMs, channels and SparkContexts register snapshot
+    sources as a side effect of construction, and a test that enables
+    tracing must not leak spans into the next one."""
+    from repro import obs
+
+    obs.reset()
+    yield
+    obs.reset()
+
+
+# ---------------------------------------------------------------------------
 # socket-transport fixtures (worker processes are always reaped)
 # ---------------------------------------------------------------------------
 

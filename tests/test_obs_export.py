@@ -1,0 +1,153 @@
+"""Exporters: Chrome trace structure and validation, terminal reports."""
+
+import copy
+
+from repro.obs.export import (
+    render_diff,
+    render_phase_report,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.tracer import Tracer
+
+
+def traced_pair():
+    tracer = Tracer(process="driver")
+    with tracer.span("outer", wire_bytes=10):
+        with tracer.span("inner"):
+            pass
+    return tracer
+
+
+class TestChromeTrace:
+    def test_structure_and_metadata(self):
+        tracer = traced_pair()
+        doc = to_chrome_trace(tracer.spans(), trace_id=tracer.trace_id)
+        assert doc["otherData"]["trace_id"] == tracer.trace_id
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        ms = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert [e["name"] for e in xs] == ["outer", "inner"]
+        assert {m["name"] for m in ms} == {"process_name", "thread_name"}
+        outer = xs[0]
+        assert outer["args"]["wire_bytes"] == 10
+        assert outer["ts"] <= xs[1]["ts"]
+        assert validate_chrome_trace(doc) == []
+
+    def test_one_pid_per_process(self):
+        driver = Tracer(process="driver")
+        worker = Tracer(process="worker:w0", trace_id=driver.trace_id)
+        with driver.span("a"):
+            pass
+        with worker.span("b"):
+            pass
+        doc = to_chrome_trace(driver.spans() + worker.spans())
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert xs[0]["pid"] != xs[1]["pid"]
+
+    def test_accepts_dicts(self):
+        tracer = traced_pair()
+        doc = to_chrome_trace([s.as_dict() for s in tracer.spans()])
+        assert validate_chrome_trace(doc) == []
+
+
+class TestValidator:
+    def valid_doc(self):
+        tracer = traced_pair()
+        return to_chrome_trace(tracer.spans(), trace_id=tracer.trace_id)
+
+    def test_not_a_trace(self):
+        assert validate_chrome_trace([]) \
+            == ["document is not a mapping with a traceEvents list"]
+
+    def test_empty_trace_is_a_problem(self):
+        assert "trace contains no spans" \
+            in validate_chrome_trace({"traceEvents": []})
+
+    def test_unclosed_span_flagged(self):
+        tracer = Tracer(process="driver")
+        tracer.start("never-finished")
+        problems = validate_chrome_trace(to_chrome_trace(tracer.spans()))
+        assert any("never closed" in p for p in problems)
+
+    def test_unresolved_parent_flagged(self):
+        doc = self.valid_doc()
+        inner = [e for e in doc["traceEvents"] if e["ph"] == "X"][1]
+        inner["args"]["parent_id"] = "deadbeef"
+        problems = validate_chrome_trace(doc)
+        assert any("parent deadbeef not in trace" in p for p in problems)
+
+    def test_duplicate_span_id_flagged(self):
+        doc = self.valid_doc()
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        xs[1]["args"]["span_id"] = xs[0]["args"]["span_id"]
+        problems = validate_chrome_trace(doc)
+        assert any("duplicate span_id" in p for p in problems)
+
+    def test_multiple_trace_ids_flagged(self):
+        doc = self.valid_doc()
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        xs[1]["args"]["trace_id"] = "other-trace"
+        problems = validate_chrome_trace(doc)
+        assert any("multiple trace ids" in p for p in problems)
+
+    def test_child_escaping_parent_flagged(self):
+        doc = self.valid_doc()
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        xs[1]["ts"] = xs[0]["ts"] - 1000.0
+        problems = validate_chrome_trace(doc)
+        assert any("escapes parent" in p for p in problems)
+
+
+class TestReports:
+    def snapshot(self):
+        tracer = traced_pair()
+        return {
+            "metrics": {
+                "counters": {"sends": 2.0},
+                "gauges": {},
+                "histograms": {
+                    "chunk_bytes": {"count": 2.0, "sum": 10.0,
+                                    "min": 4.0, "max": 6.0},
+                },
+                "sources": {
+                    "exchange.socket.w0#1": {
+                        "substrate": "socket",
+                        "sends": 2,
+                        "wire_bytes": 4096,
+                        "breakdown": {"serialization": 0.5,
+                                      "total": 0.5, "bytes_written": 4096.0},
+                    },
+                    "gc.driver#1": {"jvm": "driver", "minor_collections": 1},
+                },
+            },
+            "trace": {
+                "trace_id": tracer.trace_id,
+                "process": "driver",
+                "open_spans": 0,
+                "spans": [s.as_dict() for s in tracer.spans()],
+            },
+        }
+
+    def test_phase_report_sections(self):
+        text = render_phase_report(self.snapshot())
+        assert "Phase breakdown" in text
+        assert "outer" in text and "inner" in text
+        assert "wire_bytes=4096" in text  # ledger-exact, straight from the source
+        assert "serialization" in text
+        assert "Counters" in text and "sends" in text
+        assert "gc.driver#1" in text
+
+    def test_phase_report_without_trace(self):
+        snap = self.snapshot()
+        del snap["trace"]
+        assert "run with tracing enabled" in render_phase_report(snap)
+
+    def test_diff_reports_numeric_deltas(self):
+        old = self.snapshot()
+        new = copy.deepcopy(old)
+        new["metrics"]["counters"]["sends"] = 5.0
+        new["metrics"]["sources"]["exchange.socket.w0#1"]["wire_bytes"] = 8192
+        text = render_diff(old, new)
+        assert "sends" in text and "+3" in text
+        assert "wire_bytes" in text
+        assert "(no numeric differences)" in render_diff(old, old)

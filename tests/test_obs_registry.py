@@ -1,0 +1,98 @@
+"""Metrics registry: series with labels, snapshot sources, thread safety."""
+
+import json
+import threading
+
+from repro.obs.registry import MetricsRegistry, series_key
+
+
+def test_series_key_sorts_labels():
+    assert series_key("sends", {}) == "sends"
+    assert series_key("sends", {"z": 1, "a": "x"}) == "sends{a=x,z=1}"
+
+
+class TestSeries:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("sends")
+        reg.counter("sends", 2.0)
+        reg.counter("sends", substrate="socket")
+        snap = reg.snapshot()
+        assert snap["counters"]["sends"] == 3.0
+        assert snap["counters"]["sends{substrate=socket}"] == 1.0
+
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth", 4)
+        reg.gauge("depth", 7)
+        assert reg.snapshot()["gauges"]["depth"] == 7.0
+
+    def test_histogram_tracks_count_sum_min_max(self):
+        reg = MetricsRegistry()
+        for v in (5.0, 1.0, 3.0):
+            reg.observe("chunk_bytes", v)
+        h = reg.snapshot()["histograms"]["chunk_bytes"]
+        assert h == {"count": 3.0, "sum": 9.0, "min": 1.0, "max": 5.0}
+
+    def test_concurrent_counters_are_exact(self):
+        reg = MetricsRegistry()
+
+        def bump():
+            for _ in range(1000):
+                reg.counter("hits")
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.snapshot()["counters"]["hits"] == 8000.0
+
+
+class TestSources:
+    def test_sources_evaluated_at_snapshot_time(self):
+        reg = MetricsRegistry()
+        state = {"n": 1}
+        reg.register_source("ledger", lambda: dict(state))
+        assert reg.snapshot()["sources"]["ledger"] == {"n": 1}
+        state["n"] = 2
+        assert reg.snapshot()["sources"]["ledger"] == {"n": 2}
+
+    def test_deregister_removes_and_tolerates_unknown(self):
+        reg = MetricsRegistry()
+        reg.register_source("ledger", dict)
+        reg.deregister_source("ledger")
+        reg.deregister_source("never-registered")
+        assert reg.source_names() == []
+        assert reg.snapshot()["sources"] == {}
+
+    def test_failing_source_reports_error_in_place(self):
+        reg = MetricsRegistry()
+
+        def broken():
+            raise ValueError("ledger gone")
+
+        reg.register_source("bad", broken)
+        reg.register_source("good", lambda: {"ok": True})
+        sources = reg.snapshot()["sources"]
+        assert sources["bad"] == {"error": "ValueError: ledger gone"}
+        assert sources["good"] == {"ok": True}
+
+    def test_clear_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        reg.gauge("g", 1)
+        reg.observe("h", 1)
+        reg.register_source("s", dict)
+        reg.clear()
+        assert reg.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}, "sources": {},
+        }
+
+    def test_snapshot_is_json_safe_and_detached(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        snap = reg.snapshot()
+        json.dumps(snap)
+        snap["counters"]["c"] = 999.0
+        assert reg.snapshot()["counters"]["c"] == 1.0

@@ -1,7 +1,11 @@
 """Tests for the engine event log (task/shuffle/cache introspection)."""
 
+import json
+import threading
+
 import pytest
 
+from repro.spark.events import EventLog
 from tests.test_spark_engine import make_context
 
 
@@ -50,3 +54,43 @@ class TestEventLog:
         assert len(sc.events) > 0
         sc.events.clear()
         assert len(sc.events) == 0
+
+
+class TestEventLogThreadSafety:
+    def test_concurrent_emit_loses_nothing(self):
+        log = EventLog()
+
+        def emit_many(worker: int):
+            for i in range(500):
+                log.emit("task", node=f"n{worker}", seq=i)
+
+        threads = [threading.Thread(target=emit_many, args=(k,))
+                   for k in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(log) == 4000
+        assert len(log.of_kind("task")) == 4000
+        assert log.task_counts_by_node() == {f"n{k}": 500 for k in range(8)}
+
+    def test_iteration_is_a_snapshot(self):
+        log = EventLog()
+        for i in range(10):
+            log.emit("seed", seq=i)
+        # Emitting while iterating must neither raise nor feed the loop.
+        for _ in log:
+            log.emit("during")
+        assert len(log.of_kind("during")) == 10
+
+    def test_as_dicts_is_json_safe(self):
+        log = EventLog()
+        log.emit("task", node="worker-0", bytes=3)
+        dicts = log.as_dicts()
+        assert dicts == [
+            {"kind": "task", "details": {"node": "worker-0", "bytes": 3}}
+        ]
+        json.dumps(dicts)
+        # Detached: mutating the export must not touch the log.
+        dicts[0]["details"]["node"] = "elsewhere"
+        assert log.of_kind("task")[0]["node"] == "worker-0"
