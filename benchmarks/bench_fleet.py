@@ -1,0 +1,40 @@
+"""B-FLEET — the N-node fabric: coordinator, worker fleets, p2p shuffle.
+
+Per fleet size (2/4/8 workers behind one coordinator): a driver graph is
+broadcast twice (FULL bootstrap, then a delta epoch) with every worker's
+semantic digest agreeing; every ordered worker pair ships the graph
+peer-to-peer over a coordinator-assigned channel (sender and receiver
+digests must match per transfer); and the failure drill SIGKILLs one
+worker mid-run — survivors complete with the casualty typed as
+``PeerGoneError``, and after a restart the re-HELLO'd worker resyncs with
+a forced FULL while the survivors stay on deltas.
+"""
+
+from repro.bench.fleet_experiments import (
+    fleet_checks_pass,
+    format_fleet_report,
+    run_fleet_experiment,
+)
+
+from conftest import bench_scale, emit_json, publish
+
+
+def test_fleet_fabric_end_to_end(benchmark):
+    vertices = max(300, int(1_500 * bench_scale()))
+    result = benchmark.pedantic(
+        lambda: run_fleet_experiment(vertices=vertices),
+        rounds=1, iterations=1,
+    )
+
+    publish("fleet", format_fleet_report(result))
+    emit_json("fleet", result)
+
+    checks = result["checks"]
+    assert checks["p2p_digests_match_sender"], (
+        "a peer-to-peer transfer delivered a heap whose digest diverged "
+        "from the sender's"
+    )
+    assert checks["restart_forced_full_resync"], (
+        "a restarted worker's channel did not recover via forced FULL"
+    )
+    assert fleet_checks_pass(result), f"B-FLEET gate failed: {checks}"

@@ -18,6 +18,8 @@ Regenerates any of the paper's tables/figures without pytest:
     python -m repro.bench kernels --smoke   # CI parity gate, exits 1 on drift
     python -m repro.bench exchange
     python -m repro.bench exchange --smoke  # CI parity gate, exits 1 on drift
+    python -m repro.bench fleet
+    python -m repro.bench fleet --smoke     # 4-worker fabric gate, exits 1
     python -m repro.bench all
 """
 
@@ -36,6 +38,11 @@ from repro.bench.exchange_experiments import (
     run_exchange_experiment,
 )
 from repro.bench.extra_bytes import average_composition, measure_extra_byte_composition
+from repro.bench.fleet_experiments import (
+    fleet_checks_pass,
+    format_fleet_report,
+    run_fleet_experiment,
+)
 from repro.bench.flink_experiments import run_figure8b, summarize_table4
 from repro.bench.kernel_experiments import (
     format_kernel_report,
@@ -209,6 +216,29 @@ def cmd_exchange(args) -> None:
         )
 
 
+def cmd_fleet(args) -> None:
+    # --scale 0.02 maps to the full 1.5k-vertex graph; --smoke runs one
+    # 4-worker fleet on a smaller graph as the CI gate.
+    vertices = max(300, int(round(1_500 * args.scale / 0.02)))
+    result = run_fleet_experiment(vertices=vertices, smoke=args.smoke)
+    report = format_fleet_report(result)
+    print(report)
+    results_dir = _results_dir()
+    if results_dir.parent.is_dir():  # running from the repo tree
+        results_dir.mkdir(exist_ok=True)
+        (results_dir / "fleet.txt").write_text(report + "\n")
+        (results_dir / "fleet.json").write_text(
+            json.dumps(result, indent=2, sort_keys=True, default=str) + "\n"
+        )
+    if not fleet_checks_pass(result):
+        raise SystemExit(
+            "B-FLEET gate failed: " + "  ".join(
+                f"{name}={'pass' if ok else 'FAIL'}"
+                for name, ok in result["checks"].items()
+            )
+        )
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "fig3": cmd_fig3,
@@ -224,6 +254,7 @@ COMMANDS = {
     "transport": cmd_transport,
     "kernels": cmd_kernels,
     "exchange": cmd_exchange,
+    "fleet": cmd_fleet,
 }
 
 
@@ -266,8 +297,8 @@ def main(argv=None) -> int:
     parser.add_argument("--full", action="store_true",
                         help="fig8a: all four graphs (slow)")
     parser.add_argument("--smoke", action="store_true",
-                        help="kernels/exchange: small graph, fail on "
-                             "parity drift")
+                        help="kernels/exchange/fleet: small graph, fail "
+                             "on parity drift")
     parser.add_argument("--trace", action="store_true",
                         help="run with tracing enabled and write "
                              "<experiment>.trace.json / <experiment>.obs.json "

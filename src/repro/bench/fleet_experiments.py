@@ -1,0 +1,237 @@
+"""B-FLEET — the N-node fabric measured end to end.
+
+Per fleet size (2/4/8 full, 4 smoke), against a live coordinator and N
+strict-mode worker processes:
+
+* **broadcast** — one driver graph to every worker, twice: epoch 1
+  bootstraps every channel FULL, a PageRank superstep mutates the graph,
+  epoch 2 rides the delta path.  Every worker's semantic digest must
+  agree with every other's, both epochs.
+* **all-pairs peer shuffle** — every ordered worker pair (A, B): A clones
+  the graph it received *straight into* B over a coordinator-assigned
+  channel (the driver never carries the bytes).  The gate is per
+  transfer: the receiver's semantic digest must equal the digest A
+  computed over its own heap before sending.
+* **failure drill** — one worker is SIGKILLed mid-run: the next
+  broadcast must complete on the survivors and report the casualty as a
+  typed ``PeerGoneError``.  The worker is then restarted: its re-HELLO
+  bumps the coordinator generation, and the next broadcast must recover
+  its channel with a forced-FULL resync while the survivors stay on
+  deltas — digests agreeing across the whole fleet again.
+
+``fleet_checks_pass`` is the CI gate over all of it; results land in
+``benchmarks/results/fleet.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.incremental import IncrementalPageRank, build_vertex_graph
+from repro.bench.exchange_experiments import irregular_edges
+from repro.cluster.errors import PeerGoneError
+from repro.cluster.fleet import Fleet
+from repro.cluster.harness import FleetHarness
+from repro.transport.bootstrap import MB, build_runtime
+from repro.transport.testing import SAMPLE_FACTORY
+
+DEFAULT_SIZES = (2, 4, 8)
+SMOKE_SIZES = (4,)
+DEFAULT_VERTICES = 1_500
+SMOKE_VERTICES = 500
+#: The PageRank superstep's mutation share between the two broadcast
+#: epochs — low enough that the delta path must win the policy decision.
+MUTATION_FRACTION = 0.10
+
+
+def _run_size(size: int, vertices: int, index: int) -> Dict[str, object]:
+    """One fleet size: broadcast, all-pairs shuffle, failure drill."""
+    driver = build_runtime(f"fleet-driver-{index}", SAMPLE_FACTORY,
+                           old_bytes=256 * MB)
+    edges = irregular_edges(vertices)
+    pin = driver.jvm.pin(build_vertex_graph(driver.jvm, edges))
+    graph = pin.address
+    pagerank = IncrementalPageRank(driver.jvm, graph)
+
+    with FleetHarness(size, name=f"bfleet{size}", read_timeout=300.0,
+                      old_bytes=256 * MB) as harness:
+        fleet = Fleet.connect(driver, harness.coordinator.host,
+                              harness.coordinator.port, read_timeout=300.0)
+        try:
+            row = {"fleet_size": size, "vertices": vertices}
+
+            # -- broadcast: FULL bootstrap, then a delta epoch ----------
+            started = time.perf_counter()
+            epoch1 = fleet.broadcast([graph])
+            row["broadcast_full_seconds"] = round(
+                time.perf_counter() - started, 4)
+            mutated = pagerank.step(active_fraction=MUTATION_FRACTION)
+            started = time.perf_counter()
+            epoch2 = fleet.broadcast([graph])
+            row["broadcast_delta_seconds"] = round(
+                time.perf_counter() - started, 4)
+            row["vertices_mutated"] = mutated
+            row["broadcast_delivered"] = [epoch1.delivered, epoch2.delivered]
+            row["broadcast_modes"] = sorted(
+                {r.mode for r in epoch2.receipts.values()})
+            e1_digests = set(epoch1.digests().values())
+            e2_digests = set(epoch2.digests().values())
+            row["broadcast_digests_agree"] = (
+                epoch1.delivered == size and epoch2.delivered == size
+                and not epoch1.failures and not epoch2.failures
+                and len(e1_digests) == 1 and len(e2_digests) == 1
+                and None not in (e1_digests | e2_digests)
+            )
+
+            # -- all-pairs peer-to-peer shuffle -------------------------
+            # Each worker's copy of the broadcast graph (pinned by its
+            # delta endpoint) becomes the payload it ships to every peer.
+            roots_on = {name: receipt.roots
+                        for name, receipt in epoch2.receipts.items()}
+            names = sorted(roots_on)
+            transfers: List[Dict[str, object]] = []
+            started = time.perf_counter()
+            for src in names:
+                for dst in names:
+                    if src == dst:
+                        continue
+                    result = fleet.peer_transfer(src, dst, roots_on[src])
+                    transfers.append({
+                        "src": src, "dst": dst,
+                        "mode": result["mode"],
+                        "wire_bytes": result["wire_bytes"],
+                        "digest_match": result["digest_match"],
+                    })
+            row["p2p_seconds"] = round(time.perf_counter() - started, 4)
+            row["p2p_transfers"] = len(transfers)
+            row["p2p_wire_bytes"] = sum(t["wire_bytes"] for t in transfers)
+            row["p2p_digest_match"] = all(
+                t["digest_match"] for t in transfers)
+            row["p2p_pairs_expected"] = size * (size - 1)
+
+            # -- failure drill: kill, survive, restart, resync ----------
+            victim = names[-1]
+            harness.kill_worker(victim)
+            after_kill = fleet.broadcast([graph])
+            row["kill_survivors_delivered"] = after_kill.delivered
+            row["kill_victim_typed"] = isinstance(
+                after_kill.failures.get(victim), PeerGoneError)
+            row["kill_survivors_complete"] = (
+                after_kill.delivered == size - 1
+                and set(after_kill.failures) == {victim}
+            )
+
+            harness.restart_worker(victim)
+            pagerank.step(active_fraction=MUTATION_FRACTION)
+            after_restart = fleet.broadcast([graph])
+            victim_receipt = after_restart.receipts.get(victim)
+            survivor_modes = {
+                name: receipt.mode
+                for name, receipt in after_restart.receipts.items()
+                if name != victim
+            }
+            ar_digests = set(after_restart.digests().values())
+            row["restart_resynced_full"] = (
+                victim_receipt is not None
+                and victim_receipt.mode == "full"
+                and fleet._channels[victim].resyncs >= 1
+            )
+            row["restart_survivors_delta"] = all(
+                mode == "delta" for mode in survivor_modes.values())
+            row["restart_digests_agree"] = (
+                after_restart.delivered == size
+                and len(ar_digests) == 1 and None not in ar_digests
+            )
+
+            stats = fleet.stats()
+            row["coordinator_rpcs"] = stats["rpcs_served"]
+            row["coordinator_deaths_detected"] = stats["deaths_detected"]
+            row["fleet_resyncs"] = sum(
+                c.resyncs for c in fleet._channels.values())
+            return row
+        finally:
+            fleet.close()
+            driver.jvm.unpin(pin)
+
+
+def run_fleet_experiment(
+    sizes: Optional[Sequence[int]] = None,
+    vertices: int = DEFAULT_VERTICES,
+    smoke: bool = False,
+) -> Dict[str, object]:
+    """Returns a JSON-serializable result dict (see module docstring)."""
+    if smoke:
+        sizes = SMOKE_SIZES if sizes is None else sizes
+        vertices = min(vertices, SMOKE_VERTICES)
+    elif sizes is None:
+        sizes = DEFAULT_SIZES
+    rows = [_run_size(size, vertices, i) for i, size in enumerate(sizes)]
+    return {
+        "sizes": list(sizes),
+        "vertices": vertices,
+        "smoke": smoke,
+        "rows": rows,
+        "checks": _checks(rows),
+    }
+
+
+def _checks(rows: List[Dict[str, object]]) -> Dict[str, bool]:
+    return {
+        "broadcast_digests_agree": all(
+            r["broadcast_digests_agree"] for r in rows),
+        "broadcast_delta_epoch2": all(
+            r["broadcast_modes"] == ["delta"] for r in rows),
+        "p2p_all_pairs_ran": all(
+            r["p2p_transfers"] == r["p2p_pairs_expected"] for r in rows),
+        "p2p_digests_match_sender": all(
+            r["p2p_digest_match"] for r in rows),
+        "kill_survivors_complete": all(
+            r["kill_survivors_complete"] for r in rows),
+        "kill_victim_typed_error": all(
+            r["kill_victim_typed"] for r in rows),
+        "restart_forced_full_resync": all(
+            r["restart_resynced_full"] for r in rows),
+        "restart_survivors_stay_delta": all(
+            r["restart_survivors_delta"] for r in rows),
+        "restart_digests_agree": all(
+            r["restart_digests_agree"] for r in rows),
+    }
+
+
+def fleet_checks_pass(result: Dict[str, object]) -> bool:
+    return all(result["checks"].values())
+
+
+def format_fleet_report(result: Dict[str, object]) -> str:
+    lines = [
+        "B-FLEET — coordinator + N-worker fabric: broadcast, all-pairs "
+        "peer shuffle, failure drill",
+        f"  graph: {result['vertices']} vertices; fleet sizes "
+        f"{result['sizes']}",
+        "",
+        f"  {'fleet':>6} {'bcastF_s':>9} {'bcastD_s':>9} {'p2p':>5} "
+        f"{'p2p_s':>8} {'p2p_B':>10} {'match':>6} {'kill':>5} "
+        f"{'resync':>7} {'rpcs':>6}",
+    ]
+    for row in result["rows"]:
+        match = "ok" if row["p2p_digest_match"] else "FAIL"
+        kill = "ok" if (row["kill_survivors_complete"]
+                        and row["kill_victim_typed"]) else "FAIL"
+        resync = "ok" if (row["restart_resynced_full"]
+                          and row["restart_digests_agree"]) else "FAIL"
+        lines.append(
+            f"  {row['fleet_size']:>6} {row['broadcast_full_seconds']:>9.3f} "
+            f"{row['broadcast_delta_seconds']:>9.3f} "
+            f"{row['p2p_transfers']:>5} {row['p2p_seconds']:>8.3f} "
+            f"{row['p2p_wire_bytes']:>10} {match:>6} {kill:>5} "
+            f"{resync:>7} {row['coordinator_rpcs']:>6}"
+        )
+    lines += [
+        "",
+        "  checks: " + "  ".join(
+            f"{name}={'pass' if ok else 'FAIL'}"
+            for name, ok in result["checks"].items()
+        ),
+    ]
+    return "\n".join(lines)

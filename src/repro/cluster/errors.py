@@ -1,0 +1,56 @@
+"""The cluster layer's error taxonomy.
+
+Fleet-level failures are *membership* failures, not wire failures: the
+socket transport already types every frame/connection problem
+(:mod:`repro.transport.errors`), and the epoch protocol types staleness
+(:class:`~repro.delta.channel.DeltaStaleError`).  What the cluster adds is
+the layer above both — "who is in the fleet, and is the peer I'm talking
+to still the process the coordinator registered?" — and its failures get
+their own types so callers can write fleet policy (skip the peer, re-open
+the channel, re-register) without string-matching transport messages.
+
+:class:`PeerGoneError` is the load-bearing one: a send to a worker the
+coordinator has marked dead (or that died under the send) surfaces as this
+type, carrying the peer's name, so a broadcast can complete on survivors
+while reporting exactly which peer vanished.
+
+:class:`ClusterProtocolError` is the mis-route guard: channel id 0 is
+reserved coordinator-wide, and a fleet worker rejects an EPOCH frame whose
+channel id it was never told about — typed, never a silent placement into
+the wrong channel state.
+"""
+
+from __future__ import annotations
+
+
+class ClusterError(RuntimeError):
+    """Base of everything the cluster layer raises itself."""
+
+
+class ClusterConfigError(ClusterError):
+    """The fleet was asked for something its configuration lacks
+    (unknown worker name, no coordinator, malformed spec)."""
+
+
+class ClusterProtocolError(ClusterError):
+    """A coordinator/fleet protocol violation: a reserved or unassigned
+    channel id on an EPOCH frame, a malformed coordinator RPC, or a blob
+    key the peer never stored."""
+
+
+class CoordinatorUnavailableError(ClusterError):
+    """The coordinator could not be reached (down or unreachable); fleet
+    membership answers are unavailable until it returns."""
+
+
+class PeerGoneError(ClusterError):
+    """A fleet worker is dead (missed heartbeats, or found dead under a
+    send).  Carries the peer's name and, when known, the generation the
+    failing channel was bound to."""
+
+    def __init__(self, peer: str, message: str = "",
+                 generation: int = 0) -> None:
+        detail = message or "worker is gone (marked dead by the coordinator)"
+        super().__init__(f"peer {peer!r}: {detail}")
+        self.peer = peer
+        self.generation = generation

@@ -1,0 +1,241 @@
+"""Client-side membership: talking to the coordinator, and staying alive.
+
+Two pieces live here, both used from *inside* other processes:
+
+:class:`CoordinatorClient`
+    A thin RPC client over one frame connection.  Every call is an
+    ``obs.span("cluster.rpc", op=...)``; typed cluster errors crossing the
+    wire as ERROR frames (``PeerGoneError``, ``ClusterProtocolError``) are
+    re-raised as their local types, and a dead/unreachable coordinator
+    surfaces as :class:`CoordinatorUnavailableError` rather than a raw
+    socket error.
+
+:class:`WorkerMembership`
+    The worker-side liveness loop: register once, then heartbeat forever
+    from a daemon thread.  Two recoveries are built in —
+
+    * coordinator answers ``known=False`` (it restarted, or superseded our
+      record): re-register immediately and carry on with the fresh
+      generation;
+    * coordinator unreachable: keep trying with the same cadence; the
+      first successful exchange after an outage re-registers.
+
+    A restarted *worker* needs no special casing here: its fresh process
+    simply registers, which bumps the generation — the signal every fleet
+    front-end uses to re-open channels and force FULL resyncs.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Optional
+
+from repro import obs
+from repro.cluster.errors import (
+    ClusterProtocolError,
+    CoordinatorUnavailableError,
+    PeerGoneError,
+)
+from repro.transport import frames
+from repro.transport.connection import FrameConnection, connect_with_retry
+from repro.transport.errors import RemoteWorkerError, TransportError
+
+
+def _raise_typed(exc: RemoteWorkerError) -> None:
+    """Re-raise a coordinator ERROR frame as its local typed twin."""
+    if exc.kind == "PeerGoneError":
+        # The peer name travels only in the message; parse is best-effort
+        # ("peer 'name': ...") and falls back to the whole message.
+        peer = "?"
+        message = exc.message
+        if message.startswith("peer '"):
+            end = message.find("'", len("peer '"))
+            if end > 0:
+                peer = message[len("peer '"):end]
+                message = message[end + 1:].lstrip(": ")
+        raise PeerGoneError(peer, message) from exc
+    if exc.kind == "ClusterProtocolError":
+        raise ClusterProtocolError(exc.message) from exc
+    raise exc
+
+
+class CoordinatorClient:
+    """One frame connection to the coordinator; JSON ops in, results out."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 2.0,
+        read_timeout: float = 10.0,
+        attempts: int = 5,
+    ) -> None:
+        self.host = host
+        self.port = port
+        try:
+            sock = connect_with_retry(
+                host, port, connect_timeout=connect_timeout,
+                attempts=attempts,
+            )
+        except TransportError as exc:
+            raise CoordinatorUnavailableError(
+                f"coordinator at {host}:{port} is unreachable: {exc}"
+            ) from exc
+        self._conn = FrameConnection(sock, read_timeout=read_timeout)
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def call(self, op: str, **params) -> dict:
+        """One RPC: CALL out, RESULT (or typed ERROR) back."""
+        payload = {"op": op, **params}
+        with obs.span("cluster.rpc", op=op,
+                      coordinator=f"{self.host}:{self.port}"):
+            with self._lock:
+                if self._closed:
+                    raise CoordinatorUnavailableError(
+                        "coordinator client is closed"
+                    )
+                try:
+                    self._conn.send_frame(
+                        frames.CALL, frames.encode_json(payload)
+                    )
+                    result = frames.decode_json(
+                        self._conn.expect_frame(frames.RESULT), what="RESULT"
+                    )
+                except RemoteWorkerError as exc:
+                    _raise_typed(exc)
+                except TransportError as exc:
+                    self._closed = True
+                    raise CoordinatorUnavailableError(
+                        f"coordinator at {self.host}:{self.port} went away "
+                        f"mid-call ({op}): {exc}"
+                    ) from exc
+        return result
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._conn.send_frame(frames.BYE)
+            except TransportError:
+                pass
+            self._conn.close()
+
+    def __enter__(self) -> "CoordinatorClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class WorkerMembership:
+    """Register this process with the coordinator and heartbeat from a
+    daemon thread until stopped."""
+
+    def __init__(
+        self,
+        worker_name: str,
+        worker_host: str,
+        worker_port: int,
+        coordinator_host: str,
+        coordinator_port: int,
+    ) -> None:
+        self.worker_name = worker_name
+        self.worker_host = worker_host
+        self.worker_port = worker_port
+        self.coordinator_host = coordinator_host
+        self.coordinator_port = coordinator_port
+        self.generation = 0
+        self.heartbeat_interval = 0.2
+        self.heartbeats_sent = 0
+        self.reregistrations = 0
+        self._client: Optional[CoordinatorClient] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- registration ------------------------------------------------------
+
+    def _connect(self) -> CoordinatorClient:
+        if self._client is None:
+            self._client = CoordinatorClient(
+                self.coordinator_host, self.coordinator_port,
+            )
+        return self._client
+
+    def _drop_client(self) -> None:
+        if self._client is not None:
+            try:
+                self._client.close()
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
+            self._client = None
+
+    def register(self) -> int:
+        """Announce this worker; returns the assigned generation."""
+        result = self._connect().call(
+            "register",
+            name=self.worker_name,
+            host=self.worker_host,
+            port=self.worker_port,
+            pid=os.getpid(),
+        )
+        if self.generation:
+            self.reregistrations += 1
+        self.generation = int(result["generation"])
+        self.heartbeat_interval = float(
+            result.get("heartbeat_interval", self.heartbeat_interval)
+        )
+        return self.generation
+
+    # -- heartbeat loop ----------------------------------------------------
+
+    def _beat_once(self) -> None:
+        try:
+            result = self._connect().call(
+                "heartbeat", name=self.worker_name,
+                generation=self.generation,
+            )
+            self.heartbeats_sent += 1
+            if not result.get("known", False):
+                # Coordinator restarted or replaced our record:
+                # re-register on the spot so the outage window is one beat.
+                self.register()
+        except CoordinatorUnavailableError:
+            self._drop_client()  # reconnect (and re-register) next beat
+        except (PeerGoneError, ClusterProtocolError):
+            self._drop_client()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval):
+            if self._client is None:
+                try:
+                    self.register()
+                except CoordinatorUnavailableError:
+                    self._drop_client()
+                    continue
+            self._beat_once()
+
+    def start(self) -> None:
+        """Register (raising if the coordinator is unreachable at startup)
+        and begin heartbeating in the background."""
+        self.register()
+        self._thread = threading.Thread(
+            target=self._loop,
+            name=f"membership-{self.worker_name}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self, deregister: bool = True) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        if deregister and self._client is not None:
+            try:
+                self._client.call("deregister", name=self.worker_name)
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
+        self._drop_client()

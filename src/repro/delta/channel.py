@@ -138,6 +138,14 @@ class DeltaSendChannel:
         """React to a receiver NACK (:class:`DeltaStaleError`)."""
         self._force_full = True
 
+    def reassign(self, channel_id: int) -> None:
+        """Adopt a fresh channel id (a coordinator re-assignment after the
+        receiving worker restarted).  The epoch counter keeps counting —
+        receivers accept a FULL at any epoch — but the next epoch is
+        forced FULL: no receiver retains state under the new id."""
+        self.channel_id = channel_id
+        self._force_full = True
+
     def _decide(self, record: Optional[EpochRecord], gc) -> EpochDecision:
         if self._force_full:
             self._force_full = False

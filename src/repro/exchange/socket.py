@@ -90,6 +90,20 @@ class SocketGraphChannel(GraphChannel):
             )
         self.client = client
 
+    def recover(self, client: WorkerClient,
+                channel_id: Optional[int] = None) -> None:
+        """Rebind to a replacement worker incarnation (the fleet restart
+        path): point at the new connection and, when the coordinator
+        assigned this channel a fresh id, adopt it.  Either way the next
+        epoch is forced FULL — a restarted worker retains nothing, and
+        waiting for its NACK would cost an extra round trip."""
+        self.rebind(client)
+        channel = self._require_open()
+        if channel_id is not None:
+            channel.reassign(channel_id)
+        else:
+            channel.force_full_next()
+
     # ------------------------------------------------------------------
 
     def _send_impl(self, roots: Sequence[int],

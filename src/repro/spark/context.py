@@ -53,6 +53,8 @@ class Broadcast:
 
     value: Any
     wire_bytes: int
+    #: Real fleet workers the payload also landed on (0 without a fleet).
+    fleet_delivered: int = 0
 
 
 class SparkContext:
@@ -71,6 +73,7 @@ class SparkContext:
         default_parallelism: Optional[int] = None,
         config: Optional[SparkConfig] = None,
         exchange: Optional[Exchange] = None,
+        fleet=None,
     ) -> None:
         self.cluster = cluster
         self.serializer = serializer
@@ -80,6 +83,12 @@ class SparkContext:
         #: epochs and parallel streams through real worker processes.
         self.exchange = (exchange if exchange is not None
                          else Exchange.loopback(cluster))
+        #: The N-node fabric seam (:class:`repro.cluster.fleet.Fleet`).
+        #: When set, broadcast payloads fan out to every registered fleet
+        #: worker and remote shuffle fetches route peer-to-peer between
+        #: fleet workers instead of bouncing through the driver.
+        self.fleet = fleet
+        self._fleet_names: Optional[List[str]] = None
         self.config = config if config is not None else SparkConfig()
         self.default_parallelism = (
             default_parallelism
@@ -139,7 +148,21 @@ class SparkContext:
                     received = reader.read_object()
                     local = from_heap(worker.jvm, received)
                     reader.close()
-        return Broadcast(value, len(data))
+            fleet_delivered = 0
+            if self.fleet is not None:
+                # The fabric seam: the same payload lands on every live
+                # fleet worker process; a dead peer never fails the
+                # broadcast (survivors complete, casualties are logged).
+                fleet_result = self.fleet.broadcast_blob(data)
+                fleet_delivered = fleet_result.delivered
+                sp.set(fleet_delivered=fleet_delivered,
+                       fleet_failed=len(fleet_result.failures))
+                self.events.emit(
+                    "fleet_broadcast", bytes=len(data),
+                    delivered=fleet_delivered,
+                    failed=sorted(fleet_result.failures),
+                )
+        return Broadcast(value, len(data), fleet_delivered)
 
     def delta_broadcast(self, root: int, policy=None):
         """Broadcast a driver-heap object graph incrementally: ``push()``
@@ -177,6 +200,24 @@ class SparkContext:
     def node_for_partition(self, partition: int) -> Node:
         workers = self.cluster.workers
         return workers[partition % len(workers)]
+
+    def fleet_worker_for(self, node: Node) -> Optional[str]:
+        """The fleet worker standing in for a simulated node (round-robin
+        by worker index), or None when no fleet is attached."""
+        if self.fleet is None:
+            return None
+        if self._fleet_names is None:
+            self._fleet_names = sorted(
+                record["name"] for record in self.fleet.workers()
+            )
+        if not self._fleet_names:
+            return None
+        workers = self.cluster.workers
+        try:
+            index = workers.index(node)
+        except ValueError:  # the driver node has no fleet twin
+            return None
+        return self._fleet_names[index % len(self._fleet_names)]
 
     def charge_compute(self, node: Node, records: int, ops: int = 1) -> None:
         node.clock.charge(records * ops * self.config.record_op_cost)

@@ -17,12 +17,21 @@ Phase accounting matches the paper's breakdown exactly:
 
 When the serializer is Skyway, each map task opens a shuffling phase
 (``shuffle_start``), mirroring the paper's one-line integration point.
+
+With a fleet attached to the context (:mod:`repro.cluster`), every bucket
+file is mirrored onto the map node's fleet worker (``put_blob``) and a
+*remote* fetch also routes the bytes peer-to-peer between the two fleet
+workers — worker A pushes straight to worker B, CRC-checked against the
+simulated bucket, never bouncing through the driver.  A dead peer demotes
+that one fetch to the simulated path (with a ``fleet_route_failed``
+event); the shuffle itself never fails on a fleet casualty.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
+import zlib
 from typing import Any, Dict, List, Sequence, Tuple, TYPE_CHECKING
 
 from repro.jvm.marshal import from_heap, to_heap
@@ -46,6 +55,10 @@ class ShuffleService:
         self._index: Dict[int, Dict[Tuple[int, int], Tuple["Node", str]]] = {}
         self.records_shuffled = 0
         self.bytes_shuffled = 0
+        #: Fleet routing tallies (zero without a fleet on the context).
+        self.fleet_routes = 0
+        self.fleet_route_bytes = 0
+        self.fleet_route_failures = 0
 
     def new_shuffle_id(self) -> int:
         return next(self._ids)
@@ -89,6 +102,7 @@ class ShuffleService:
             filename = f"shuffle-{sc.app_id}-{shuffle_id}-{map_partition}-{reduce_partition}"
             node.disk.write_file(filename, data)
             files[(map_partition, reduce_partition)] = (node, filename)
+            self._mirror_to_fleet(node, filename, data)
             self.records_shuffled += len(bucket)
             self.bytes_shuffled += len(data)
             sc.events.emit(
@@ -143,6 +157,26 @@ class ShuffleService:
             out.extend(self._deserialize_bucket(dst, data))
         return out
 
+    def _mirror_to_fleet(self, node: "Node", filename: str,
+                         data: bytes) -> None:
+        """Land the bucket bytes on the map node's fleet worker, so a
+        later remote fetch can route peer-to-peer.  Best-effort: a fleet
+        casualty here only disables p2p for this bucket."""
+        sc = self.sc
+        worker = sc.fleet_worker_for(node)
+        if worker is None:
+            return
+        from repro.cluster.errors import ClusterError
+
+        try:
+            sc.fleet.put_blob(worker, filename, data)
+        except ClusterError as exc:
+            self.fleet_route_failures += 1
+            sc.events.emit(
+                "fleet_route_failed", op="put_blob", worker=worker,
+                file=filename, error=type(exc).__name__,
+            )
+
     def _fetch(self, src: "Node", dst: "Node", filename: str) -> bytes:
         data = bytes(src.disk.open(filename).data)
         # The reducer pays the read; remote fetches also pay the network
@@ -150,7 +184,45 @@ class ShuffleService:
         dst.clock.charge(dst.disk._cost.disk_read(len(data)), Category.READ_IO)
         dst.disk.bytes_read += len(data)
         self.sc.cluster.transfer(src, dst, len(data))
+        if src is not dst:
+            self._route_via_fleet(src, dst, filename, data)
         return data
+
+    def _route_via_fleet(self, src: "Node", dst: "Node", filename: str,
+                         data: bytes) -> None:
+        """The p2p mirror of a remote fetch: the source node's fleet
+        worker pushes the bucket straight to the destination's, and the
+        peer's CRC must match the simulated bytes.  A gone peer demotes
+        this one fetch to the simulated path; the shuffle completes."""
+        sc = self.sc
+        src_worker = sc.fleet_worker_for(src)
+        dst_worker = sc.fleet_worker_for(dst)
+        if src_worker is None or dst_worker is None \
+                or src_worker == dst_worker:
+            return
+        from repro.cluster.errors import ClusterError
+
+        try:
+            result = sc.fleet.peer_blob(src_worker, dst_worker, filename)
+        except ClusterError as exc:
+            self.fleet_route_failures += 1
+            sc.events.emit(
+                "fleet_route_failed", op="peer_blob", src=src_worker,
+                dst=dst_worker, file=filename, error=type(exc).__name__,
+            )
+            return
+        if result["crc32"] != zlib.crc32(data):
+            raise RuntimeError(
+                f"fleet p2p route delivered different bytes for "
+                f"{filename}: peer CRC {result['crc32']:#x}, "
+                f"simulated {zlib.crc32(data):#x}"
+            )
+        self.fleet_routes += 1
+        self.fleet_route_bytes += len(data)
+        sc.events.emit(
+            "fleet_shuffle_route", src=src_worker, dst=dst_worker,
+            file=filename, bytes=len(data),
+        )
 
     def _deserialize_bucket(self, node: "Node", data: bytes) -> List[Record]:
         jvm = node.jvm

@@ -1,4 +1,5 @@
-"""Building a Skyway runtime inside a fresh process.
+"""Building a Skyway runtime (and its listening socket) inside a fresh
+process.
 
 ``multiprocessing.spawn`` pickles worker arguments, and a
 :class:`~repro.core.runtime.SkywayRuntime` (heap bytearrays, klass graphs,
@@ -7,11 +8,20 @@ hooks) is not meaningfully picklable — so workers are described by a
 sizing.  Parent and child both call :func:`build_runtime`, which also
 gives tests an identical in-process reference runtime for the
 byte-identical round-trip check.
+
+:func:`bind_listener` is the harness's other bootstrap step: binding the
+server port with a *bounded* retry on address-in-use, so spawning a whole
+fleet of workers on one host never flakes on an ephemeral-port race (a
+just-released port lingering in TIME_WAIT, or two spawns landing on the
+same kernel-chosen port between bind and listen).
 """
 
 from __future__ import annotations
 
+import errno
 import importlib
+import socket
+import time
 from typing import Callable
 
 from repro.core.runtime import SkywayRuntime
@@ -21,6 +31,56 @@ from repro.transport.errors import WorkerStartupError
 from repro.types.classdef import ClassPath
 
 MB = 1024 * 1024
+
+#: errnos that mean "this port is (still) taken" — the transient class
+#: worth retrying; anything else (bad address, permissions) fails fast.
+_BIND_RETRY_ERRNOS = frozenset(
+    e for e in (
+        getattr(errno, "EADDRINUSE", None),
+        getattr(errno, "EADDRNOTAVAIL", None),
+    ) if e is not None
+)
+
+
+def bind_listener(
+    host: str,
+    port: int,
+    attempts: int = 5,
+    backoff: float = 0.05,
+    backlog: int = 8,
+) -> socket.socket:
+    """Bind and listen on ``host:port`` with bounded port-in-use retry.
+
+    Retries only the transient "address in use" class with exponential
+    backoff (``backoff * 2**n`` between tries); the budget is bounded so a
+    genuinely occupied fixed port surfaces as a typed
+    :class:`WorkerStartupError` instead of a hang.  ``port=0`` asks the
+    kernel for an ephemeral port, which can *still* race another process
+    between allocation and listen — the retry covers that case too.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    last_error: Exception = None  # type: ignore[assignment]
+    for attempt in range(attempts):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind((host, port))
+            listener.listen(backlog)
+            return listener
+        except OSError as exc:
+            listener.close()
+            if exc.errno not in _BIND_RETRY_ERRNOS:
+                raise WorkerStartupError(
+                    f"cannot bind {host}:{port}: {exc}"
+                ) from exc
+            last_error = exc
+            if attempt + 1 < attempts:
+                time.sleep(backoff * (2 ** attempt))
+    raise WorkerStartupError(
+        f"port {host}:{port} still in use after {attempts} bind "
+        f"attempt(s): {last_error}"
+    )
 
 
 def resolve_classpath_factory(spec: str) -> Callable[[], ClassPath]:

@@ -208,21 +208,95 @@ class WorkerClient:
             conn.send_frame(frames.TRACE,
                             frames.encode_trace(trace_id, span_id))
 
-    def ping(self, echo=None) -> dict:
+    def call_op(self, op: str, **params) -> dict:
+        """One plain CALL/RESULT op (no DATA stream), trace-propagated.
+        The building block under ping/stats and the fleet control ops."""
         conn = self._require_conn()
+        self._send_trace(conn)
         conn.send_frame(
-            frames.CALL, frames.encode_json({"op": "ping", "echo": echo})
+            frames.CALL, frames.encode_json({"op": op, **params})
         )
         return frames.decode_json(
             conn.expect_frame(frames.RESULT), what="RESULT"
         )
 
+    def ping(self, echo=None) -> dict:
+        return self.call_op("ping", echo=echo)
+
     def stats(self) -> dict:
+        return self.call_op("stats")
+
+    # -- fleet ops (repro.cluster) ----------------------------------------
+
+    def admit_channel(self, channel_id: int) -> dict:
+        """Tell the worker to expect EPOCH frames on ``channel_id`` (the
+        coordinator assigned it); required in strict-channels fleet mode."""
+        return self.call_op("admit_channel", channel_id=channel_id)
+
+    def put_blob(self, key: str, data: bytes,
+                 chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> dict:
+        """Store opaque bytes under ``key`` on the worker (the fleet's
+        shuffle-bucket mirror); the worker answers size + CRC."""
         conn = self._require_conn()
-        conn.send_frame(frames.CALL, frames.encode_json({"op": "stats"}))
-        return frames.decode_json(
-            conn.expect_frame(frames.RESULT), what="RESULT"
-        )
+        with obs.span("wire.put_blob", key=key, bytes=len(data),
+                      destination=f"{self.host}:{self.port}") as sp:
+            self._send_trace(conn)
+            conn.send_frame(
+                frames.CALL,
+                frames.encode_json({"op": "put_blob", "key": key}),
+            )
+            pipeline = ChunkPipeline(
+                conn, chunk_bytes=chunk_bytes, metrics=self.metrics,
+            )
+            try:
+                with self.metrics.phase("traverse+send"):
+                    pipeline.feed(data)
+                    pipeline.finish(len(data), zlib.crc32(data))
+            except TransportError as exc:
+                pipeline.abort()
+                remote = conn.pending_remote_error()
+                if remote is not None:
+                    raise remote from exc
+                raise
+            result = frames.decode_json(
+                conn.expect_frame(frames.RESULT), what="RESULT"
+            )
+            obs.absorb_remote(result, sp)
+        if result.get("crc32") != zlib.crc32(data):
+            raise TransportError(
+                "worker acknowledged a blob with a different CRC"
+            )
+        if self.account_node is not None:
+            self.account_node.account_fetch(
+                len(data), remote=self.account_remote
+            )
+        return result
+
+    def send_peer(self, peer: str, peer_host: str, peer_port: int,
+                  channel_id: int, roots) -> dict:
+        """Ask *this* worker to clone ``roots`` (addresses on its heap)
+        straight into another worker — the peer-to-peer shuffle route."""
+        with obs.span("wire.send_peer", peer=peer, channel=channel_id,
+                      via=f"{self.host}:{self.port}") as sp:
+            result = self.call_op(
+                "send_peer", peer=peer, peer_host=peer_host,
+                peer_port=peer_port, channel_id=channel_id,
+                roots=[int(r) for r in roots],
+            )
+            obs.absorb_remote(result, sp)
+        return result
+
+    def send_blob_peer(self, key: str, peer: str, peer_host: str,
+                       peer_port: int) -> dict:
+        """Ask this worker to push its stored blob ``key`` to a peer."""
+        with obs.span("wire.send_blob_peer", peer=peer, key=key,
+                      via=f"{self.host}:{self.port}") as sp:
+            result = self.call_op(
+                "send_blob_peer", key=key, peer=peer,
+                peer_host=peer_host, peer_port=peer_port,
+            )
+            obs.absorb_remote(result, sp)
+        return result
 
     def begin_graph(
         self,

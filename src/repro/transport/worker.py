@@ -58,17 +58,22 @@ import os
 import socket
 import threading
 import zlib
-from typing import List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro import obs
+from repro.cluster.errors import ClusterProtocolError, PeerGoneError
 from repro.core.streams import IncrementalStreamDecoder
-from repro.delta.channel import DeltaReceiveEndpoint
+from repro.delta.channel import DeltaReceiveEndpoint, DeltaSendChannel
 from repro.delta.wire import FRAME_DELTA, FRAME_FULL, DeltaFrame, parse_frame
 from repro.transport import frames, registry_sync
-from repro.transport.bootstrap import MB, build_runtime
+from repro.transport.bootstrap import MB, bind_listener, build_runtime
 from repro.transport.connection import FrameConnection
 from repro.transport.digest import graph_digest, semantic_graph_digest
-from repro.transport.errors import TransportClosed, TransportError
+from repro.transport.errors import (
+    RemoteWorkerError,
+    TransportClosed,
+    TransportError,
+)
 from repro.transport.metrics import TransportMetrics
 from repro.transport.pipeline import pump_stream
 
@@ -84,6 +89,15 @@ class WorkerSpec:
     read_timeout: float = 10.0
     young_bytes: int = 4 * MB
     old_bytes: int = 64 * MB
+    #: Fleet mode (repro.cluster): when set, the worker registers with the
+    #: coordinator at this address as it comes up and heartbeats from a
+    #: daemon thread until shutdown.
+    coordinator_host: Optional[str] = None
+    coordinator_port: int = 0
+    #: Fleet mode: reject EPOCH frames whose channel id the coordinator
+    #: (via ``admit_channel``) never told this worker to expect.  Channel
+    #: id 0 is rejected unconditionally, strict or not.
+    strict_channels: bool = False
 
 
 class _ConnPump:
@@ -146,6 +160,21 @@ class WorkerServer:
         #: an object placement.
         self._state_lock = threading.Lock()
         self._conn_threads: List[threading.Thread] = []
+        #: Channel ids the coordinator admitted on this worker
+        #: (``admit_channel``); consulted by recv_epoch in strict mode.
+        self._admitted: Set[int] = set()
+        #: Named blob store (``put_blob`` / ``send_blob_peer``): the
+        #: fleet's shuffle-bucket mirror.
+        self._blobs: Dict[str, bytes] = {}
+        #: Peer mode: cached connections and epoch channels *to* other
+        #: workers, keyed so a coordinator re-assignment (fresh channel id
+        #: after a peer restart) naturally opens a fresh channel.
+        self._peer_clients: Dict[Tuple[str, str, int], object] = {}
+        self._peer_channels: Dict[Tuple[str, int], DeltaSendChannel] = {}
+        self.peer_sends = 0
+        #: Set by worker_main in fleet mode; carries the generation the
+        #: coordinator assigned this incarnation.
+        self.membership = None
         #: Structured, attributable diagnostics: one logger per worker id,
         #: level picked up from REPRO_LOG_LEVEL in :func:`worker_main`.
         self.log = logging.getLogger(f"repro.worker.{spec.name}")
@@ -195,11 +224,27 @@ class WorkerServer:
             "crc32": zlib.crc32(bytes(sink.data)),
         }
 
+    def _check_channel_id(self, channel_id: int) -> None:
+        """The mis-route guard: a typed rejection beats a silent placement
+        into the wrong channel state.  Raised *before* any stream byte is
+        pumped, so nothing lands on this heap."""
+        if channel_id == 0:
+            raise ClusterProtocolError(
+                "channel id 0 is reserved coordinator-wide; an EPOCH frame "
+                "naming it can only be a corrupted or misrouted header"
+            )
+        if self.spec.strict_channels and channel_id not in self._admitted:
+            raise ClusterProtocolError(
+                f"EPOCH frame names channel {channel_id}, which the "
+                f"coordinator never admitted on worker {self.spec.name!r}"
+            )
+
     def _op_recv_epoch(self, conn: FrameConnection, call: dict) -> dict:
         header = frames.decode_epoch_header(
             conn.expect_frame(frames.EPOCH)
         )
         channel_id, epoch, kind = header
+        self._check_channel_id(channel_id)
         sink = _BlobSink()
         with self.metrics.phase("receive"), \
                 obs.span("recv.receive", channel=channel_id, epoch=epoch):
@@ -238,12 +283,187 @@ class WorkerServer:
             self.epochs_received += 1
         return result
 
+    # -- fleet ops (repro.cluster) -----------------------------------------
+
+    def _op_admit_channel(self, conn: FrameConnection, call: dict) -> dict:
+        channel_id = int(call.get("channel_id", 0))
+        if channel_id == 0:
+            raise ClusterProtocolError(
+                "cannot admit channel id 0: it is reserved coordinator-wide"
+            )
+        with self._state_lock:
+            self._admitted.add(channel_id)
+        return {"op": "admit_channel", "channel_id": channel_id,
+                "admitted": len(self._admitted)}
+
+    def _op_put_blob(self, conn: FrameConnection, call: dict) -> dict:
+        key = call.get("key")
+        if not key:
+            raise ClusterProtocolError("put_blob requires a non-empty key")
+        sink = _BlobSink()
+        with self.metrics.phase("receive"), obs.span("recv.receive"):
+            pump_stream(conn, sink)
+        data = bytes(sink.data)
+        with self._state_lock:
+            self._blobs[key] = data
+        return {"op": "put_blob", "key": key, "bytes": len(data),
+                "crc32": zlib.crc32(data)}
+
+    def _peer_client(self, peer: str, host: str, port: int):
+        """A cached connection to another fleet worker (peer mode).  A
+        peer that cannot be reached surfaces as :class:`PeerGoneError` —
+        the typed signal the fleet reports to the coordinator."""
+        from repro.transport.client import WorkerClient  # worker<->client cycle
+
+        key = (peer, host, port)
+        client = self._peer_clients.get(key)
+        if client is None:
+            try:
+                client = WorkerClient(
+                    self.runtime, host, port,
+                    node_name=self.spec.name,
+                    connect_attempts=3,
+                    read_timeout=self.spec.read_timeout,
+                ).connect()
+            except TransportError as exc:
+                raise PeerGoneError(
+                    peer, f"cannot connect for a peer send: {exc}"
+                ) from exc
+            self._peer_clients[key] = client
+        return client
+
+    def _drop_peer(self, peer: str) -> None:
+        """Forget every cached connection/channel to a failed peer; the
+        next send (after the coordinator hands out a fresh placement)
+        starts from scratch."""
+        for key in [k for k in self._peer_clients if k[0] == peer]:
+            client = self._peer_clients.pop(key)
+            try:
+                client.close()
+            except Exception:  # noqa: BLE001 - peer is gone, close is courtesy
+                pass
+        for key in [k for k in self._peer_channels if k[0] == peer]:
+            self._peer_channels.pop(key).close()
+
+    def _op_send_blob_peer(self, conn: FrameConnection, call: dict) -> dict:
+        key = call.get("key")
+        peer = call.get("peer", "?")
+        with self._state_lock:
+            data = self._blobs.get(key)
+        if data is None:
+            raise ClusterProtocolError(
+                f"worker {self.spec.name!r} holds no blob under key {key!r}"
+            )
+        with obs.span("cluster.peer_blob", peer=peer, key=key,
+                      bytes=len(data)):
+            client = self._peer_client(
+                peer, call.get("peer_host", "127.0.0.1"),
+                int(call.get("peer_port", 0)),
+            )
+            try:
+                result = client.send_blob(data)
+            except TransportError as exc:
+                self._drop_peer(peer)
+                raise PeerGoneError(
+                    peer, f"peer blob push failed: {exc}"
+                ) from exc
+        self.peer_sends += 1
+        return {"op": "send_blob_peer", "key": key, "peer": peer,
+                "bytes": len(data), "crc32": result["crc32"]}
+
+    def _op_send_peer(self, conn: FrameConnection, call: dict) -> dict:
+        """Peer mode: clone a graph rooted on *this* heap straight into
+        another worker — the shuffle route that never bounces through the
+        driver.  The state lock covers heap reads (digest + framing) but
+        not the wire, so two workers mid-exchange in both directions can
+        never deadlock on each other's receive paths."""
+        peer = call.get("peer", "?")
+        host = call.get("peer_host", "127.0.0.1")
+        port = int(call.get("peer_port", 0))
+        channel_id = int(call.get("channel_id", 0))
+        roots = [int(r) for r in call.get("roots", [])]
+        if channel_id == 0:
+            raise ClusterProtocolError(
+                "send_peer requires a coordinator-assigned channel id"
+            )
+        if not roots:
+            raise ClusterProtocolError(
+                "send_peer requires at least one root"
+            )
+        with obs.span("cluster.peer_send", peer=peer, channel=channel_id,
+                      roots=len(roots)) as sp:
+            client = self._peer_client(peer, host, port)
+            with self._state_lock:
+                chan_key = (peer, channel_id)
+                channel = self._peer_channels.get(chan_key)
+                if channel is None:
+                    channel = DeltaSendChannel(
+                        self.runtime, destination=f"peer:{peer}",
+                        channel_id=channel_id,
+                    )
+                    self._peer_channels[chan_key] = channel
+                with self.metrics.phase("digest"), obs.span("recv.digest"):
+                    sender_digest = semantic_graph_digest(
+                        self.runtime.jvm, roots
+                    )
+                frame = channel.send(roots)
+            nack = False
+            try:
+                try:
+                    result = client.send_epoch(
+                        frame, channel.channel_id, channel.epoch,
+                    )
+                except RemoteWorkerError as exc:
+                    if exc.kind != "DeltaStaleError":
+                        raise
+                    # The peer dropped its channel state (restart, full
+                    # GC); same NACK recovery as the driver-side channel:
+                    # reconnect, force full, resend.
+                    nack = True
+                    client.close()
+                    client.connect()
+                    channel.force_full_next()
+                    with self._state_lock:
+                        frame = channel.send(roots)
+                    result = client.send_epoch(
+                        frame, channel.channel_id, channel.epoch,
+                    )
+            except RemoteWorkerError:
+                raise  # the peer spoke: a typed op failure, not death
+            except TransportError as exc:
+                self._drop_peer(peer)
+                raise PeerGoneError(
+                    peer, f"peer send failed mid-transfer: {exc}"
+                ) from exc
+            decision = channel.last_decision
+            sp.set(mode=decision.mode if decision else "?",
+                   epoch=channel.epoch, nack=nack)
+        self.peer_sends += 1
+        return {
+            "op": "send_peer",
+            "peer": peer,
+            "channel_id": channel.channel_id,
+            "epoch": channel.epoch,
+            "mode": decision.mode if decision else "?",
+            "wire_bytes": len(frame),
+            "roots": result.get("roots", 0),
+            "sender_digest": sender_digest,
+            "digest": result.get("digest"),
+            "digest_match": result.get("digest") == sender_digest,
+            "nack_recovered": nack,
+        }
+
     def _op_stats(self, conn: FrameConnection, call: dict) -> dict:
         return {
             "op": "stats",
             "worker": self.spec.name,
             "graphs_received": self.graphs_received,
             "epochs_received": self.epochs_received,
+            "peer_sends": self.peer_sends,
+            "blobs_stored": len(self._blobs),
+            "channels_admitted": len(self._admitted),
+            "generation": (self.membership.generation
+                           if self.membership is not None else 0),
             "runtime": {
                 k: v for k, v in self.runtime.stats().items()
                 if isinstance(v, (int, str, bool))
@@ -260,6 +480,10 @@ class WorkerServer:
         "recv_graph": _op_recv_graph,
         "recv_blob": _op_recv_blob,
         "recv_epoch": _op_recv_epoch,
+        "admit_channel": _op_admit_channel,
+        "put_blob": _op_put_blob,
+        "send_blob_peer": _op_send_blob_peer,
+        "send_peer": _op_send_peer,
         "stats": _op_stats,
         "shutdown": _op_shutdown,
     }
@@ -415,27 +639,40 @@ def configure_worker_logging() -> None:
 
 
 def worker_main(spec: WorkerSpec, port_pipe) -> None:
-    """Entry point of the spawned process.  Binds, reports the actual port
-    through ``port_pipe``, then serves until shutdown."""
+    """Entry point of the spawned process.  Binds (with the bounded
+    port-in-use retry — fleets spawn many workers on one host), reports
+    the actual port through ``port_pipe``, registers with the coordinator
+    when the spec names one, then serves until shutdown."""
     configure_worker_logging()
-    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener = None
+    membership = None
     try:
         server = WorkerServer(spec)
-        listener.bind((spec.host, spec.port))
-        listener.listen(8)
-        server.log.info("listening on %s:%d",
-                        spec.host, listener.getsockname()[1])
-        port_pipe.send(("ok", listener.getsockname()[1]))
+        listener = bind_listener(spec.host, spec.port)
+        port = listener.getsockname()[1]
+        if spec.coordinator_host:
+            from repro.cluster.membership import WorkerMembership
+
+            membership = WorkerMembership(
+                spec.name, spec.host, port,
+                spec.coordinator_host, spec.coordinator_port,
+            )
+            membership.start()  # raises if the coordinator is unreachable
+            server.membership = membership
+        server.log.info("listening on %s:%d", spec.host, port)
+        port_pipe.send(("ok", port))
     except Exception as exc:  # noqa: BLE001 - parent re-raises as typed error
         try:
             port_pipe.send(("error", f"{type(exc).__name__}: {exc}"))
         finally:
-            listener.close()
+            if listener is not None:
+                listener.close()
         return
     finally:
         port_pipe.close()
     try:
         server.serve_forever(listener)
     finally:
+        if membership is not None:
+            membership.stop()
         listener.close()

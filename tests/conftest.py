@@ -88,6 +88,26 @@ def spawned_worker():
 
 
 @pytest.fixture
+def make_fleet():
+    """Factory for live fleets (coordinator + N worker processes).  Every
+    harness spawned through it is reaped at teardown — no coordinator or
+    worker outlives the test, even when the test body raises."""
+    from repro.cluster.harness import FleetHarness
+
+    harnesses = []
+
+    def _make(size, **kwargs):
+        kwargs.setdefault("name", f"tfleet{len(harnesses)}")
+        harness = FleetHarness(size, **kwargs)
+        harnesses.append(harness)
+        return harness
+
+    yield _make
+    for harness in harnesses:
+        harness.stop()
+
+
+@pytest.fixture
 def transport_driver():
     """A driver-side runtime built from the same recipe workers use."""
     from repro.transport.bootstrap import build_runtime

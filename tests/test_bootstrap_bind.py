@@ -1,0 +1,67 @@
+"""bind_listener: bounded port-in-use retry with exponential backoff."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.transport.bootstrap import bind_listener
+from repro.transport.errors import WorkerStartupError
+
+
+@pytest.fixture
+def occupied_port():
+    """A loopback port held by a live listener for the test's duration."""
+    blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    blocker.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    blocker.bind(("127.0.0.1", 0))
+    blocker.listen(1)
+    yield blocker, blocker.getsockname()[1]
+    blocker.close()
+
+
+class TestBindListener:
+    def test_ephemeral_bind_succeeds(self):
+        listener = bind_listener("127.0.0.1", 0)
+        try:
+            assert listener.getsockname()[1] > 0
+        finally:
+            listener.close()
+
+    def test_occupied_port_fails_typed_after_budget(self, occupied_port):
+        _blocker, port = occupied_port
+        started = time.monotonic()
+        with pytest.raises(WorkerStartupError) as excinfo:
+            bind_listener("127.0.0.1", port, attempts=3, backoff=0.01)
+        # The budget was spent retrying (0.01 + 0.02 between the tries),
+        # and the error names the port and the attempt count.
+        assert time.monotonic() - started >= 0.03
+        assert str(port) in str(excinfo.value)
+        assert "3 bind attempt" in str(excinfo.value)
+
+    def test_port_released_mid_retry_wins(self, occupied_port):
+        blocker, port = occupied_port
+        timer = threading.Timer(0.05, blocker.close)
+        timer.start()
+        try:
+            listener = bind_listener("127.0.0.1", port,
+                                     attempts=8, backoff=0.02)
+        finally:
+            timer.cancel()
+        try:
+            assert listener.getsockname()[1] == port
+        finally:
+            listener.close()
+
+    def test_non_transient_error_fails_fast(self):
+        started = time.monotonic()
+        with pytest.raises(WorkerStartupError):
+            # An unresolvable address is not the retryable class: no
+            # backoff sleeps, one attempt, typed error.
+            bind_listener("256.256.256.256", 0, attempts=5, backoff=1.0)
+        assert time.monotonic() - started < 1.0
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            bind_listener("127.0.0.1", 0, attempts=0)

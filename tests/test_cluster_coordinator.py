@@ -1,0 +1,174 @@
+"""Coordinator protocol tests (LocalCoordinator: in-thread, no spawns).
+
+Covers the membership/channel-assignment contract of §14: registration
+generations, heartbeat liveness, typed errors that keep the connection,
+the reserved channel id, and the coordinator-restart drill where a
+heartbeating worker re-registers against the fresh incarnation.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster import (
+    RESERVED_CHANNEL_ID,
+    ClusterProtocolError,
+    CoordinatorClient,
+    CoordinatorSpec,
+    LocalCoordinator,
+    PeerGoneError,
+    WorkerMembership,
+)
+
+
+def _wait(predicate, timeout=5.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while True:
+        if predicate():
+            return
+        if time.monotonic() > deadline:
+            raise AssertionError("condition never became true")
+        time.sleep(interval)
+
+
+@pytest.fixture
+def coordinator():
+    spec = CoordinatorSpec(name="t-coordinator",
+                           heartbeat_interval=0.05, miss_limit=2)
+    with LocalCoordinator(spec) as coord:
+        yield coord
+
+
+@pytest.fixture
+def client(coordinator):
+    with CoordinatorClient(coordinator.host, coordinator.port) as c:
+        yield c
+
+
+class TestRegistration:
+    def test_register_assigns_monotonic_generations(self, client):
+        g1 = client.call("register", name="w0", port=1)["generation"]
+        g2 = client.call("register", name="w1", port=2)["generation"]
+        assert 0 < g1 < g2
+
+    def test_reregistration_bumps_generation(self, client):
+        first = client.call("register", name="w0", port=1)
+        again = client.call("register", name="w0", port=1)
+        assert not first["reregistered"]
+        assert again["reregistered"]
+        assert again["generation"] > first["generation"]
+
+    def test_register_reports_heartbeat_interval(self, client):
+        result = client.call("register", name="w0", port=1)
+        assert result["heartbeat_interval"] == pytest.approx(0.05)
+
+    def test_lookup_unknown_vs_dead(self, client):
+        assert client.call("lookup", name="ghost")["found"] is False
+        gen = client.call("register", name="w0", port=1)["generation"]
+        client.call("report_dead", name="w0", generation=gen)
+        record = client.call("lookup", name="w0")
+        # A vanished peer answers "dead", never "unknown": senders must be
+        # able to tell a casualty from a name that never existed.
+        assert record["found"] is True
+        assert record["alive"] is False
+
+
+class TestHeartbeats:
+    def test_wrong_generation_is_unknown(self, client):
+        gen = client.call("register", name="w0", port=1)["generation"]
+        assert client.call("heartbeat", name="w0",
+                           generation=gen)["known"] is True
+        assert client.call("heartbeat", name="w0",
+                           generation=gen + 1)["known"] is False
+
+    def test_heartbeat_revives_declared_dead_worker(self, client):
+        gen = client.call("register", name="w0", port=1)["generation"]
+        client.call("report_dead", name="w0", generation=gen)
+        assert client.call("lookup", name="w0")["alive"] is False
+        beat = client.call("heartbeat", name="w0", generation=gen)
+        assert beat["known"] and beat["alive"]
+        assert client.call("lookup", name="w0")["alive"] is True
+
+    def test_silence_marks_dead(self, client):
+        client.call("register", name="w0", port=1)
+        # interval 0.05 x miss_limit 2: silence beyond ~0.1s is death.
+        _wait(lambda: client.call("lookup", name="w0")["alive"] is False)
+        stats = client.call("stats")
+        assert stats["deaths_detected"] >= 1
+
+    def test_stale_death_report_ignored(self, client):
+        client.call("register", name="w0", port=1)
+        fresh = client.call("register", name="w0", port=1)["generation"]
+        stale = client.call("report_dead", name="w0", generation=fresh - 1)
+        assert stale["marked"] is False
+        assert client.call("lookup", name="w0")["alive"] is True
+
+
+class TestChannelAssignment:
+    def test_ids_unique_and_never_reserved(self, client):
+        client.call("register", name="w0", port=1)
+        ids = []
+        for _ in range(3):
+            ids.extend(client.call("alloc_channels", sender="driver",
+                                   receiver="w0", count=4)["channel_ids"])
+        assert len(set(ids)) == len(ids) == 12
+        assert RESERVED_CHANNEL_ID == 0
+        assert RESERVED_CHANNEL_ID not in ids
+
+    def test_alloc_for_unregistered_receiver_is_peer_gone(self, client):
+        with pytest.raises(PeerGoneError) as excinfo:
+            client.call("alloc_channels", sender="driver", receiver="ghost")
+        assert excinfo.value.peer == "ghost"
+
+    def test_alloc_for_dead_receiver_is_peer_gone(self, client):
+        gen = client.call("register", name="w0", port=1)["generation"]
+        client.call("report_dead", name="w0", generation=gen)
+        with pytest.raises(PeerGoneError):
+            client.call("alloc_channels", sender="driver", receiver="w0")
+
+
+class TestTypedErrors:
+    def test_unknown_op_is_protocol_error_and_keeps_connection(self, client):
+        with pytest.raises(ClusterProtocolError):
+            client.call("no-such-op")
+        # Unlike workers, the coordinator answers typed errors without
+        # hanging up: the same connection serves the next call.
+        assert client.call("ping")["op"] == "ping"
+
+    def test_register_without_name_is_protocol_error(self, client):
+        with pytest.raises(ClusterProtocolError):
+            client.call("register")
+        assert client.call("ping")["op"] == "ping"
+
+
+class TestCoordinatorRestart:
+    def test_worker_reregisters_against_fresh_coordinator(self):
+        spec = CoordinatorSpec(name="t-coordinator",
+                               heartbeat_interval=0.05, miss_limit=2)
+        first = LocalCoordinator(spec)
+        membership = WorkerMembership(
+            "w0", "127.0.0.1", 12345, first.host, first.port)
+        try:
+            membership.start()
+            first_generation = membership.generation
+            assert first_generation > 0
+
+            # The coordinator dies and a fresh (empty) one takes over the
+            # same port: the worker's next heartbeat is "unknown", which
+            # must trigger a re-register rather than an error.
+            port = first.port
+            first.stop()
+            replacement = LocalCoordinator(
+                CoordinatorSpec(name="t-coordinator-2", port=port,
+                                heartbeat_interval=0.05, miss_limit=2))
+            try:
+                with CoordinatorClient(replacement.host,
+                                       replacement.port) as probe:
+                    _wait(lambda: probe.call("lookup",
+                                             name="w0").get("alive") is True,
+                          timeout=10.0)
+                assert membership.reregistrations >= 1
+            finally:
+                replacement.stop()
+        finally:
+            membership.stop()
