@@ -20,6 +20,8 @@ Regenerates any of the paper's tables/figures without pytest:
     python -m repro.bench exchange --smoke  # CI parity gate, exits 1 on drift
     python -m repro.bench fleet
     python -m repro.bench fleet --smoke     # 4-worker fabric gate, exits 1
+    python -m repro.bench fanin
+    python -m repro.bench fanin --smoke     # async fan-in gate, exits 1
     python -m repro.bench all
 """
 
@@ -38,6 +40,11 @@ from repro.bench.exchange_experiments import (
     run_exchange_experiment,
 )
 from repro.bench.extra_bytes import average_composition, measure_extra_byte_composition
+from repro.bench.fanin_experiments import (
+    fanin_checks_pass,
+    format_fanin_report,
+    run_fanin_experiment,
+)
 from repro.bench.fleet_experiments import (
     fleet_checks_pass,
     format_fleet_report,
@@ -239,6 +246,29 @@ def cmd_fleet(args) -> None:
         )
 
 
+def cmd_fanin(args) -> None:
+    # Channel counts are fixed per tier (16/128/1024 full, 8/32 smoke):
+    # B-FANIN measures connection fan-in, not graph size, so --scale
+    # deliberately does not apply.
+    result = run_fanin_experiment(smoke=args.smoke)
+    report = format_fanin_report(result)
+    print(report)
+    results_dir = _results_dir()
+    if results_dir.parent.is_dir():  # running from the repo tree
+        results_dir.mkdir(exist_ok=True)
+        (results_dir / "fanin.txt").write_text(report + "\n")
+        (results_dir / "fanin.json").write_text(
+            json.dumps(result, indent=2, sort_keys=True, default=str) + "\n"
+        )
+    if not fanin_checks_pass(result):
+        raise SystemExit(
+            "B-FANIN gate failed: " + "  ".join(
+                f"{name}={'pass' if ok else 'FAIL'}"
+                for name, ok in result["checks"].items()
+            )
+        )
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "fig3": cmd_fig3,
@@ -255,6 +285,7 @@ COMMANDS = {
     "kernels": cmd_kernels,
     "exchange": cmd_exchange,
     "fleet": cmd_fleet,
+    "fanin": cmd_fanin,
 }
 
 
@@ -297,8 +328,8 @@ def main(argv=None) -> int:
     parser.add_argument("--full", action="store_true",
                         help="fig8a: all four graphs (slow)")
     parser.add_argument("--smoke", action="store_true",
-                        help="kernels/exchange/fleet: small graph, fail "
-                             "on parity drift")
+                        help="kernels/exchange/fleet/fanin: reduced "
+                             "workload, fail on parity drift")
     parser.add_argument("--trace", action="store_true",
                         help="run with tracing enabled and write "
                              "<experiment>.trace.json / <experiment>.obs.json "

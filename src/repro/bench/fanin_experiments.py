@@ -1,0 +1,374 @@
+"""B-FANIN — fan-in concurrency: one worker, a thousand delta channels.
+
+The ablation behind the async front-end (:mod:`repro.transport.aserve`).
+Per serve mode (``threads`` = one blocking thread per connection, the
+executable spec; ``async`` = one event loop) and per channel count
+(16/128/1024 full, 8/32 smoke), one worker process receives C concurrent
+delta channels, each carrying its own ~24-node ListNode chain:
+
+* **epoch 1** bootstraps every channel FULL;
+* one field per chain is mutated;
+* **epoch 2** must ride the delta path on every channel.
+
+Both epochs are digest-gated per channel: the worker's reported semantic
+digest must equal the digest the driver computed over its own heap before
+sending — 2·C independent graphs, so any cross-channel mixup in the mux
+demultiplexer shows up as a digest mismatch, not a hang.
+
+Driver strategy differs per arm, deliberately: the ``threads`` arm opens
+C classic connections and drives them from min(C, 64) sender threads
+(the realistic fan-in client a thread-per-connection server implies),
+while the ``async`` arm pipelines all C channels over *one* mux
+connection.  Latency is measured where each protocol defines it —
+whole ``send_epoch`` call for classic, trailer-flush → RESULT for mux —
+so the columns are comparable as "time until the sender holds the ack".
+
+``fanin_checks_pass`` is the CI gate: every digest matches, epoch 2 is
+all-delta, the async worker sustains the largest channel count, and the
+async send wall-clock beats thread-per-connection at that count.
+Results land in ``benchmarks/results/fanin.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.delta.channel import DeltaSendChannel
+from repro.delta.wire import FRAME_DELTA, FRAME_FULL
+from repro.transport.aserve import MuxEpochClient
+from repro.transport.bootstrap import MB, build_runtime
+from repro.transport.client import WorkerClient, WorkerHandle
+from repro.transport.digest import semantic_graph_digest
+from repro.transport.errors import TransportError
+from repro.transport.testing import SAMPLE_FACTORY
+from repro.transport.worker import WorkerSpec
+
+DEFAULT_CHANNELS = (16, 128, 1024)
+SMOKE_CHANNELS = (8, 32)
+#: Nodes per per-channel ListNode chain.  Long enough that mutating one
+#: field keeps the mutation rate well under the delta policy's FULL
+#: crossover, small enough that 1024 chains stay cheap to build.
+LIST_NODES = 24
+#: Cap on concurrent sender threads in the ``threads`` arm; beyond this
+#: a single driver process stops gaining from more senders and the
+#: measurement drowns in scheduler noise.
+SENDER_THREADS = 64
+
+_KIND_NAMES = {FRAME_FULL: "full", FRAME_DELTA: "delta"}
+
+
+def _make_chain(jvm, node_count: int, seed: int) -> int:
+    """One ListNode chain with channel-distinct payloads (so every
+    channel's digest differs — cross-channel mixups can't cancel out)."""
+    head = 0
+    pin = jvm.pin(0)
+    try:
+        for i in reversed(range(node_count)):
+            node = jvm.new_instance("ListNode")
+            jvm.set_field(node, "payload", seed * 1_000 + i)
+            jvm.set_field(node, "next", pin.address)
+            pin.address = node
+            head = node
+        return head
+    finally:
+        jvm.unpin(pin)
+
+
+def _percentile_ms(latencies: Sequence[float], q: float) -> float:
+    """q-th percentile of a latency list, in milliseconds (nearest-rank)."""
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    rank = min(len(ordered) - 1, int(len(ordered) * q))
+    return round(ordered[rank] * 1e3, 3)
+
+
+def _pooled(jobs: List, worker_fn, pool_size: int) -> None:
+    """Run ``worker_fn(index)`` over every job index from a bounded
+    thread pool (round-robin shards keep per-thread work even)."""
+    pool_size = max(1, min(pool_size, len(jobs)))
+    shards = [list(range(i, len(jobs), pool_size)) for i in range(pool_size)]
+    errors: List[BaseException] = []
+
+    def run(shard: List[int]) -> None:
+        for index in shard:
+            try:
+                worker_fn(index)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=run, args=(shard,), daemon=True)
+               for shard in shards]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+def _epoch_jobs(
+    driver, channels: List[DeltaSendChannel], heads: List[int],
+) -> Tuple[List[Tuple[int, int, bytes]], List[str], List[str]]:
+    """Serialize one epoch on every channel (driver-side, untimed) and
+    return (jobs for the wire, expected digests, wire kinds)."""
+    jobs = []
+    expected = []
+    kinds = []
+    for channel, head in zip(channels, heads):
+        frame = channel.send([head])
+        jobs.append((channel.channel_id, channel.epoch, frame))
+        expected.append(semantic_graph_digest(driver.jvm, [head]))
+        kinds.append(_KIND_NAMES.get(frame[0], f"kind-{frame[0]}"))
+    return jobs, expected, kinds
+
+
+def _epoch_row(label: str, wall_s: float, latencies: List[float],
+               digests_ok: int, acked: int, total: int,
+               kinds: List[str]) -> Dict[str, object]:
+    return {
+        "label": label,
+        "wall_s": round(wall_s, 4),
+        "p50_ms": _percentile_ms(latencies, 0.50),
+        "p99_ms": _percentile_ms(latencies, 0.99),
+        "acked": acked,
+        "digests_ok": digests_ok,
+        "channels": total,
+        "modes": sorted(set(kinds)),
+    }
+
+
+def _run_threads_arm(driver, handle, channels, heads,
+                     row: Dict[str, object]) -> None:
+    """C classic connections, min(C, 64) sender threads."""
+    count = len(channels)
+    clients: List[Optional[WorkerClient]] = [None] * count
+
+    started = time.perf_counter()
+
+    def connect(index: int) -> None:
+        client = WorkerClient(driver, handle.host, handle.port,
+                              read_timeout=300.0, connect_attempts=3)
+        client.connect()
+        clients[index] = client
+
+    try:
+        _pooled(list(range(count)), connect, SENDER_THREADS)
+        row["setup_s"] = round(time.perf_counter() - started, 4)
+
+        for label in ("full", "delta"):
+            jobs, expected, kinds = _epoch_jobs(driver, channels, heads)
+            latencies: List[float] = [0.0] * count
+            digests: List[Optional[str]] = [None] * count
+
+            def send(index: int) -> None:
+                channel_id, epoch, frame = jobs[index]
+                t0 = time.perf_counter()
+                result = clients[index].send_epoch(
+                    frame, channel_id, epoch, digest=True)
+                latencies[index] = time.perf_counter() - t0
+                digests[index] = result.get("digest")
+
+            started = time.perf_counter()
+            _pooled(jobs, send, SENDER_THREADS)
+            wall = time.perf_counter() - started
+            acked = sum(1 for d in digests if d is not None)
+            ok = sum(1 for d, e in zip(digests, expected) if d == e)
+            row["epochs"].append(
+                _epoch_row(label, wall, latencies, ok, acked, count, kinds))
+            if label == "full":
+                _mutate(driver, heads)
+    finally:
+        for client in clients:
+            if client is not None:
+                try:
+                    client.close()
+                except TransportError:
+                    pass
+
+
+def _run_async_arm(driver, handle, channels, heads,
+                   row: Dict[str, object]) -> None:
+    """All C channels multiplexed over one connection."""
+    count = len(channels)
+    started = time.perf_counter()
+    mux = MuxEpochClient(driver, handle.host, handle.port,
+                         node_name=driver.jvm.name, read_timeout=300.0,
+                         connect_attempts=3)
+    mux.connect()
+    row["setup_s"] = round(time.perf_counter() - started, 4)
+    try:
+        for label in ("full", "delta"):
+            jobs, expected, kinds = _epoch_jobs(driver, channels, heads)
+            started = time.perf_counter()
+            results = mux.send_epochs(jobs)
+            wall = time.perf_counter() - started
+            latencies = []
+            ok = 0
+            acked = 0
+            for (channel_id, _epoch, _frame), want in zip(jobs, expected):
+                outcome = results.get(channel_id)
+                if outcome is None:
+                    continue
+                acked += 1
+                if outcome["latency_s"] is not None:
+                    latencies.append(outcome["latency_s"])
+                if outcome["result"].get("digest") == want:
+                    ok += 1
+            row["epochs"].append(
+                _epoch_row(label, wall, latencies, ok, acked, count, kinds))
+            if label == "full":
+                _mutate(driver, heads)
+        stats = mux.stats()
+        row["aserve"] = stats.get("aserve")
+    finally:
+        mux.close()
+
+
+def _mutate(driver, heads: List[int]) -> None:
+    """One field per chain — enough to dirty every channel's epoch record
+    while keeping the mutation rate squarely in delta territory."""
+    for head in heads:
+        current = driver.jvm.get_field(head, "payload")
+        driver.jvm.set_field(head, "payload", current + 10_000)
+
+
+def _run_arm(mode: str, count: int, index: int) -> Dict[str, object]:
+    driver = build_runtime(f"fanin-driver-{mode}-{count}", SAMPLE_FACTORY,
+                           old_bytes=256 * MB)
+    pins = []
+    heads = []
+    for i in range(count):
+        head = _make_chain(driver.jvm, LIST_NODES, seed=i + 1)
+        pins.append(driver.jvm.pin(head))
+        heads.append(head)
+    channels = [
+        DeltaSendChannel(driver, f"fanin-{mode}-{count}",
+                         channel_id=i + 1)
+        for i in range(count)
+    ]
+
+    handle = WorkerHandle.spawn(WorkerSpec(
+        name=f"fanin-{mode}-{count}",
+        classpath_factory=SAMPLE_FACTORY,
+        serve_mode=mode,
+        read_timeout=300.0,
+        old_bytes=256 * MB,
+        listen_backlog=2048,
+    ), startup_timeout=60.0)
+
+    row: Dict[str, object] = {
+        "mode": mode, "channels": count, "epochs": [],
+    }
+    try:
+        if mode == "async":
+            _run_async_arm(driver, handle, channels, heads, row)
+        else:
+            _run_threads_arm(driver, handle, channels, heads, row)
+    finally:
+        handle.stop()
+        for channel in channels:
+            channel.close()
+        for pin in pins:
+            driver.jvm.unpin(pin)
+
+    row["send_wall_s"] = round(
+        sum(e["wall_s"] for e in row["epochs"]), 4)
+    row["digests_ok"] = all(
+        e["digests_ok"] == e["channels"] for e in row["epochs"])
+    row["sustained"] = all(
+        e["acked"] == e["channels"] for e in row["epochs"])
+    return row
+
+
+def run_fanin_experiment(
+    channel_counts: Optional[Sequence[int]] = None,
+    smoke: bool = False,
+) -> Dict[str, object]:
+    """Returns a JSON-serializable result dict (see module docstring)."""
+    if channel_counts is None:
+        channel_counts = SMOKE_CHANNELS if smoke else DEFAULT_CHANNELS
+    rows = []
+    for index, count in enumerate(channel_counts):
+        for mode in ("threads", "async"):
+            rows.append(_run_arm(mode, count, index))
+    return {
+        "channel_counts": list(channel_counts),
+        "list_nodes": LIST_NODES,
+        "smoke": smoke,
+        "rows": rows,
+        "checks": _checks(rows, max(channel_counts)),
+    }
+
+
+def _checks(rows: List[Dict[str, object]],
+            max_count: int) -> Dict[str, bool]:
+    by_arm = {(r["mode"], r["channels"]): r for r in rows}
+    threads_max = by_arm.get(("threads", max_count))
+    async_max = by_arm.get(("async", max_count))
+    return {
+        "digests_match_sender": all(r["digests_ok"] for r in rows),
+        "every_channel_acked": all(r["sustained"] for r in rows),
+        "epoch2_rides_delta": all(
+            r["epochs"][1]["modes"] == ["delta"] for r in rows
+            if len(r["epochs"]) > 1),
+        "async_sustains_max_fanin": bool(
+            async_max is not None and async_max["sustained"]
+            and async_max["digests_ok"]),
+        "async_beats_threads_at_max": bool(
+            threads_max is not None and async_max is not None
+            and async_max["send_wall_s"] < threads_max["send_wall_s"]),
+    }
+
+
+def fanin_checks_pass(result: Dict[str, object]) -> bool:
+    return all(result["checks"].values())
+
+
+def format_fanin_report(result: Dict[str, object]) -> str:
+    lines = [
+        "B-FANIN — one worker, C concurrent delta channels: "
+        "thread-per-connection vs async event loop",
+        f"  {result['list_nodes']}-node chain per channel; channel counts "
+        f"{result['channel_counts']}; epoch 1 FULL, epoch 2 delta",
+        "",
+        f"  {'mode':>8} {'ch':>5} {'setup_s':>8} "
+        f"{'fullW_s':>8} {'fp50_ms':>8} {'fp99_ms':>8} "
+        f"{'dltW_s':>8} {'dp50_ms':>8} {'dp99_ms':>8} "
+        f"{'digest':>7}",
+    ]
+    for row in result["rows"]:
+        full, delta = row["epochs"][0], row["epochs"][1]
+        digest = "ok" if row["digests_ok"] and row["sustained"] else "FAIL"
+        lines.append(
+            f"  {row['mode']:>8} {row['channels']:>5} "
+            f"{row['setup_s']:>8.3f} "
+            f"{full['wall_s']:>8.3f} {full['p50_ms']:>8.2f} "
+            f"{full['p99_ms']:>8.2f} "
+            f"{delta['wall_s']:>8.3f} {delta['p50_ms']:>8.2f} "
+            f"{delta['p99_ms']:>8.2f} {digest:>7}"
+        )
+    aserve = next(
+        (r.get("aserve") for r in reversed(result["rows"])
+         if r.get("aserve")), None)
+    if aserve:
+        lines += [
+            "",
+            f"  async loop (largest run): "
+            f"{aserve.get('epochs_applied', 0)} epochs applied, "
+            f"{aserve.get('reads_paused_total', 0)} read pauses, "
+            f"queue-wait p50 "
+            f"{aserve.get('queue_wait_p50_s', 0.0) * 1e3:.2f} ms / p99 "
+            f"{aserve.get('queue_wait_p99_s', 0.0) * 1e3:.2f} ms",
+        ]
+    lines += [
+        "",
+        "  checks: " + "  ".join(
+            f"{name}={'pass' if ok else 'FAIL'}"
+            for name, ok in result["checks"].items()
+        ),
+    ]
+    return "\n".join(lines)

@@ -28,6 +28,7 @@ Two pieces live here, both used from *inside* other processes:
 from __future__ import annotations
 
 import os
+import random
 import threading
 from typing import Optional
 
@@ -135,6 +136,11 @@ class WorkerMembership:
     """Register this process with the coordinator and heartbeat from a
     daemon thread until stopped."""
 
+    #: Fractional jitter on the heartbeat period (±20%).  N workers
+    #: spawned in one burst would otherwise beat the coordinator in
+    #: lockstep forever; jitter decorrelates the fleet within a few beats.
+    HEARTBEAT_JITTER = 0.2
+
     def __init__(
         self,
         worker_name: str,
@@ -142,12 +148,16 @@ class WorkerMembership:
         worker_port: int,
         coordinator_host: str,
         coordinator_port: int,
+        connect_timeout: float = 2.0,
+        connect_attempts: int = 5,
     ) -> None:
         self.worker_name = worker_name
         self.worker_host = worker_host
         self.worker_port = worker_port
         self.coordinator_host = coordinator_host
         self.coordinator_port = coordinator_port
+        self.connect_timeout = connect_timeout
+        self.connect_attempts = connect_attempts
         self.generation = 0
         self.heartbeat_interval = 0.2
         self.heartbeats_sent = 0
@@ -155,6 +165,9 @@ class WorkerMembership:
         self._client: Optional[CoordinatorClient] = None
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        # Per-instance PRNG: jitter needs no cross-worker coordination,
+        # and an own Random keeps tests free to seed it.
+        self._rng = random.Random()
 
     # -- registration ------------------------------------------------------
 
@@ -162,6 +175,8 @@ class WorkerMembership:
         if self._client is None:
             self._client = CoordinatorClient(
                 self.coordinator_host, self.coordinator_port,
+                connect_timeout=self.connect_timeout,
+                attempts=self.connect_attempts,
             )
         return self._client
 
@@ -208,15 +223,31 @@ class WorkerMembership:
         except (PeerGoneError, ClusterProtocolError):
             self._drop_client()
 
+    def next_wait(self) -> float:
+        """The next heartbeat period: the coordinator-dictated interval
+        ±:data:`HEARTBEAT_JITTER`.  Both the daemon-thread loop and the
+        async worker's event loop schedule beats through this."""
+        spread = self.heartbeat_interval * self.HEARTBEAT_JITTER
+        return self.heartbeat_interval + self._rng.uniform(-spread, spread)
+
+    def beat_once(self) -> None:
+        """One liveness exchange, reconnecting/re-registering as needed.
+        Never raises — a dead coordinator costs one dropped client and the
+        next beat retries.  This is the unit the async event loop calls on
+        its own cadence (no membership thread in that mode)."""
+        if self._stop.is_set():
+            return
+        if self._client is None:
+            try:
+                self.register()
+            except CoordinatorUnavailableError:
+                self._drop_client()
+                return
+        self._beat_once()
+
     def _loop(self) -> None:
-        while not self._stop.wait(self.heartbeat_interval):
-            if self._client is None:
-                try:
-                    self.register()
-                except CoordinatorUnavailableError:
-                    self._drop_client()
-                    continue
-            self._beat_once()
+        while not self._stop.wait(self.next_wait()):
+            self.beat_once()
 
     def start(self) -> None:
         """Register (raising if the coordinator is unreachable at startup)

@@ -14,6 +14,14 @@ on the worker heap, epoch gap) answers an ERROR frame naming
 that remote kind, reconnects, forces the next epoch full, and resends —
 one ``send()`` call, two wire frames, receipt flagged
 ``nack_recovered=True``.
+
+The channel also speaks the async worker's multiplexed sub-protocol:
+construct it with a :class:`~repro.transport.aserve.MuxEpochClient`
+instead of a :class:`WorkerClient` and each epoch ships as EPOCH +
+MUX_DATA + MUX_TRAILER over the shared connection.  NACK recovery gets
+*cheaper* there — a stale channel comes back as a per-channel ``ok=false``
+RESULT, the connection survives, and recovery is just the forced-full
+resend (no reconnect).
 """
 
 from __future__ import annotations
@@ -30,20 +38,23 @@ from repro.exchange.capabilities import (
 from repro.exchange.channel import GraphChannel, SendReceipt, collect_roots
 from repro.exchange.errors import ExchangeConfigError
 from repro.simtime import Category
+from repro.transport.aserve import MuxEpochClient
 from repro.transport.client import WorkerClient
 from repro.transport.errors import RemoteWorkerError
 from repro.transport.pipeline import DEFAULT_CHUNK_BYTES, DEFAULT_QUEUE_CHUNKS
 
 
 class SocketGraphChannel(GraphChannel):
-    """One sending endpoint bound to a worker connection."""
+    """One sending endpoint bound to a worker connection — classic
+    (:class:`WorkerClient`, one op at a time) or multiplexed
+    (:class:`MuxEpochClient`, sharing the async worker's socket)."""
 
     substrate = "socket"
 
     def __init__(
         self,
         runtime: SkywayRuntime,
-        client: WorkerClient,
+        client: "WorkerClient | MuxEpochClient",
         requested: ChannelCapabilities = DEFAULT_REQUEST,
         policy=None,
         channel_id: Optional[int] = None,
@@ -77,7 +88,7 @@ class SocketGraphChannel(GraphChannel):
             use_kernels=self.capabilities.kernel,
         )
 
-    def rebind(self, client: WorkerClient) -> None:
+    def rebind(self, client: "WorkerClient | MuxEpochClient") -> None:
         """Point this channel at a replacement connection (typically to a
         restarted worker).  The epoch record is kept: the next delta will
         draw the fresh worker's NACK and converge through the forced-full
@@ -90,7 +101,7 @@ class SocketGraphChannel(GraphChannel):
             )
         self.client = client
 
-    def recover(self, client: WorkerClient,
+    def recover(self, client: "WorkerClient | MuxEpochClient",
                 channel_id: Optional[int] = None) -> None:
         """Rebind to a replacement worker incarnation (the fleet restart
         path): point at the new connection and, when the coordinator
@@ -122,11 +133,14 @@ class SocketGraphChannel(GraphChannel):
         except RemoteWorkerError as exc:
             if exc.kind != "DeltaStaleError":
                 raise
-            # The worker closed the connection after the ERROR frame, so
-            # recovery is reconnect first, forced-full resend second.
             nack = True
-            self.client.close()
-            self.client.connect()
+            if not isinstance(self.client, MuxEpochClient):
+                # The worker closed the connection after the ERROR frame,
+                # so recovery is reconnect first, forced-full resend
+                # second.  A mux NACK is a per-channel RESULT — the
+                # connection survives and the resend goes straight out.
+                self.client.close()
+                self.client.connect()
             channel.force_full_next()
             with clock.phase(Category.SERIALIZATION):
                 frame = channel.send(roots)
@@ -149,6 +163,12 @@ class SocketGraphChannel(GraphChannel):
 
     def _ship(self, frame: bytes, channel: DeltaSendChannel,
               digest: bool) -> dict:
+        if isinstance(self.client, MuxEpochClient):
+            # Chunking is the mux client's own (configured at
+            # construction); the classic pipeline knobs don't apply.
+            return self.client.send_epoch(
+                frame, channel.channel_id, channel.epoch, digest=digest,
+            )
         return self.client.send_epoch(
             frame, channel.channel_id, channel.epoch, digest=digest,
             **self._send_opts,

@@ -18,6 +18,11 @@ Entry points:
 * the typed error taxonomy in :mod:`repro.transport.errors`.
 """
 
+from repro.transport.aserve import (
+    AsyncWorkerServer,
+    LocalAsyncWorker,
+    MuxEpochClient,
+)
 from repro.transport.client import WorkerClient, WorkerHandle
 from repro.transport.connection import FrameConnection, connect_with_retry
 from repro.transport.digest import graph_digest, semantic_graph_digest
@@ -37,16 +42,25 @@ from repro.transport.pipeline import (
     ChunkPipeline,
     pump_stream,
 )
-from repro.transport.worker import WorkerServer, WorkerSpec, worker_main
+from repro.transport.worker import (
+    SERVE_MODES,
+    WorkerServer,
+    WorkerSpec,
+    worker_main,
+)
 
 __all__ = [
+    "AsyncWorkerServer",
     "ChunkPipeline",
     "DEFAULT_CHUNK_BYTES",
     "DEFAULT_QUEUE_CHUNKS",
     "FrameConnection",
     "FrameCorruptionError",
     "HandshakeError",
+    "LocalAsyncWorker",
+    "MuxEpochClient",
     "RemoteWorkerError",
+    "SERVE_MODES",
     "TransportClosed",
     "TransportError",
     "TransportMetrics",

@@ -75,6 +75,12 @@ class FrameConnection:
         except OSError:  # pragma: no cover - e.g. AF_UNIX
             pass
 
+    @property
+    def raw_socket(self) -> socket.socket:
+        """The underlying socket (tests assert its options; don't read or
+        write through it behind the framing layer's back)."""
+        return self._sock
+
     # -- sending -----------------------------------------------------------
 
     def send_frame(self, ftype: int, payload: bytes = b"") -> None:

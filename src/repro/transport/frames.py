@@ -71,11 +71,23 @@ EPOCH = 9
 #: worker that never sees one simply doesn't trace.  Worker spans travel
 #: back inside the RESULT JSON under the ``"trace"`` key.
 TRACE = 10
+#: Multiplexed stream chunk (async front-end): a varint channel id
+#: followed by raw stream bytes.  Unlike DATA, which belongs to *the*
+#: op in flight on the connection, MUX_DATA frames are self-describing —
+#: chunks from many channels interleave freely on one socket and the
+#: worker's per-channel state machine reassembles each stream.
+MUX_DATA = 11
+#: Completes one multiplexed stream: channel id + the same totals a
+#: TRAILER carries (total bytes, whole-stream CRC, chunk count).  The
+#: worker answers each completed channel with its own RESULT (tagged
+#: ``channel_id``), possibly out of order with other channels.
+MUX_TRAILER = 12
 
 FRAME_NAMES = {
     HELLO: "HELLO", HELLO_ACK: "HELLO_ACK", DATA: "DATA",
     TRAILER: "TRAILER", ERROR: "ERROR", CALL: "CALL",
     RESULT: "RESULT", BYE: "BYE", EPOCH: "EPOCH", TRACE: "TRACE",
+    MUX_DATA: "MUX_DATA", MUX_TRAILER: "MUX_TRAILER",
 }
 
 
@@ -212,6 +224,37 @@ def decode_epoch_header(payload: bytes) -> Tuple[int, int, int]:
     def parse(inp: ByteInputStream):
         return inp.read_varint(), inp.read_varint(), inp.read_u8()
     return _wrap_decode(parse, payload, "EPOCH")
+
+
+def encode_mux_data(channel_id: int, chunk: bytes) -> bytes:
+    out = ByteOutputStream()
+    out.write_varint(channel_id)
+    out.write_bytes(chunk)
+    return out.getvalue()
+
+
+def decode_mux_data(payload: bytes) -> Tuple[int, bytes]:
+    def parse(inp: ByteInputStream):
+        channel_id = inp.read_varint()
+        return channel_id, inp.read_bytes(inp.remaining)
+    return _wrap_decode(parse, payload, "MUX_DATA")
+
+
+def encode_mux_trailer(channel_id: int, total_bytes: int,
+                       stream_crc: int, chunks: int) -> bytes:
+    out = ByteOutputStream()
+    out.write_varint(channel_id)
+    out.write_varint(total_bytes)
+    out.write_u32(stream_crc)
+    out.write_varint(chunks)
+    return out.getvalue()
+
+
+def decode_mux_trailer(payload: bytes) -> Tuple[int, int, int, int]:
+    def parse(inp: ByteInputStream):
+        return (inp.read_varint(), inp.read_varint(),
+                inp.read_u32(), inp.read_varint())
+    return _wrap_decode(parse, payload, "MUX_TRAILER")
 
 
 def encode_trace(trace_id: str, span_id: str) -> bytes:

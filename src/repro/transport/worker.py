@@ -78,6 +78,14 @@ from repro.transport.metrics import TransportMetrics
 from repro.transport.pipeline import pump_stream
 
 
+#: The two worker front-ends.  ``async`` (the default) serves every
+#: connection from one selector event loop (:mod:`repro.transport.aserve`)
+#: and scales to thousands of concurrent channels; ``threads`` is the
+#: original thread-per-connection server kept as the executable spec —
+#: bytes, digests, and clock accounting are identical between the two.
+SERVE_MODES = ("async", "threads")
+
+
 @dataclasses.dataclass
 class WorkerSpec:
     """Everything a spawned worker needs, in picklable form."""
@@ -89,6 +97,13 @@ class WorkerSpec:
     read_timeout: float = 10.0
     young_bytes: int = 4 * MB
     old_bytes: int = 64 * MB
+    #: Which front-end serves connections: ``"async"`` (one event loop) or
+    #: ``"threads"`` (one thread per connection, the executable spec).
+    serve_mode: str = "async"
+    #: Listen backlog.  The async loop accepts thousands of near-
+    #: simultaneous connects (B-FANIN opens them in a burst), so the
+    #: default is far above ``bind_listener``'s conservative 8.
+    listen_backlog: int = 128
     #: Fleet mode (repro.cluster): when set, the worker registers with the
     #: coordinator at this address as it comes up and heartbeats from a
     #: daemon thread until shutdown.
@@ -187,13 +202,28 @@ class WorkerServer:
 
     def _op_recv_graph(self, conn: FrameConnection, call: dict) -> dict:
         lock = self._state_lock
-        with lock:
-            decoder = IncrementalStreamDecoder(self.runtime)
+        decoder = self.start_recv_graph()
         pump = _ConnPump(conn)
         with self.metrics.phase("receive"), \
                 obs.span("recv.receive", clock=self.runtime.jvm.clock):
             pump.pump(_LockedDecoder(decoder, lock))
-        with lock:
+        return self.complete_recv_graph(
+            decoder, pump.stream_bytes, retain=bool(call.get("retain", False))
+        )
+
+    def start_recv_graph(self) -> IncrementalStreamDecoder:
+        """A fresh stream decoder for one ``recv_graph``; every ``feed``
+        must run under the state lock (``_LockedDecoder``) unless the
+        caller is the single-threaded event loop."""
+        with self._state_lock:
+            return IncrementalStreamDecoder(self.runtime)
+
+    def complete_recv_graph(self, decoder: IncrementalStreamDecoder,
+                            stream_bytes: int, retain: bool) -> dict:
+        """Everything after the last chunk: finish placement, digest,
+        tally, unpin.  Shared by the threaded and async front-ends so
+        results (and heap effects) are identical."""
+        with self._state_lock:
             roots = decoder.finish()
             receiver = decoder.receiver
             token = self.runtime.track_input_buffer(receiver, roots)
@@ -204,12 +234,12 @@ class WorkerServer:
                 "roots": len(roots),
                 "objects": receiver.objects_received,
                 "logical_bytes": receiver.buffer.logical_size,
-                "stream_bytes": pump.stream_bytes,
+                "stream_bytes": stream_bytes,
                 "digest": digest,
-                "retained": bool(call.get("retain", False)),
+                "retained": retain,
             }
             self.graphs_received += 1
-            if not call.get("retain", False):
+            if not retain:
                 # unpin roots; GC reclaims on future pressure
                 self.runtime.free_input_buffer(token)
         return result
@@ -218,10 +248,13 @@ class WorkerServer:
         sink = _BlobSink()
         with self.metrics.phase("receive"), obs.span("recv.receive"):
             pump_stream(conn, sink)
+        return self.complete_recv_blob(bytes(sink.data))
+
+    def complete_recv_blob(self, data: bytes) -> dict:
         return {
             "op": "recv_blob",
-            "bytes": len(sink.data),
-            "crc32": zlib.crc32(bytes(sink.data)),
+            "bytes": len(data),
+            "crc32": zlib.crc32(data),
         }
 
     def _check_channel_id(self, channel_id: int) -> None:
@@ -249,7 +282,19 @@ class WorkerServer:
         with self.metrics.phase("receive"), \
                 obs.span("recv.receive", channel=channel_id, epoch=epoch):
             stream_bytes = pump_stream(conn, sink)
-        data = bytes(sink.data)
+        return self.complete_recv_epoch(
+            channel_id, epoch, kind, bytes(sink.data), stream_bytes,
+            digest=call.get("digest", True),
+        )
+
+    def complete_recv_epoch(self, channel_id: int, epoch: int, kind: int,
+                            data: bytes, stream_bytes: int,
+                            digest: bool = True) -> dict:
+        """Apply one reassembled epoch frame: header cross-check, delta
+        endpoint routing, digest.  Shared by the threaded op (after
+        ``pump_stream``) and the async loop (after mux reassembly); a
+        :class:`DeltaStaleError` propagates to the caller, which turns it
+        into the NACK the sender reacts to."""
         with self._state_lock:
             frame = parse_frame(data)
             actual_kind = (FRAME_DELTA if isinstance(frame, DeltaFrame)
@@ -275,7 +320,7 @@ class WorkerServer:
                 "root_addresses": list(roots),
                 "stream_bytes": stream_bytes,
             }
-            if call.get("digest", True):
+            if digest:
                 with self.metrics.phase("digest"), obs.span("recv.digest"):
                     result["digest"] = semantic_graph_digest(
                         self.runtime.jvm, roots
@@ -303,7 +348,9 @@ class WorkerServer:
         sink = _BlobSink()
         with self.metrics.phase("receive"), obs.span("recv.receive"):
             pump_stream(conn, sink)
-        data = bytes(sink.data)
+        return self.complete_put_blob(key, bytes(sink.data))
+
+    def complete_put_blob(self, key: str, data: bytes) -> dict:
         with self._state_lock:
             self._blobs[key] = data
         return {"op": "put_blob", "key": key, "bytes": len(data),
@@ -454,9 +501,10 @@ class WorkerServer:
         }
 
     def _op_stats(self, conn: FrameConnection, call: dict) -> dict:
-        return {
+        result = {
             "op": "stats",
             "worker": self.spec.name,
+            "serve_mode": self.spec.serve_mode,
             "graphs_received": self.graphs_received,
             "epochs_received": self.epochs_received,
             "peer_sends": self.peer_sends,
@@ -470,6 +518,12 @@ class WorkerServer:
             },
             "transport": self.metrics.as_dict(),
         }
+        # The async front-end (aserve) hooks its loop counters in here so
+        # one stats op covers both serve modes.
+        aserve_stats = getattr(self, "aserve_stats", None)
+        if aserve_stats is not None:
+            result["aserve"] = aserve_stats()
+        return result
 
     def _op_shutdown(self, conn: FrameConnection, call: dict) -> dict:
         self._running = False
@@ -642,14 +696,33 @@ def worker_main(spec: WorkerSpec, port_pipe) -> None:
     """Entry point of the spawned process.  Binds (with the bounded
     port-in-use retry — fleets spawn many workers on one host), reports
     the actual port through ``port_pipe``, registers with the coordinator
-    when the spec names one, then serves until shutdown."""
+    when the spec names one, then serves until shutdown.
+
+    ``spec.serve_mode`` picks the front-end: the selector event loop
+    (``"async"``, one thread for every connection, heartbeats included) or
+    the thread-per-connection server (``"threads"``, the executable spec,
+    with the membership heartbeat on its own daemon thread).
+    """
     configure_worker_logging()
+    if spec.serve_mode not in SERVE_MODES:
+        port_pipe.send(("error",
+                        f"WorkerStartupError: unknown serve_mode "
+                        f"{spec.serve_mode!r} (expected one of "
+                        f"{'/'.join(SERVE_MODES)})"))
+        port_pipe.close()
+        return
     listener = None
     membership = None
+    loop = None
     try:
         server = WorkerServer(spec)
-        listener = bind_listener(spec.host, spec.port)
+        listener = bind_listener(spec.host, spec.port,
+                                 backlog=spec.listen_backlog)
         port = listener.getsockname()[1]
+        if spec.serve_mode == "async":
+            from repro.transport.aserve import AsyncWorkerServer
+
+            loop = AsyncWorkerServer(server)
         if spec.coordinator_host:
             from repro.cluster.membership import WorkerMembership
 
@@ -657,9 +730,17 @@ def worker_main(spec: WorkerSpec, port_pipe) -> None:
                 spec.name, spec.host, port,
                 spec.coordinator_host, spec.coordinator_port,
             )
-            membership.start()  # raises if the coordinator is unreachable
+            if loop is not None:
+                # One process, one loop: register now (raises if the
+                # coordinator is unreachable), then the event loop owns
+                # the heartbeat cadence — no membership thread.
+                membership.register()
+                loop.attach_membership(membership)
+            else:
+                membership.start()  # raises if unreachable
             server.membership = membership
-        server.log.info("listening on %s:%d", spec.host, port)
+        server.log.info("listening on %s:%d (%s)",
+                        spec.host, port, spec.serve_mode)
         port_pipe.send(("ok", port))
     except Exception as exc:  # noqa: BLE001 - parent re-raises as typed error
         try:
@@ -671,7 +752,10 @@ def worker_main(spec: WorkerSpec, port_pipe) -> None:
     finally:
         port_pipe.close()
     try:
-        server.serve_forever(listener)
+        if loop is not None:
+            loop.serve_forever(listener)
+        else:
+            server.serve_forever(listener)
     finally:
         if membership is not None:
             membership.stop()

@@ -1,0 +1,238 @@
+"""The async worker front-end: classic-protocol parity with the threaded
+worker, the multiplexed epoch sub-protocol, per-channel failure isolation
+(a stale delta NACKs one channel, the connection survives), and the
+``serve_mode`` dispatch in ``worker_main``."""
+
+import pytest
+
+from repro.transport import (
+    LocalAsyncWorker,
+    MuxEpochClient,
+    RemoteWorkerError,
+    WorkerClient,
+    WorkerHandle,
+    WorkerSpec,
+    WorkerStartupError,
+    semantic_graph_digest,
+)
+from repro.delta.channel import DeltaSendChannel
+from repro.exchange import ChannelCapabilities, SocketGraphChannel
+from repro.transport.testing import SAMPLE_FACTORY
+
+from tests.conftest import make_list, read_list
+
+DELTA_REQUEST = ChannelCapabilities(kernel=True, delta=True)
+
+
+def _spawn(mode: str, name: str) -> WorkerHandle:
+    return WorkerHandle.spawn(WorkerSpec(
+        name=name, classpath_factory=SAMPLE_FACTORY, serve_mode=mode,
+    ))
+
+
+class TestServeModeDispatch:
+    def test_unknown_serve_mode_fails_startup(self):
+        with pytest.raises(WorkerStartupError, match="serve_mode"):
+            WorkerHandle.spawn(WorkerSpec(
+                name="bad-mode", classpath_factory=SAMPLE_FACTORY,
+                serve_mode="fibers",
+            ))
+
+    def test_threaded_mode_remains_the_executable_spec(
+            self, transport_driver):
+        """``serve_mode="threads"`` still serves the classic protocol —
+        the thread-per-connection worker is the spec the event loop is
+        measured against, not dead code."""
+        handle = _spawn("threads", "spec-worker")
+        client = WorkerClient(
+            transport_driver, handle.host, handle.port).connect()
+        channel = DeltaSendChannel(
+            transport_driver, "spec-worker", channel_id=3001)
+        try:
+            assert client.ping()["worker"] == "spec-worker"
+            head = make_list(transport_driver.jvm, range(12))
+            result = client.send_epoch(
+                channel.send([head]), 3001, channel.epoch)
+            assert result["digest"] == semantic_graph_digest(
+                transport_driver.jvm, [head])
+            assert "aserve" not in client.stats()
+            channel.close()
+        finally:
+            client.close()
+            handle.stop()
+
+
+class TestClassicParityOnAsync:
+    def test_classic_ops_over_the_event_loop(self, transport_driver):
+        """A stock ``WorkerClient`` cannot tell the front-ends apart:
+        ping, graph send (digest-gated), and blob round-trip all behave
+        identically against the async loop."""
+        handle = _spawn("async", "async-worker")
+        client = WorkerClient(
+            transport_driver, handle.host, handle.port).connect()
+        channel = DeltaSendChannel(
+            transport_driver, "async-worker", channel_id=3002)
+        try:
+            assert client.ping(echo="hi")["echo"] == "hi"
+            head = make_list(transport_driver.jvm, range(20))
+            result = client.send_epoch(
+                channel.send([head]), 3002, channel.epoch)
+            assert result["digest"] == semantic_graph_digest(
+                transport_driver.jvm, [head])
+            blob = client.send_blob(b"x" * 100_000)
+            assert blob["bytes"] == 100_000
+            stats = client.stats()
+            aserve = stats["aserve"]
+            assert aserve["conns_accepted"] >= 1
+            assert aserve["conns_open"] >= 1
+            channel.close()
+        finally:
+            client.close()
+            handle.stop()
+
+    def test_local_async_worker_serves_in_process(self, transport_driver):
+        """``LocalAsyncWorker`` runs the same loop on a daemon thread —
+        no process spawn — and stops cleanly."""
+        spec = WorkerSpec(name="local-async",
+                          classpath_factory=SAMPLE_FACTORY)
+        with LocalAsyncWorker(spec) as local:
+            client = WorkerClient(
+                transport_driver, local.host, local.port).connect()
+            channel = DeltaSendChannel(
+                transport_driver, "local-async", channel_id=3003)
+            try:
+                head = make_list(transport_driver.jvm, range(8))
+                result = client.send_epoch(
+                    channel.send([head]), 3003, channel.epoch)
+                assert result["digest"] == semantic_graph_digest(
+                    transport_driver.jvm, [head])
+            finally:
+                channel.close()
+                client.close()
+
+
+class TestMuxEpochs:
+    def test_concurrent_channels_full_then_delta(self, transport_driver):
+        """A dozen channels pipelined over one connection: every FULL
+        bootstraps, every DELTA applies, and each channel's worker-side
+        digest matches the digest of *that* channel's sender graph."""
+        driver = transport_driver
+        handle = _spawn("async", "mux-worker")
+        mux = MuxEpochClient(driver, handle.host, handle.port).connect()
+        heads, channels, pins = [], [], []
+        for i in range(12):
+            head = make_list(driver.jvm, range(i * 100, i * 100 + 24))
+            pins.append(driver.jvm.pin(head))
+            heads.append(head)
+            channels.append(DeltaSendChannel(
+                driver, "mux-worker", channel_id=9000 + i))
+        try:
+            for expected_mode in ("full", "delta"):
+                jobs, want = [], {}
+                for channel, head in zip(channels, heads):
+                    frame = channel.send([head])
+                    jobs.append((channel.channel_id, channel.epoch, frame))
+                    want[channel.channel_id] = semantic_graph_digest(
+                        driver.jvm, [head])
+                    assert channel.last_decision.mode == expected_mode
+                results = mux.send_epochs(jobs)
+                assert set(results) == set(want)
+                for channel_id, outcome in results.items():
+                    assert outcome["result"]["ok"], outcome
+                    assert outcome["result"]["digest"] == want[channel_id]
+                    assert outcome["latency_s"] is not None
+                for head in heads:
+                    value = driver.jvm.get_field(head, "payload")
+                    driver.jvm.set_field(head, "payload", value + 1)
+        finally:
+            mux.close()
+            handle.stop()
+            for channel in channels:
+                channel.close()
+            for pin in pins:
+                driver.jvm.unpin(pin)
+
+    def test_stale_channel_fails_alone_connection_survives(
+            self, transport_driver):
+        """Replaying an applied delta NACKs *that channel* as an
+        ``ok=false`` RESULT naming ``DeltaStaleError``; unlike the classic
+        protocol, the connection stays up — the same socket keeps serving
+        other channels and classic ops."""
+        driver = transport_driver
+        handle = _spawn("async", "nack-worker")
+        mux = MuxEpochClient(driver, handle.host, handle.port).connect()
+        head = make_list(driver.jvm, range(24))
+        pin = driver.jvm.pin(head)
+        channel = DeltaSendChannel(driver, "nack-worker", channel_id=4242)
+        try:
+            mux.send_epoch(channel.send([head]), 4242, channel.epoch)
+            driver.jvm.set_field(head, "payload", 777)
+            delta = channel.send([head])
+            assert channel.last_decision.mode == "delta"
+            mux.send_epoch(delta, 4242, channel.epoch)
+
+            with pytest.raises(RemoteWorkerError) as excinfo:
+                mux.send_epoch(delta, 4242, channel.epoch)
+            assert excinfo.value.kind == "DeltaStaleError"
+
+            # Same connection, next breath: classic op and a fresh
+            # channel both still work.
+            assert mux.call_op("ping")["worker"] == "nack-worker"
+            other = DeltaSendChannel(driver, "nack-worker",
+                                     channel_id=4243)
+            result = mux.send_epoch(other.send([head]), 4243, other.epoch)
+            assert result["digest"] == semantic_graph_digest(
+                driver.jvm, [head])
+            other.close()
+        finally:
+            mux.close()
+            handle.stop()
+            channel.close()
+            driver.jvm.unpin(pin)
+
+    def test_exchange_channel_rides_mux_and_recovers_without_reconnect(
+            self, transport_driver):
+        """``SocketGraphChannel`` over a ``MuxEpochClient``: FULL then
+        DELTA receipts as on a classic connection, and NACK recovery
+        resends forced-full *on the same socket* (no reconnect)."""
+        driver = transport_driver
+        handle = _spawn("async", "xchg-mux-worker")
+        mux = MuxEpochClient(driver, handle.host, handle.port).connect()
+        head = make_list(driver.jvm, range(24))
+        pin = driver.jvm.pin(head)
+        channel = SocketGraphChannel(
+            driver, mux, requested=DELTA_REQUEST, channel_id=5151,
+            destination="xchg-mux",
+        )
+        try:
+            first = channel.send([head], digest=True)
+            assert first.mode == "full"
+            assert first.digest == semantic_graph_digest(
+                driver.jvm, [head])
+            driver.jvm.set_field(head, "payload", 99)
+            second = channel.send([head], digest=True)
+            assert second.mode == "delta" and not second.nack_recovered
+
+            # Reset the worker's channel state out of band: a fresh FULL
+            # at epoch 1 makes the exchange channel's next delta a gap.
+            intruder = DeltaSendChannel(driver, "xchg-mux-worker",
+                                        channel_id=5151)
+            mux.send_epoch(intruder.send([head]), 5151, intruder.epoch)
+            intruder.close()
+
+            sock_before = mux._sock
+            driver.jvm.set_field(head, "payload", 100)
+            recovered = channel.send([head], digest=True)
+            assert recovered.nack_recovered
+            assert recovered.mode == "full"
+            assert recovered.digest == semantic_graph_digest(
+                driver.jvm, [head])
+            assert mux._sock is sock_before  # no reconnect happened
+
+            driver.jvm.set_field(head, "payload", 101)
+            assert channel.send([head]).mode == "delta"
+        finally:
+            channel.close()
+            mux.close()
+            handle.stop()
+            driver.jvm.unpin(pin)

@@ -172,3 +172,31 @@ class TestCoordinatorRestart:
                 replacement.stop()
         finally:
             membership.stop()
+
+
+class TestHeartbeatJitter:
+    def test_next_wait_spreads_within_twenty_percent(self):
+        """N workers spawned in one burst must not beat the coordinator
+        in lockstep: every heartbeat period is the coordinator-dictated
+        interval ±20%, and the samples genuinely spread."""
+        import random
+
+        membership = WorkerMembership(
+            "jitter-w", "127.0.0.1", 1, "127.0.0.1", 2)
+        membership.heartbeat_interval = 1.0
+        membership._rng = random.Random(1234)
+        waits = [membership.next_wait() for _ in range(500)]
+        assert all(0.8 <= w <= 1.2 for w in waits)
+        assert max(waits) - min(waits) > 0.2  # not a constant cadence
+
+    def test_jitter_tracks_coordinator_interval(self):
+        """The spread scales with the interval the coordinator dictated
+        at registration, not a hard-coded default."""
+        import random
+
+        membership = WorkerMembership(
+            "jitter-w2", "127.0.0.1", 1, "127.0.0.1", 2)
+        membership.heartbeat_interval = 0.05
+        membership._rng = random.Random(99)
+        waits = [membership.next_wait() for _ in range(200)]
+        assert all(0.04 <= w <= 0.06 for w in waits)
