@@ -59,6 +59,7 @@ is timed out.
 
 from __future__ import annotations
 
+import select
 import selectors
 import socket
 import threading
@@ -127,15 +128,16 @@ class _ReadyEpoch:
     """A reassembled epoch waiting for its turn on the heap."""
 
     __slots__ = ("channel_id", "epoch", "kind", "data", "stream_bytes",
-                 "enqueued")
+                 "digest", "enqueued")
 
     def __init__(self, channel_id: int, epoch: int, kind: int,
-                 data: bytes, stream_bytes: int) -> None:
+                 data: bytes, stream_bytes: int, digest: bool) -> None:
         self.channel_id = channel_id
         self.epoch = epoch
         self.kind = kind
         self.data = data
         self.stream_bytes = stream_bytes
+        self.digest = digest
         self.enqueued = time.perf_counter()
 
 
@@ -169,6 +171,7 @@ class _AsyncConn:
         self.trace_pending: Optional[Tuple[str, str]] = None
         self.op_trace: Optional[Tuple[str, str]] = None
         # multiplexed state
+        self.mux_trace: Optional[Tuple[str, str]] = None
         self.mux_open: Dict[int, _MuxStream] = {}
         self.ready: deque = deque()
         self.pending_per_channel: Dict[int, int] = {}
@@ -429,14 +432,14 @@ class AsyncWorkerServer:
                 self._close_conn(conn)
             return
         if ftype == frames.TRACE:
-            # Enable (or re-point) the worker tracer right away — in mux
-            # mode there is no CALL to defer to, and the apply spans
-            # should land under this trace.  Parent adoption for a classic
-            # CALL happens at op time (:meth:`_finish_call`).
-            trace_id, parent_span = frames.decode_trace(payload)
-            obs.enable(process=f"worker:{self.core.spec.name}",
-                       trace_id=trace_id or None)
-            conn.trace_pending = (trace_id, parent_span)
+            # Record, don't enable: the tracer is process-global and the
+            # loop serves many connections, so it is (re-)pointed at a
+            # connection's trace only around that connection's own work —
+            # a classic CALL at op time (:meth:`_finish_call`), a mux
+            # apply at apply time (:meth:`_apply_one`).  Queued applies
+            # from other traced connections keep their own trace ids.
+            conn.trace_pending = frames.decode_trace(payload)
+            conn.mux_trace = conn.trace_pending
             return
         if conn.mode == _STREAM:
             self._on_stream_frame(conn, ftype, payload)
@@ -634,7 +637,8 @@ class AsyncWorkerServer:
             self._maybe_pause(conn)
 
     def _mux_trailer(self, conn: _AsyncConn, payload: bytes) -> None:
-        channel_id, total, crc, chunks = frames.decode_mux_trailer(payload)
+        channel_id, total, crc, chunks, digest = \
+            frames.decode_mux_trailer(payload)
         stream = conn.mux_open.get(channel_id)
         if stream is None:
             raise TransportError(
@@ -643,6 +647,7 @@ class AsyncWorkerServer:
             )
         del conn.mux_open[channel_id]
         if stream.error is not None:
+            self.epoch_failures += 1
             kind, message = stream.error
             conn.send_frame(frames.RESULT, frames.encode_json({
                 "op": "recv_epoch", "ok": False, "channel_id": channel_id,
@@ -660,7 +665,7 @@ class AsyncWorkerServer:
             )
         conn.ready.append(_ReadyEpoch(
             channel_id, stream.epoch, stream.kind, bytes(stream.buf),
-            received,
+            received, digest,
         ))
         conn.pending_per_channel[channel_id] = \
             conn.pending_per_channel.get(channel_id, 0) + 1
@@ -726,13 +731,22 @@ class AsyncWorkerServer:
             conn.pending_per_channel[item.channel_id] = left
         else:
             conn.pending_per_channel.pop(item.channel_id, None)
+        tracer = None
+        if conn.mux_trace is not None:
+            # Point the process-global tracer at *this connection's*
+            # trace for the duration of the apply, so interleaved applies
+            # from other traced connections don't land under it.
+            trace_id, parent_span = conn.mux_trace
+            tracer = obs.enable(process=f"worker:{self.core.spec.name}",
+                                trace_id=trace_id or None)
+            tracer.adopt_remote(parent_span or None)
         try:
             with obs.span("aserve.apply", channel=item.channel_id,
                           epoch=item.epoch, queue_wait_s=wait,
                           clock=self.core.runtime.jvm.clock):
                 result = self.core.complete_recv_epoch(
                     item.channel_id, item.epoch, item.kind, item.data,
-                    item.stream_bytes, digest=True,
+                    item.stream_bytes, digest=item.digest,
                 )
             result["ok"] = True
             result["queue_wait_s"] = wait
@@ -744,6 +758,9 @@ class AsyncWorkerServer:
                 "channel_id": item.channel_id, "epoch": item.epoch,
                 "error_kind": type(exc).__name__, "error": str(exc),
             }
+        finally:
+            if tracer is not None:
+                tracer.clear_remote()
         try:
             conn.send_frame(frames.RESULT, frames.encode_json(result))
         except TransportError:  # pragma: no cover - oversized result
@@ -929,7 +946,13 @@ class MuxEpochClient:
 
     def _recv_frame(self, timeout: Optional[float]) -> Optional[Tuple[int, bytes]]:
         """One frame; ``timeout=0`` polls (returns None when nothing is
-        buffered or readable), otherwise blocks up to ``timeout``."""
+        buffered or readable), otherwise blocks up to ``timeout``.
+
+        Polling probes readability with ``select`` rather than zeroing
+        the socket timeout: the socket must stay blocking so that
+        ``sendall`` survives a full kernel send buffer — the stall the
+        worker's backpressure deliberately creates — instead of raising
+        ``BlockingIOError`` after a partial write."""
         sock = self._require_sock()
         while True:
             frame = self._decoder.next_frame()
@@ -938,7 +961,11 @@ class MuxEpochClient:
                     frames.HEADER_BYTES + len(frame[1])
                 )
                 return frame
-            sock.settimeout(timeout)
+            if timeout == 0.0:
+                if not select.select([sock], [], [], 0.0)[0]:
+                    return None
+            else:
+                sock.settimeout(timeout)
             try:
                 data = sock.recv(256 * 1024)
             except (BlockingIOError, socket.timeout) as exc:
@@ -1000,11 +1027,17 @@ class MuxEpochClient:
     ) -> Dict[int, dict]:
         """Ship many epochs concurrently over the one connection.
 
-        ``epochs`` is an iterable of ``(channel_id, epoch, frame_bytes)``.
-        Frames interleave round-robin across channels (in-order within
-        each channel — the only ordering the worker requires); pass an
-        ``rng`` (anything with ``randrange``) to randomize the
-        interleaving instead, which is how the fuzz test splices.
+        ``epochs`` is an iterable of ``(channel_id, epoch, frame_bytes)``
+        or ``(channel_id, epoch, frame_bytes, digest)`` tuples (``digest``
+        defaults to True and rides the MUX_TRAILER flags byte).  Frames
+        interleave round-robin across channels (in-order within each
+        channel — the only ordering the worker requires); pass an ``rng``
+        (anything with ``randrange``) to randomize the interleaving
+        instead, which is how the fuzz test splices.
+
+        Each channel may appear at most once per call: the worker allows
+        one open mux stream per channel, and results are keyed by channel
+        id — ship a channel's successive epochs in successive calls.
 
         Returns ``{channel_id: {"result": <worker RESULT>,
         "latency_s": <trailer-sent → result-read>}}``.  ``ok=false``
@@ -1013,7 +1046,17 @@ class MuxEpochClient:
         """
         epochs = list(epochs)
         queues: List[List[Tuple[int, bytes]]] = []
-        for channel_id, epoch, frame_bytes in epochs:
+        expected: set = set()
+        for entry in epochs:
+            channel_id, epoch, frame_bytes = entry[:3]
+            digest = entry[3] if len(entry) > 3 else True
+            if channel_id in expected:
+                raise TransportError(
+                    f"send_epochs got channel {channel_id} more than once "
+                    f"in one call; a channel allows one open mux stream "
+                    f"at a time — ship its epochs in successive calls"
+                )
+            expected.add(channel_id)
             per = [(0, frames.encode_frame(
                 frames.EPOCH,
                 frames.encode_epoch_header(
@@ -1032,7 +1075,7 @@ class MuxEpochClient:
                 frames.MUX_TRAILER,
                 frames.encode_mux_trailer(
                     channel_id, len(frame_bytes),
-                    zlib.crc32(frame_bytes), chunks),
+                    zlib.crc32(frame_bytes), chunks, digest=digest),
             )))
             queues.append(per)
         self._sync_registry()
@@ -1040,7 +1083,6 @@ class MuxEpochClient:
 
         results: Dict[int, dict] = {}
         sent_at: Dict[int, float] = {}
-        expected = {channel_id for channel_id, _e, _f in epochs}
         out = bytearray()
 
         def drain(timeout: float) -> None:
@@ -1119,7 +1161,7 @@ class MuxEpochClient:
         they do on a classic connection (minus the connection teardown:
         the mux socket survives, no reconnect needed)."""
         outcome = self.send_epochs(
-            [(channel_id, epoch, frame_bytes)]
+            [(channel_id, epoch, frame_bytes, digest)]
         )[channel_id]
         result = outcome["result"]
         if not result.get("ok", False):

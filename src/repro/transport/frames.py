@@ -240,20 +240,36 @@ def decode_mux_data(payload: bytes) -> Tuple[int, bytes]:
     return _wrap_decode(parse, payload, "MUX_DATA")
 
 
+#: MUX_TRAILER flags bit: the worker computes (and returns) the semantic
+#: digest of the applied epoch's roots.  The classic recv_epoch op carries
+#: the same choice in its CALL JSON; mux streams have no CALL, so the
+#: trailer is the carrier.
+MUX_FLAG_DIGEST = 0x01
+
+
 def encode_mux_trailer(channel_id: int, total_bytes: int,
-                       stream_crc: int, chunks: int) -> bytes:
+                       stream_crc: int, chunks: int,
+                       digest: bool = True) -> bytes:
     out = ByteOutputStream()
     out.write_varint(channel_id)
     out.write_varint(total_bytes)
     out.write_u32(stream_crc)
     out.write_varint(chunks)
+    out.write_u8(MUX_FLAG_DIGEST if digest else 0)
     return out.getvalue()
 
 
-def decode_mux_trailer(payload: bytes) -> Tuple[int, int, int, int]:
+def decode_mux_trailer(payload: bytes) -> Tuple[int, int, int, int, bool]:
     def parse(inp: ByteInputStream):
-        return (inp.read_varint(), inp.read_varint(),
-                inp.read_u32(), inp.read_varint())
+        channel_id = inp.read_varint()
+        total_bytes = inp.read_varint()
+        stream_crc = inp.read_u32()
+        chunks = inp.read_varint()
+        # Flags byte is optional on the wire: a trailer without one (an
+        # older sender) means digest, matching recv_epoch's default.
+        flags = inp.read_u8() if inp.remaining else MUX_FLAG_DIGEST
+        return (channel_id, total_bytes, stream_crc, chunks,
+                bool(flags & MUX_FLAG_DIGEST))
     return _wrap_decode(parse, payload, "MUX_TRAILER")
 
 

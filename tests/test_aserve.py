@@ -9,6 +9,7 @@ from repro.transport import (
     LocalAsyncWorker,
     MuxEpochClient,
     RemoteWorkerError,
+    TransportError,
     WorkerClient,
     WorkerHandle,
     WorkerSpec,
@@ -189,6 +190,98 @@ class TestMuxEpochs:
             handle.stop()
             channel.close()
             driver.jvm.unpin(pin)
+
+    def test_digest_false_rides_the_trailer_flag(self, transport_driver):
+        """``digest=False`` is honored over mux exactly as over a classic
+        connection: the worker skips the digest pass and the RESULT
+        carries no ``"digest"`` key."""
+        driver = transport_driver
+        handle = _spawn("async", "nodigest-worker")
+        mux = MuxEpochClient(driver, handle.host, handle.port).connect()
+        head = make_list(driver.jvm, range(10))
+        channel = DeltaSendChannel(driver, "nodigest-worker",
+                                   channel_id=6001)
+        try:
+            skipped = mux.send_epoch(channel.send([head]), 6001,
+                                     channel.epoch, digest=False)
+            assert skipped["ok"] and "digest" not in skipped
+            driver.jvm.set_field(head, "payload", 5)
+            computed = mux.send_epoch(channel.send([head]), 6001,
+                                      channel.epoch, digest=True)
+            assert computed["digest"] == semantic_graph_digest(
+                driver.jvm, [head])
+        finally:
+            mux.close()
+            handle.stop()
+            channel.close()
+
+    def test_duplicate_channel_in_one_call_is_rejected(
+            self, transport_driver):
+        """Two epochs for one channel in a single ``send_epochs`` call is
+        a caller error (the worker allows one open mux stream per channel
+        and results are keyed by channel id) — rejected up front, before
+        any frame goes out, so the connection stays usable."""
+        driver = transport_driver
+        handle = _spawn("async", "dup-worker")
+        mux = MuxEpochClient(driver, handle.host, handle.port).connect()
+        head = make_list(driver.jvm, range(6))
+        channel = DeltaSendChannel(driver, "dup-worker", channel_id=6002)
+        try:
+            frame = channel.send([head])
+            with pytest.raises(TransportError, match="more than once"):
+                mux.send_epochs([(6002, channel.epoch, frame),
+                                 (6002, channel.epoch + 1, frame)])
+            result = mux.send_epoch(frame, 6002, channel.epoch)
+            assert result["ok"]
+        finally:
+            mux.close()
+            handle.stop()
+            channel.close()
+
+    def test_poll_drain_leaves_socket_blocking(self, transport_driver):
+        """The mid-send result drain polls with ``select``, never by
+        zeroing the socket timeout — a non-blocking socket would turn the
+        backpressure stall ``sendall`` is expected to ride out into
+        ``BlockingIOError``."""
+        driver = transport_driver
+        handle = _spawn("async", "blocking-worker")
+        mux = MuxEpochClient(driver, handle.host, handle.port).connect()
+        head = make_list(driver.jvm, range(6))
+        channel = DeltaSendChannel(driver, "blocking-worker",
+                                   channel_id=6003)
+        try:
+            mux.send_epochs([(6003, channel.epoch,
+                              channel.send([head]))])
+            assert mux._sock.gettimeout() == mux._read_timeout
+        finally:
+            mux.close()
+            handle.stop()
+            channel.close()
+
+    def test_admission_failure_counts_as_epoch_failure(
+            self, transport_driver):
+        """A strict worker refusing an unadmitted channel at the EPOCH
+        header answers ``ok=false`` at the trailer *and* counts it in
+        ``stats()["aserve"]["epoch_failures"]``, same as an apply-time
+        failure."""
+        driver = transport_driver
+        handle = WorkerHandle.spawn(WorkerSpec(
+            name="strict-mux-worker", classpath_factory=SAMPLE_FACTORY,
+            serve_mode="async", strict_channels=True,
+        ))
+        mux = MuxEpochClient(driver, handle.host, handle.port).connect()
+        head = make_list(driver.jvm, range(6))
+        channel = DeltaSendChannel(driver, "strict-mux-worker",
+                                   channel_id=6004)
+        try:
+            with pytest.raises(RemoteWorkerError) as excinfo:
+                mux.send_epoch(channel.send([head]), 6004, channel.epoch)
+            assert excinfo.value.kind == "ClusterProtocolError"
+            assert mux.stats()["aserve"]["epoch_failures"] == 1
+        finally:
+            mux.close()
+            handle.stop()
+            channel.close()
 
     def test_exchange_channel_rides_mux_and_recovers_without_reconnect(
             self, transport_driver):
