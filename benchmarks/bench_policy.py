@@ -1,0 +1,40 @@
+"""B-POLICY — the adaptive send-policy plane vs the static corners.
+
+Per operating point (mutation rate x wire pacing x stream cap): four
+channels — adaptive, always-delta, always-full, always-full[N] — each
+driven by the same plan-execution dispatch against one spawned socket
+worker.  The gate: the adaptive policy matches or beats the best static
+mode in wire bytes AND wall-clock at every point (delta at 1% mutation,
+parallel-N full at 100% on the paced wire, single-stream restraint on the
+fast wire, capability clamp at cap 1), with every decision recorded.
+"""
+
+from repro.bench.policy_experiments import (
+    format_policy_report,
+    policy_checks_pass,
+    run_policy_experiment,
+)
+
+from conftest import bench_scale, emit_json, publish
+
+
+def test_policy_plane_end_to_end(benchmark):
+    vertices = max(500, int(4_000 * bench_scale()))
+    result = benchmark.pedantic(
+        lambda: run_policy_experiment(vertices=vertices),
+        rounds=1, iterations=1,
+    )
+
+    publish("policy", format_policy_report(result))
+    emit_json("policy", result)
+
+    checks = result["checks"]
+    assert checks["adaptive_matches_best_bytes"], (
+        "the adaptive policy shipped more wire bytes than the best "
+        "static mode at some operating point"
+    )
+    assert checks["adaptive_matches_best_seconds"], (
+        "the adaptive policy's wall-clock fell behind the best static "
+        "mode at some operating point"
+    )
+    assert policy_checks_pass(result), f"B-POLICY gate failed: {checks}"

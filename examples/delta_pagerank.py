@@ -2,11 +2,12 @@
 """Delta transfer: ship an iterative algorithm's state as epochs.
 
 Builds a heap-resident vertex graph on the Spark driver, distributes it to
-the workers once (a FULL epoch), then runs incremental PageRank — each
-superstep mutates ~2% of the vertex objects in place, and ``push()`` ships
-only what the write barrier saw change (DELTA epochs).  The last push
-mutates everything, so the channel's fallback policy reverts to a plain
-full send on its own.
+the workers through the one send front door — ``sc.send(graph)`` — and
+runs incremental PageRank.  Nobody picks a transfer mode here: the policy
+plane plans each worker's epoch from live signals.  The first push goes
+FULL (no receiver state), each ~2%-mutation superstep ships DELTA (only
+what the write barrier saw change), and when the last step mutates every
+vertex the adaptive policy reverts to a plain full send on its own.
 
 Run:  python examples/delta_pagerank.py
 """
@@ -33,7 +34,7 @@ def main() -> None:
                       worker_count=2)
     attach_skyway(cluster.driver.jvm,
                   [w.jvm for w in cluster.workers], cluster=cluster)
-    sc = SparkContext(cluster, SkywaySerializer(delta=True))
+    sc = SparkContext(cluster, SkywaySerializer())
 
     # 2. The algorithm state lives on the driver heap: one DeltaVertex per
     #    vertex, mutated in place through the typed field API.
@@ -42,8 +43,8 @@ def main() -> None:
     graph = build_vertex_graph(driver, edges)
     pagerank = IncrementalPageRank(driver, graph)
 
-    # 3. Distribute once, then push per superstep.
-    broadcast = sc.delta_broadcast(graph)
+    # 3. One front door, no mode flags: the engine plans every epoch.
+    broadcast = sc.send(graph)
     report = broadcast.push()
     full_bytes = report.wire_bytes
     print(f"epoch 1 bootstrap : {report.wire_bytes:>7} bytes "

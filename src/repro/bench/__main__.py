@@ -22,6 +22,8 @@ Regenerates any of the paper's tables/figures without pytest:
     python -m repro.bench fleet --smoke     # 4-worker fabric gate, exits 1
     python -m repro.bench fanin
     python -m repro.bench fanin --smoke     # async fan-in gate, exits 1
+    python -m repro.bench policy
+    python -m repro.bench policy --smoke    # adaptive-policy gate, exits 1
     python -m repro.bench all
 """
 
@@ -57,6 +59,11 @@ from repro.bench.kernel_experiments import (
     run_kernel_experiment,
 )
 from repro.bench.memory import measure_baddr_overhead
+from repro.bench.policy_experiments import (
+    format_policy_report,
+    policy_checks_pass,
+    run_policy_experiment,
+)
 from repro.bench.report import (
     format_breakdown_table,
     format_bytes_table,
@@ -269,6 +276,29 @@ def cmd_fanin(args) -> None:
         )
 
 
+def cmd_policy(args) -> None:
+    # --scale 0.02 maps to the full 4k-vertex graph; --smoke shrinks it
+    # and drops the scenario sweep to the two headline operating points.
+    vertices = max(500, int(round(4_000 * args.scale / 0.02)))
+    result = run_policy_experiment(vertices=vertices, smoke=args.smoke)
+    report = format_policy_report(result)
+    print(report)
+    results_dir = _results_dir()
+    if results_dir.parent.is_dir():  # running from the repo tree
+        results_dir.mkdir(exist_ok=True)
+        (results_dir / "policy.txt").write_text(report + "\n")
+        (results_dir / "policy.json").write_text(
+            json.dumps(result, indent=2, sort_keys=True, default=str) + "\n"
+        )
+    if not policy_checks_pass(result):
+        raise SystemExit(
+            "B-POLICY gate failed: " + "  ".join(
+                f"{name}={'pass' if ok else 'FAIL'}"
+                for name, ok in result["checks"].items()
+            )
+        )
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "fig3": cmd_fig3,
@@ -286,6 +316,7 @@ COMMANDS = {
     "exchange": cmd_exchange,
     "fleet": cmd_fleet,
     "fanin": cmd_fanin,
+    "policy": cmd_policy,
 }
 
 
@@ -328,7 +359,7 @@ def main(argv=None) -> int:
     parser.add_argument("--full", action="store_true",
                         help="fig8a: all four graphs (slow)")
     parser.add_argument("--smoke", action="store_true",
-                        help="kernels/exchange/fleet/fanin: reduced "
+                        help="kernels/exchange/fleet/fanin/policy: reduced "
                              "workload, fail on parity drift")
     parser.add_argument("--trace", action="store_true",
                         help="run with tracing enabled and write "

@@ -1,0 +1,378 @@
+"""B-POLICY — the adaptive send-policy plane, measured against the corners.
+
+The policy plane's claim: one engine, fed live channel signals (card-table
+dirty fraction, measured wire bandwidth, per-channel history), matches or
+beats the best *hand-picked* static mode at every operating point — with
+no per-call mode flag anywhere.  This experiment sweeps the operating
+points and holds that claim as a gate:
+
+* one spawned socket worker, one heap-resident vertex graph per scenario,
+  partitioned under K pinned shard holders — disjoint root subgraphs, so
+  ``parallel-N`` plans are executable and FULL epochs stay wire-bound
+  (per-root framing overhead would otherwise swamp the paced wire);
+* scenarios sweep mutation rate (1% → 100%), wire pacing (2 Mb/s vs
+  unpaced) and the negotiated stream cap (4 vs 1);
+* per scenario, four channels — adaptive, always-delta, always-full,
+  always-full[N] — each driven by the *same* plan-execution dispatch:
+  ``plan_next`` → ``parallel-N`` plans route to the multi-stream sender,
+  everything else goes down the epoch channel with the plan attached.
+
+Epoch 1 bootstraps every channel (always FULL, untimed — it also feeds the
+engine's bandwidth EWMA from the real paced wire); one PageRank superstep
+mutates the scenario's fraction; epoch 2 is the measured epoch.
+``policy_checks_pass`` gates: adaptive within 6% + 512 B of the best
+static's bytes and within 35% + 0.25 s of its wall-clock at every point,
+delta at 1%, not-delta at 100%, streams never exceeding the negotiated
+cap, and single-stream receiver digests identical across policies.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.incremental import (
+    GRAPH_CLASS,
+    IncrementalPageRank,
+    _vertex,
+    build_vertex_graph,
+)
+from repro.bench.exchange_experiments import irregular_edges
+from repro.core.runtime import SkywayRuntime
+from repro.exchange import ChannelCapabilities, SocketGraphChannel
+from repro.policy import (
+    AdaptivePolicy,
+    AlwaysDelta,
+    AlwaysFull,
+    DecisionTable,
+)
+from repro.transport import WorkerClient, WorkerHandle, WorkerSpec
+from repro.transport.bootstrap import MB, build_runtime
+from repro.transport.metrics import TransportMetrics
+from repro.transport.parallel import ParallelGraphSender
+from repro.transport.testing import SAMPLE_FACTORY
+
+DEFAULT_VERTICES = 4_000
+SMOKE_VERTICES = 1_000
+#: Slow enough that a FULL resync's wire time dominates its serialization
+#: time (the regime where stream fan-out pays); the smoke tier pairs its
+#: smaller graph with a slower wire to stay in the same regime.
+DEFAULT_WIRE_MBPS = 2.0
+SMOKE_WIRE_MBPS = 0.5
+#: Disjoint root subgraphs per scenario (the ``parallel-N`` shard unit).
+SHARD_HOLDERS = 8
+
+#: (mutation fraction, wire Mb/s or None for unpaced, negotiated stream cap)
+DEFAULT_SCENARIOS: Tuple[Tuple[float, Optional[float], int], ...] = (
+    (0.01, DEFAULT_WIRE_MBPS, 4),
+    (0.10, DEFAULT_WIRE_MBPS, 4),
+    (1.0, DEFAULT_WIRE_MBPS, 4),
+    (1.0, None, 4),
+    (1.0, DEFAULT_WIRE_MBPS, 1),
+)
+SMOKE_SCENARIOS: Tuple[Tuple[float, Optional[float], int], ...] = (
+    (0.01, SMOKE_WIRE_MBPS, 4),
+    (1.0, SMOKE_WIRE_MBPS, 4),
+)
+
+#: Adaptive tuned to the testbed: a full resync whose estimated wire time
+#: exceeds 1.2 s fans out.  The paced wires sit well above the threshold
+#: (≈1.6 s estimated), the unpaced wire well below it — so the sweep shows
+#: both the fan-out *and* the restraint.
+PARALLEL_WIRE_SECONDS = 1.2
+
+BYTES_TOLERANCE = 1.06
+BYTES_SLACK = 512
+SECONDS_TOLERANCE = 1.35
+SECONDS_SLACK = 0.25
+
+
+def _policies(cap: int) -> Dict[str, DecisionTable]:
+    """The contenders: the adaptive engine vs every static corner the
+    negotiated cap allows."""
+    policies: Dict[str, DecisionTable] = {
+        "adaptive": AdaptivePolicy(
+            parallel_wire_seconds=PARALLEL_WIRE_SECONDS),
+        "always_delta": AlwaysDelta(),
+        "always_full": AlwaysFull(),
+    }
+    if cap > 1:
+        policies[f"always_full_{cap}"] = AlwaysFull(streams=cap)
+    return policies
+
+
+def _shard_holders(driver: SkywayRuntime, graph: int, shards: int):
+    """Partition the graph's vertices under ``shards`` pinned DeltaGraph
+    holders (round-robin slices).  Each holder is a disjoint root subgraph
+    — vertices reference neighbours by long id, not by pointer — so a
+    ``parallel-N`` plan can ship the holders over independent streams
+    while delta epochs still patch the same vertex objects in place."""
+    jvm = driver.jvm
+    n = jvm.get_field(graph, "n")
+    pins = []
+    for s in range(shards):
+        ids = list(range(s, n, shards))
+        holder = jvm.new_instance(GRAPH_CLASS)
+        pin = jvm.pin(holder)
+        arr = jvm.new_array("Ljava.lang.Object;", len(ids))
+        jvm.set_field(pin.address, "vertices", arr)
+        jvm.set_field(pin.address, "n", len(ids))
+        for i, vid in enumerate(ids):
+            # Allocation above may have GC-moved either array: re-read
+            # both through pinned roots before installing the reference.
+            slot = jvm.get_field(pin.address, "vertices")
+            jvm.heap.write_element(slot, i, _vertex(jvm, graph, vid))
+        pins.append(pin)
+    return pins
+
+
+def _parallel_fanout(
+    client: WorkerClient,
+    roots: Sequence[int],
+    streams: int,
+    wire_mbps: Optional[float],
+):
+    """Execute a ``parallel-N`` plan: N interleaved streams, each with its
+    own connection and (paced) wire — the §4.2 dispatch the plan asks for."""
+    extras: List[WorkerClient] = []
+    try:
+        for _ in range(streams - 1):
+            extras.append(
+                WorkerClient(
+                    client.runtime, client.host, client.port,
+                    node_name=client.node_name,
+                    metrics=TransportMetrics(),
+                    read_timeout=300.0,
+                ).connect()
+            )
+        sender = ParallelGraphSender([client] + extras)
+        # Small chunks + a deep queue: every stream's bytes enter its
+        # writer thread during traversal, so the N paced wires overlap
+        # (64 KiB chunks would sit staged until the sequential finish()).
+        return sender.send(list(roots), chunk_bytes=4096, queue_chunks=256,
+                           throttle_mbps=wire_mbps)
+    finally:
+        for extra in extras:
+            extra.close()
+
+
+def _execute_epoch(
+    channel: SocketGraphChannel,
+    client: WorkerClient,
+    roots: Sequence[int],
+    wire_mbps: Optional[float],
+) -> Dict[str, object]:
+    """One plan-driven epoch — the same dispatch for every policy: the
+    plan decides, this function only executes it."""
+    plan = channel.plan_next(roots)
+    started = time.perf_counter()
+    if plan.mode == "full" and plan.streams > 1 and len(roots) > 1:
+        channel.discard_plan()
+        report = _parallel_fanout(client, roots, plan.streams, wire_mbps)
+        seconds = time.perf_counter() - started
+        wire_bytes = report.total_stream_bytes
+        channel.engine.observe_transfer(
+            channel.channel_id, wire_bytes, seconds)
+        channel.force_full_next()
+        return {
+            "mode": plan.label,
+            "reason": plan.reason,
+            "streams": plan.streams,
+            "wire_bytes": wire_bytes,
+            "seconds": seconds,
+            "digest": None,  # per-stream digests, not epoch-comparable
+            "clamped": list(plan.clamped),
+        }
+    receipt = channel.send(roots, digest=True, plan=plan)
+    seconds = time.perf_counter() - started
+    executed = receipt.plan
+    return {
+        "mode": executed.label if executed is not None else receipt.mode,
+        "reason": receipt.reason,
+        "streams": executed.streams if executed is not None else 1,
+        "wire_bytes": receipt.wire_bytes,
+        "seconds": seconds,
+        "digest": receipt.digest,
+        "clamped": list(executed.clamped) if executed is not None else [],
+    }
+
+
+def _run_scenario(
+    driver: SkywayRuntime,
+    client: WorkerClient,
+    vertices: int,
+    scenario: Tuple[float, Optional[float], int],
+    index: int,
+) -> Dict[str, object]:
+    mutation, wire_mbps, cap = scenario
+    edges = irregular_edges(vertices)
+    pin = driver.jvm.pin(build_vertex_graph(driver.jvm, edges))
+    graph = pin.address
+    holders = _shard_holders(driver, graph, SHARD_HOLDERS)
+    roots = [p.address for p in holders]
+    pagerank = IncrementalPageRank(driver.jvm, graph)
+    requested = ChannelCapabilities(kernel=True, delta=True,
+                                    parallel_streams=cap)
+    channels = {
+        name: SocketGraphChannel(
+            driver, client, requested=requested, policy=policy,
+            channel_id=9_500 + index * 20 + j,
+            destination=f"policy-bench-{index}",
+            throttle_mbps=wire_mbps,
+        )
+        for j, (name, policy) in enumerate(_policies(cap).items())
+    }
+    try:
+        # Epoch 1: bootstrap every channel (always FULL, untimed).  The
+        # paced wire's measured seconds seed each engine's bandwidth EWMA.
+        for channel in channels.values():
+            channel.send(roots, digest=True)
+        pagerank.step(active_fraction=mutation)
+        # Epoch 2: the measured epoch, one identical dispatch per policy.
+        results = {
+            name: _execute_epoch(channel, client, roots, wire_mbps)
+            for name, channel in channels.items()
+        }
+        for name, channel in channels.items():
+            results[name]["decisions"] = channel.engine.decisions
+        return {
+            "mutation_fraction": mutation,
+            "wire_mbps": wire_mbps,
+            "stream_cap": cap,
+            "vertices": vertices,
+            "policies": results,
+        }
+    finally:
+        for channel in channels.values():
+            channel.close()
+        for holder in holders:
+            driver.jvm.unpin(holder)
+        driver.jvm.unpin(pin)
+
+
+def run_policy_experiment(
+    vertices: int = DEFAULT_VERTICES,
+    scenarios: Optional[Sequence[Tuple[float, Optional[float], int]]] = None,
+    smoke: bool = False,
+) -> Dict[str, object]:
+    """Returns a JSON-serializable result dict (see module docstring)."""
+    if scenarios is None:
+        scenarios = SMOKE_SCENARIOS if smoke else DEFAULT_SCENARIOS
+    if smoke:
+        vertices = min(vertices, SMOKE_VERTICES)
+    handle = WorkerHandle.spawn(WorkerSpec(
+        name="policy-worker", classpath_factory=SAMPLE_FACTORY,
+        old_bytes=512 * MB, read_timeout=300.0,
+    ))
+    driver = build_runtime("policy-driver", SAMPLE_FACTORY,
+                           old_bytes=512 * MB)
+    # Segments must flow into the writer threads *during* traversal for
+    # the N paced streams to overlap — the default 256 KiB output buffer
+    # would hold each stream's whole payload until the sequential
+    # finish() and serialize the pacing.
+    driver.output_buffer_capacity = 8 * 1024
+    client = WorkerClient(driver, handle.host, handle.port,
+                          read_timeout=300.0).connect()
+    try:
+        rows = [
+            _run_scenario(driver, client, vertices, scenario, i)
+            for i, scenario in enumerate(scenarios)
+        ]
+        return {
+            "vertices": vertices,
+            "smoke": smoke,
+            "rows": rows,
+            "checks": _checks(rows),
+        }
+    finally:
+        try:
+            client.shutdown_worker()
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+        client.close()
+        handle.stop()
+
+
+def _static_best(row: Dict[str, object], field: str) -> float:
+    return min(float(result[field])
+               for name, result in row["policies"].items()
+               if name != "adaptive")
+
+
+def _checks(rows: List[Dict[str, object]]) -> Dict[str, bool]:
+    low = [r for r in rows if float(r["mutation_fraction"]) <= 0.10]
+    high = [r for r in rows if float(r["mutation_fraction"]) >= 1.0]
+
+    def digest_parity(row: Dict[str, object]) -> bool:
+        digests = {result["digest"]
+                   for result in row["policies"].values()
+                   if result["digest"] is not None}
+        return len(digests) == 1
+
+    return {
+        "adaptive_matches_best_bytes": all(
+            float(r["policies"]["adaptive"]["wire_bytes"])
+            <= _static_best(r, "wire_bytes") * BYTES_TOLERANCE + BYTES_SLACK
+            for r in rows),
+        "adaptive_matches_best_seconds": all(
+            float(r["policies"]["adaptive"]["seconds"])
+            <= (_static_best(r, "seconds") * SECONDS_TOLERANCE
+                + SECONDS_SLACK)
+            for r in rows),
+        "adaptive_delta_at_low_mutation": all(
+            r["policies"]["adaptive"]["mode"] == "delta" for r in low),
+        "adaptive_full_at_saturation": all(
+            r["policies"]["adaptive"]["mode"] != "delta" for r in high),
+        "adaptive_parallel_on_slow_wire": all(
+            r["policies"]["adaptive"]["mode"]
+            == f"parallel-{r['stream_cap']}"
+            for r in high
+            if r["wire_mbps"] is not None and int(r["stream_cap"]) > 1),
+        "adaptive_single_on_fast_wire": all(
+            int(r["policies"]["adaptive"]["streams"]) == 1
+            for r in high if r["wire_mbps"] is None),
+        "streams_within_cap": all(
+            int(result["streams"]) <= int(r["stream_cap"])
+            for r in rows for result in r["policies"].values()),
+        "digest_parity": all(digest_parity(r) for r in rows),
+        "decisions_recorded": all(
+            int(result["decisions"]) >= 2
+            for r in rows for result in r["policies"].values()),
+    }
+
+
+def policy_checks_pass(result: Dict[str, object]) -> bool:
+    return all(result["checks"].values())
+
+
+def format_policy_report(result: Dict[str, object]) -> str:
+    lines = [
+        "B-POLICY — adaptive send policy vs the static corners, per "
+        "operating point",
+        f"  graph: {result['vertices']} vertices per scenario; one plan-"
+        f"driven dispatch for every policy",
+        "",
+        f"  {'mutated':>8} {'wire':>7} {'cap':>4}  {'policy':<14} "
+        f"{'mode':<11} {'wire_B':>9} {'seconds':>8} {'clamped':<10}",
+    ]
+    for row in result["rows"]:
+        wire = (f"{row['wire_mbps']:g}Mb" if row["wire_mbps"] is not None
+                else "fast")
+        for name, res in row["policies"].items():
+            marker = "*" if name == "adaptive" else " "
+            lines.append(
+                f"  {row['mutation_fraction']:>7.0%} {wire:>7} "
+                f"{row['stream_cap']:>4} {marker} {name:<14} "
+                f"{res['mode']:<11} {res['wire_bytes']:>9} "
+                f"{res['seconds']:>8.3f} "
+                f"{','.join(res['clamped']) or '-':<10}"
+            )
+        lines.append("")
+    checks = result["checks"]
+    lines.append(
+        "  checks: " + "  ".join(
+            f"{name}={'pass' if ok else 'FAIL'}"
+            for name, ok in checks.items()
+        )
+    )
+    return "\n".join(lines)

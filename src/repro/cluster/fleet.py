@@ -49,6 +49,7 @@ from repro.core.runtime import SkywayRuntime
 from repro.exchange.capabilities import ChannelCapabilities, DEFAULT_REQUEST
 from repro.exchange.channel import SendReceipt
 from repro.exchange.socket import SocketGraphChannel
+from repro.policy import resolve_engine
 from repro.transport.client import WorkerClient
 from repro.transport.errors import RemoteWorkerError, TransportError
 
@@ -139,11 +140,16 @@ class Fleet:
     def __init__(self, runtime: SkywayRuntime,
                  coordinator: CoordinatorClient,
                  name: str = "driver",
-                 read_timeout: float = 30.0) -> None:
+                 read_timeout: float = 30.0,
+                 policy=None) -> None:
         self.runtime = runtime
         self.coordinator = coordinator
         self.name = name
         self.read_timeout = read_timeout
+        #: One policy engine shared by every driver→worker channel (the
+        #: fleet's send modes are one decision plane); per-channel history
+        #: inside the engine isolates a slow peer's bandwidth signal.
+        self.engine = resolve_engine(policy)
         #: worker name -> (generation, client)
         self._clients: Dict[str, Tuple[int, WorkerClient]] = {}
         #: worker name -> FleetChannel (driver→worker broadcast channels)
@@ -234,7 +240,8 @@ class Fleet:
         channel_id = self._alloc_channel(worker)
         client.admit_channel(channel_id)
         inner = SocketGraphChannel(
-            self.runtime, client, requested=requested, policy=policy,
+            self.runtime, client, requested=requested,
+            policy=policy if policy is not None else self.engine,
             channel_id=channel_id, destination=worker, **channel_opts,
         )
         channel = FleetChannel(self, worker, inner,

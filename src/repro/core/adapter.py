@@ -70,6 +70,10 @@ class SkywaySerializer(Serializer):
                  compress_headers: bool = False,
                  delta: bool = False,
                  delta_policy: Optional["DeltaPolicy"] = None) -> None:
+        if delta:
+            from repro.policy.shims import warn_deprecated
+
+            warn_deprecated("SkywaySerializer(delta=True)")
         self.thread_id = thread_id
         self.compress_headers = compress_headers
         self.delta = delta

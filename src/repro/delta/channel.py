@@ -19,8 +19,9 @@ the moral equivalent of a NACK on a real wire.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro import obs
 from repro.core.streams import SkywayObjectInputStream, SkywayObjectOutputStream
@@ -28,7 +29,9 @@ from repro.core.runtime import SkywayRuntime
 from repro.delta.apply import ApplyResult, DeltaApplier
 from repro.delta.dirty import DELTA_CARD_SIZE, DeltaTracker
 from repro.delta.epoch_cache import EpochCache, EpochRecord
-from repro.delta.policy import ChannelStats, DeltaPolicy, EpochDecision
+from repro.delta.policy import ChannelStats, EpochDecision
+from repro.policy import ChannelSignals, SendPlan, resolve_engine
+from repro.policy.plan import NON_FALLBACK_REASONS
 from repro.delta.wire import (
     DeltaEncoder,
     DeltaFrame,
@@ -57,12 +60,13 @@ class DeltaSendChannel:
         self,
         runtime: SkywayRuntime,
         destination: str,
-        policy: Optional[DeltaPolicy] = None,
+        policy=None,
         target_layout: Optional[HeapLayout] = None,
         card_size: int = DELTA_CARD_SIZE,
         channel_id: Optional[int] = None,
         delta_enabled: bool = True,
         use_kernels: Optional[bool] = None,
+        capabilities=None,
     ) -> None:
         self.runtime = runtime
         self.destination = destination
@@ -73,7 +77,15 @@ class DeltaSendChannel:
         #: this id, so pinned ids must be unique per receiving runtime.
         self.channel_id = (next(_channel_ids) if channel_id is None
                            else channel_id)
-        self.policy = policy if policy is not None else DeltaPolicy()
+        #: Every ``policy=`` spelling (None, a name, a decision table, a
+        #: legacy DeltaPolicy, a shared PolicyEngine) normalizes onto one
+        #: engine — the only place a send mode is chosen.
+        self.policy = policy
+        self.engine = resolve_engine(policy)
+        #: Negotiated capability bounds (the exchange layer passes its
+        #: :class:`~repro.exchange.capabilities.ChannelCapabilities`);
+        #: every plan is clamped by them before execution.
+        self.capabilities = capabilities
         #: A channel with delta disabled frames every epoch FULL and skips
         #: the write barrier entirely (no card table attached) — the plain
         #: full-send mode of the exchange layer, on the same wire format.
@@ -96,47 +108,95 @@ class DeltaSendChannel:
         self.stats = ChannelStats()
         self.epoch = 0
         self.last_decision: Optional[EpochDecision] = None
+        self.last_plan: Optional[SendPlan] = None
         self._force_full = False
+        self._pending: Optional[Tuple[SendPlan, ChannelSignals]] = None
 
     # ------------------------------------------------------------------
     # sending
     # ------------------------------------------------------------------
 
-    def send(self, roots: List[int]) -> bytes:
-        """Frame one epoch carrying ``roots``; full or delta per policy."""
+    def send(self, roots: List[int],
+             plan: Optional[SendPlan] = None) -> bytes:
+        """Frame one epoch carrying ``roots``; mode per the engine's plan.
+
+        Callers normally pass no plan and let the engine decide; a caller
+        that already called :meth:`plan_next` may hand that plan back to
+        execute it without re-deciding (the dispatch layer does this to
+        route ``parallel-N`` plans around the channel)."""
         with obs.span("send.epoch", clock=self.runtime.jvm.clock,
                       channel=self.channel_id,
                       destination=self.destination) as sp:
-            frame = self._send_inner(roots)
+            frame = self._send_inner(roots, plan)
             decision = self.last_decision
             sp.set(epoch=self.epoch, wire_bytes=len(frame),
                    mode=decision.mode if decision else "?",
                    reason=decision.reason if decision else "?")
         return frame
 
-    def _send_inner(self, roots: List[int]) -> bytes:
+    def plan_next(self, roots: List[int]) -> SendPlan:
+        """Decide the upcoming epoch without executing it.
+
+        The plan (with its card-table scan) is cached and consumed by the
+        next :meth:`send`; a caller that routes the epoch elsewhere
+        (parallel streams) must call :meth:`discard_plan` instead."""
+        gc = self.runtime.jvm.gc.stats
+        record = self.cache.get(self.destination)
+        plan, signals = self._plan(roots, record, gc, self.epoch + 1)
+        self._pending = (plan, signals)
+        return plan
+
+    def discard_plan(self) -> None:
+        """Drop a cached :meth:`plan_next` decision without executing it."""
+        self._pending = None
+
+    def _send_inner(self, roots: List[int],
+                    plan: Optional[SendPlan]) -> bytes:
         self.epoch += 1
         self.stats.epochs += 1
         gc = self.runtime.jvm.gc.stats
         record = self.cache.get(self.destination)
 
-        decision = self._decide(record, gc)
-        if decision.mode == "delta":
-            frame, decision = self._try_delta(roots, record, gc, decision)
+        pending, self._pending = self._pending, None
+        if plan is None:
+            if pending is not None:
+                plan, signals = pending
+            else:
+                plan, signals = self._plan(roots, record, gc, self.epoch)
+        elif pending is not None and pending[0] is plan:
+            signals = pending[1]
+        else:
+            signals = self._signals(roots, record, gc, self.epoch)
+
+        if plan.reason == "forced":
+            # The NACK latch is consumed by the plan that honors it.
+            self._force_full = False
+
+        if plan.mode == "delta":
+            frame, plan = self._try_delta(roots, record, gc, plan, signals)
             if frame is not None:
-                self.last_decision = decision
+                self._finish(plan)
                 return frame
 
-        if decision.reason not in ("delta", "first_epoch", "delta_disabled"):
-            # delta_disabled is this channel's configured mode, not a
-            # reversion worth counting against the policy.
-            self.stats.note_fallback(decision.reason)
-        self.last_decision = decision
-        return self._send_full(roots, gc)
+        if plan.reason not in NON_FALLBACK_REASONS:
+            # delta_disabled / static_full are the channel's configured
+            # mode, not a reversion worth counting against the policy.
+            self.stats.note_fallback(plan.reason)
+        self._finish(plan)
+        return self._send_full(roots, gc, plan)
+
+    def _finish(self, plan: SendPlan) -> None:
+        self.last_plan = plan
+        self.last_decision = EpochDecision(
+            mode=plan.mode, reason=plan.reason,
+            mutation_rate=plan.mutation_rate,
+            estimated_bytes=plan.estimated_bytes,
+        )
 
     def force_full_next(self) -> None:
         """React to a receiver NACK (:class:`DeltaStaleError`)."""
         self._force_full = True
+        self._pending = None
 
     def reassign(self, channel_id: int) -> None:
         """Adopt a fresh channel id (a coordinator re-assignment after the
@@ -145,25 +205,41 @@ class DeltaSendChannel:
         forced FULL: no receiver retains state under the new id."""
         self.channel_id = channel_id
         self._force_full = True
+        self._pending = None
 
-    def _decide(self, record: Optional[EpochRecord], gc) -> EpochDecision:
-        if self._force_full:
-            self._force_full = False
-            return EpochDecision(mode="full", reason="forced")
-        if not self.delta_enabled:
-            return EpochDecision(mode="full", reason="delta_disabled")
-        if self.heterogeneous:
-            return EpochDecision(mode="full", reason="heterogeneous")
-        if record is None:
-            return EpochDecision(mode="full", reason="first_epoch")
-        dirty = self._dirty_members(record)
-        dirty_bytes = sum(record.sizes[a] for a in dirty)
-        decision = self.policy.decide(
-            record, len(dirty), dirty_bytes,
-            gc.minor_collections, gc.full_collections,
+    def _plan(self, roots: List[int], record: Optional[EpochRecord],
+              gc, epoch: int) -> Tuple[SendPlan, ChannelSignals]:
+        signals = self._signals(roots, record, gc, epoch)
+        plan = self.engine.plan(signals, self.capabilities)
+        return plan, signals
+
+    def _signals(self, roots: List[int], record: Optional[EpochRecord],
+                 gc, epoch: int) -> ChannelSignals:
+        signals = ChannelSignals(
+            channel_id=self.channel_id,
+            destination=self.destination,
+            epoch=epoch,
+            root_count=len(roots),
+            forced_full=self._force_full,
+            heterogeneous=self.heterogeneous,
+            delta_capable=self.delta_enabled,
         )
-        decision.dirty = dirty  # carried to _try_delta, not serialized
-        return decision
+        if record is None or len(record) == 0:
+            signals.first_epoch = True
+            return signals
+        signals.resident_objects = len(record)
+        signals.resident_bytes = record.total_bytes
+        signals.gc_moved = (
+            (gc.minor_collections, gc.full_collections)
+            != (record.minor_gcs, record.full_gcs)
+        )
+        if (self.delta_enabled and not self._force_full
+                and not self.heterogeneous):
+            dirty = self._dirty_members(record)
+            signals.dirty_members = dirty
+            signals.dirty_count = len(dirty)
+            signals.dirty_bytes = sum(record.sizes[a] for a in dirty)
+        return signals
 
     def _dirty_members(self, record: EpochRecord) -> List[int]:
         cost = self.runtime.jvm.cost_model
@@ -178,18 +254,22 @@ class DeltaSendChannel:
             sp.set(dirty=len(members))
         return members
 
-    def _try_delta(self, roots, record, gc, decision):
+    def _try_delta(self, roots, record, gc, plan: SendPlan,
+                   signals: ChannelSignals):
+        dirty = signals.dirty_members or []
         encoder = DeltaEncoder(self.runtime.jvm, record)
         with obs.span("delta.encode", clock=self.runtime.jvm.clock):
             frame, summary = encoder.encode(
-                roots, decision.dirty, self.channel_id, self.epoch
+                roots, dirty, self.channel_id, self.epoch
             )
-        if not self.policy.accept_encoded(record, len(frame)):
+        if plan.byte_budget is not None and len(frame) > plan.byte_budget:
+            # The post-encode gate: the actual frame blew the plan's
+            # budget (references dragged in undirtied objects).
             self.stats.wasted_encode_bytes += len(frame)
-            return None, EpochDecision(
-                mode="full", reason="encoded_overrun",
-                mutation_rate=decision.mutation_rate,
-                estimated_bytes=len(frame),
+            return None, dataclasses.replace(
+                plan, mode="full", reason="encoded_overrun",
+                estimated_bytes=len(frame), streams=1,
+                compact_headers=False, byte_budget=None,
             )
         record.merge_epoch(
             summary.new_members, summary.new_sizes, summary.logical_end,
@@ -201,20 +281,26 @@ class DeltaSendChannel:
         self.stats.objects_patched += summary.patched_objects
         self.stats.objects_new += summary.new_objects
         self.stats.sameref_roots += summary.sameref_roots
-        return frame, decision
+        return frame, plan
 
-    def _send_full(self, roots: List[int], gc) -> bytes:
+    def _send_full(self, roots: List[int], gc, plan: SendPlan) -> bytes:
         with obs.span("send.full", clock=self.runtime.jvm.clock):
-            return self._send_full_inner(roots, gc)
+            return self._send_full_inner(roots, gc, plan)
 
-    def _send_full_inner(self, roots: List[int], gc) -> bytes:
+    def _send_full_inner(self, roots: List[int], gc,
+                         plan: SendPlan) -> bytes:
         # A fresh shuffling phase invalidates stale baddrs (paper §3.3);
         # the epoch record, unlike baddrs, survives into later phases.
         self.runtime.shuffle_start()
         stream = SkywayObjectOutputStream(
             self.runtime,
             destination=f"delta:{self.channel_id}:{self.destination}",
-            use_kernels=self.use_kernels,
+            use_kernels=(self.use_kernels if plan.kernel is None
+                         else plan.kernel),
+            # PATCH offsets address the uncompacted layout, so a compact
+            # FULL must never seed an epoch record — belt to the clamp's
+            # suspenders.
+            compress_headers=plan.compact_headers and not self.delta_enabled,
         )
         for root in roots:
             stream.write_object(root)

@@ -1,108 +1,28 @@
-"""The fallback policy: when a delta stops paying, send the whole graph.
+"""Compatibility shim — the fallback policy lives in :mod:`repro.policy`.
 
-Delta framing has per-record overhead, card granularity sweeps unmutated
-neighbours into the patch set, and a patch epoch leaves receiver-side
-garbage behind (clones no longer referenced stay resident until the next
-full send rebuilds the buffer).  Past a mutation-rate crossover, the
-honest move is the paper's own: one clean full send.
-
-Two gates, both measured rather than guessed:
-
-* **pre-encode** — the dirty set is known before any encoding (one card
-  intersection); if the estimated patch bytes already exceed
-  ``byte_crossover`` × the resident graph's size, skip straight to a full
-  send.
-* **post-encode** — new-object discovery only happens during encoding, so
-  a frame can still come out bigger than promised (many NEW objects, or
-  heavy card false-sharing).  If the encoded frame exceeds the same
-  crossover, the frame is discarded and a full send goes out instead; the
-  wasted encode is charged — honesty about the cost of mispredicting.
-
-The cache also self-invalidates: any sender-side GC since the record was
-built may have moved cached source objects, so the policy reports
-``gc_moved`` and forces a rebuild via full send.
+This module used to hold the hardcoded mutation-crossover arbitration.
+That decision is now one row of the declarative decision table in
+:mod:`repro.policy.policies` (:class:`~repro.policy.policies
+.CrossoverPolicy`), driven per epoch by a
+:class:`~repro.policy.engine.PolicyEngine`.  The legacy names are
+re-exported here unchanged: ``DeltaPolicy`` instances passed to channels
+keep working (``resolve_engine`` converts them, ``byte_crossover``
+included), and ``EpochDecision`` / ``ChannelStats`` remain the records
+channels expose.
 """
 
-from __future__ import annotations
+from repro.policy.legacy import (
+    DEFAULT_BYTE_CROSSOVER,
+    RECORD_OVERHEAD,
+    ChannelStats,
+    DeltaPolicy,
+    EpochDecision,
+)
 
-import dataclasses
-from typing import Dict, Optional
-
-from repro.delta.epoch_cache import EpochRecord
-
-#: Fall back to a full send when the (estimated or actual) delta bytes
-#: exceed this fraction of the resident graph's bytes.
-DEFAULT_BYTE_CROSSOVER = 0.5
-
-#: Approximate wire overhead per delta record (tag + varint offset + len).
-RECORD_OVERHEAD = 8
-
-
-@dataclasses.dataclass
-class EpochDecision:
-    """Why an epoch went full or delta (kept per epoch in channel stats)."""
-
-    mode: str  # "full" | "delta"
-    reason: str  # "first_epoch" | "delta" | "mutation_crossover" |
-    #              "encoded_overrun" | "gc_moved" | "forced" | "heterogeneous"
-    mutation_rate: float = 0.0
-    estimated_bytes: int = 0
-
-
-@dataclasses.dataclass
-class DeltaPolicy:
-    """Mutation-rate-driven full/delta arbitration."""
-
-    byte_crossover: float = DEFAULT_BYTE_CROSSOVER
-
-    def decide(
-        self,
-        record: Optional[EpochRecord],
-        dirty_count: int,
-        dirty_bytes: int,
-        minor_gcs: int,
-        full_gcs: int,
-    ) -> EpochDecision:
-        """The pre-encode gate."""
-        if record is None or len(record) == 0:
-            return EpochDecision(mode="full", reason="first_epoch")
-        if (minor_gcs, full_gcs) != (record.minor_gcs, record.full_gcs):
-            return EpochDecision(mode="full", reason="gc_moved")
-        rate = dirty_count / len(record)
-        estimated = dirty_bytes + RECORD_OVERHEAD * dirty_count
-        if estimated > self.byte_crossover * record.total_bytes:
-            return EpochDecision(
-                mode="full", reason="mutation_crossover",
-                mutation_rate=rate, estimated_bytes=estimated,
-            )
-        return EpochDecision(
-            mode="delta", reason="delta",
-            mutation_rate=rate, estimated_bytes=estimated,
-        )
-
-    def accept_encoded(self, record: EpochRecord, frame_bytes: int) -> bool:
-        """The post-encode gate: is the actual frame still worth it?"""
-        return frame_bytes <= self.byte_crossover * record.total_bytes
-
-
-@dataclasses.dataclass
-class ChannelStats:
-    """Per-channel transfer accounting across epochs."""
-
-    epochs: int = 0
-    full_sends: int = 0
-    delta_sends: int = 0
-    bytes_full: int = 0
-    bytes_delta: int = 0
-    objects_patched: int = 0
-    objects_new: int = 0
-    sameref_roots: int = 0
-    wasted_encode_bytes: int = 0
-    fallbacks: Dict[str, int] = dataclasses.field(default_factory=dict)
-
-    @property
-    def bytes_total(self) -> int:
-        return self.bytes_full + self.bytes_delta
-
-    def note_fallback(self, reason: str) -> None:
-        self.fallbacks[reason] = self.fallbacks.get(reason, 0) + 1
+__all__ = [
+    "DEFAULT_BYTE_CROSSOVER",
+    "RECORD_OVERHEAD",
+    "ChannelStats",
+    "DeltaPolicy",
+    "EpochDecision",
+]

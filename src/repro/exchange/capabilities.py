@@ -20,12 +20,17 @@ Capabilities:
     frames by channel id).
 ``compact_headers``
     The §5.2 compact transfer encoding.  Only the loopback substrate
-    offers it, and it composes with full sends only — a channel granted
-    both ``delta`` and ``compact_headers`` drops compact (PATCH offsets
-    address the uncompacted layout).
+    offers it.  The grant is a *bound*, not a switch: per epoch,
+    :meth:`~repro.policy.plan.SendPlan.clamp` drops compact from any plan
+    on a delta-capable channel (PATCH offsets address the uncompacted
+    layout, so a compact FULL must never seed an epoch record).
 ``parallel_streams``
-    Upper bound on concurrent streams ``Exchange.parallel_send`` may use
-    toward this destination.
+    Upper bound on concurrent streams a ``parallel-N`` plan (or a direct
+    ``Exchange.parallel_send``) may use toward this destination.
+
+Negotiation answers *what the channel could do*; the policy plane's
+:class:`~repro.policy.engine.PolicyEngine` decides *what each epoch does*
+within those bounds.
 """
 
 from __future__ import annotations

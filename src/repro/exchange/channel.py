@@ -26,6 +26,7 @@ from repro.delta.policy import ChannelStats, EpochDecision
 from repro.exchange.capabilities import ChannelCapabilities
 from repro.exchange.errors import ExchangeError
 from repro.exchange.metrics import ExchangeMetrics
+from repro.policy import PolicyEngine, SendPlan
 from repro.simtime import Category
 
 
@@ -50,6 +51,9 @@ class SendReceipt:
     #: The substrate's raw receive result (the worker's RESULT payload on
     #: sockets; None on loopback).
     result: Optional[dict] = None
+    #: The engine's (clamped) decision this send executed — mode, reason,
+    #: streams, digest/compact knobs and the signals that drove it.
+    plan: Optional[SendPlan] = None
 
 
 _obs_source_ids = itertools.count(1)
@@ -66,11 +70,11 @@ class GraphChannel:
         requested: ChannelCapabilities,
         offered: ChannelCapabilities,
     ) -> None:
+        # Negotiation grants the union of what both sides can do; whether
+        # a given epoch *uses* a capability (compact headers, kernels,
+        # parallel streams) is the policy plane's call — SendPlan.clamp()
+        # bounds each plan by these capabilities per epoch.
         caps = requested.intersect(offered)
-        if caps.delta and caps.compact_headers:
-            # PATCH records address the uncompacted buffer layout; the two
-            # capabilities do not compose, delta wins.
-            caps = dataclasses.replace(caps, compact_headers=False)
         self.destination = destination
         self.requested = requested
         self.offered = offered
@@ -138,6 +142,15 @@ class GraphChannel:
         self.wire_bytes += receipt.wire_bytes
         if receipt.nack_recovered:
             self.nack_recoveries += 1
+        reg = obs.registry()
+        labels = dict(substrate=self.substrate,
+                      destination=self.destination)
+        reg.counter("exchange.sends", **labels)
+        reg.gauge("exchange.bytes_per_epoch",
+                  self.wire_bytes / self.sends, **labels)
+        if receipt.plan is not None:
+            reg.gauge("exchange.mutation_rate",
+                      receipt.plan.mutation_rate, **labels)
         return receipt
 
     # -- introspection ------------------------------------------------------
@@ -155,8 +168,25 @@ class GraphChannel:
         return self._require_open().last_decision
 
     @property
+    def last_plan(self) -> Optional[SendPlan]:
+        return self._require_open().last_plan
+
+    @property
+    def engine(self) -> PolicyEngine:
+        return self._require_open().engine
+
+    @property
     def stats(self) -> ChannelStats:
         return self._require_open().stats
+
+    def plan_next(self, roots: Sequence[int]) -> SendPlan:
+        """Decide (and cache) the next epoch's plan without sending —
+        the dispatch hook that lets a caller route ``parallel-N`` plans
+        to the multi-stream sender instead."""
+        return self._require_open().plan_next(list(roots))
+
+    def discard_plan(self) -> None:
+        self._require_open().discard_plan()
 
     def force_full_next(self) -> None:
         self._require_open().force_full_next()
@@ -176,6 +206,8 @@ class GraphChannel:
             sim_totals=self._sim_totals,
             stats=channel.stats,
             transport=self._transport_dict(),
+            last_plan=(channel.last_plan.as_dict()
+                       if channel.last_plan is not None else None),
         )
 
     def _transport_dict(self) -> Optional[Dict[str, object]]:

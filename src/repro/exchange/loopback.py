@@ -19,6 +19,7 @@ the same process.  Two binding modes:
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence
 
 from repro.core.runtime import SkywayRuntime
@@ -32,6 +33,7 @@ from repro.exchange.channel import GraphChannel, SendReceipt, collect_roots
 from repro.exchange.errors import ExchangeConfigError
 from repro.exchange.dispatch import receive_epoch
 from repro.net.cluster import Cluster, Node
+from repro.policy import SendPlan
 from repro.simtime import Category
 from repro.transport.digest import semantic_graph_digest
 
@@ -68,18 +70,21 @@ class LoopbackGraphChannel(GraphChannel):
             channel_id=channel_id,
             delta_enabled=self.capabilities.delta,
             use_kernels=self.capabilities.kernel,
+            capabilities=self.capabilities,
         )
 
     # ------------------------------------------------------------------
 
     def _send_impl(self, roots: Sequence[int],
-                   digest: bool = False) -> SendReceipt:
+                   digest: Optional[bool] = None,
+                   plan: Optional[SendPlan] = None) -> SendReceipt:
         channel = self._require_open()
         roots = collect_roots(roots)
         snaps = [(clock, clock.snapshot()) for clock in self._clocks()]
         sender_clock = self.runtime.jvm.clock
+        started = time.perf_counter()
         with sender_clock.phase(Category.SERIALIZATION):
-            frame = channel.send(roots)
+            frame = channel.send(roots, plan=plan)
         decision = channel.last_decision
         wire_bytes = len(frame)
         received: List[int] = []
@@ -97,8 +102,16 @@ class LoopbackGraphChannel(GraphChannel):
                 decision = channel.last_decision
                 wire_bytes += len(frame)
                 received = self._deliver(frame)
+        channel.engine.observe_transfer(
+            channel.channel_id, wire_bytes,
+            time.perf_counter() - started,
+        )
         for clock, snap in snaps:
             self._note_sim(clock.since(snap))
+        executed = channel.last_plan
+        if digest is None:
+            # No explicit override: the plan decides.
+            digest = bool(executed.digest) if executed is not None else False
         receipt = SendReceipt(
             mode=decision.mode,
             reason=decision.reason,
@@ -109,6 +122,7 @@ class LoopbackGraphChannel(GraphChannel):
             digest=(self.receiver_digest(received)
                     if digest and received else None),
             nack_recovered=nack,
+            plan=executed,
         )
         return self._account_send(receipt)
 

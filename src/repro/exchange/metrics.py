@@ -44,6 +44,22 @@ class ExchangeMetrics:
     delta: Dict[str, object]
     #: Measured wire counters; None on the loopback substrate (no wire).
     transport: Optional[Dict[str, object]] = None
+    #: The policy plane's most recent (clamped) decision on this channel,
+    #: as :meth:`~repro.policy.plan.SendPlan.as_dict`.
+    last_plan: Optional[Dict[str, object]] = None
+
+    @property
+    def bytes_per_epoch(self) -> float:
+        """Mean wire bytes per exchange-level send."""
+        return self.wire_bytes / self.sends if self.sends else 0.0
+
+    @property
+    def mutation_rate(self) -> float:
+        """The dirty fraction behind the latest decision (0 when the
+        channel has not observed a mutation epoch yet)."""
+        if self.last_plan is None:
+            return 0.0
+        return float(self.last_plan.get("mutation_rate", 0.0))
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -53,11 +69,15 @@ class ExchangeMetrics:
             "capabilities": dict(self.capabilities),
             "sends": self.sends,
             "wire_bytes": self.wire_bytes,
+            "bytes_per_epoch": self.bytes_per_epoch,
+            "mutation_rate": self.mutation_rate,
             "nack_recoveries": self.nack_recoveries,
             "breakdown": self.breakdown.as_dict(),
             "delta": dict(self.delta),
             "transport": (dict(self.transport)
                           if self.transport is not None else None),
+            "last_plan": (dict(self.last_plan)
+                          if self.last_plan is not None else None),
         }
 
     def to_json(self) -> str:
@@ -76,6 +96,7 @@ class ExchangeMetrics:
         sim_totals: Mapping[Category, float],
         stats: ChannelStats,
         transport: Optional[Dict[str, object]] = None,
+        last_plan: Optional[Dict[str, object]] = None,
     ) -> "ExchangeMetrics":
         return cls(
             substrate=substrate,
@@ -90,4 +111,5 @@ class ExchangeMetrics:
             ),
             delta=delta_stats_dict(stats),
             transport=transport,
+            last_plan=last_plan,
         )

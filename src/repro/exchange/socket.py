@@ -26,6 +26,7 @@ resend (no reconnect).
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence
 
 from repro.core.runtime import SkywayRuntime
@@ -37,6 +38,7 @@ from repro.exchange.capabilities import (
 )
 from repro.exchange.channel import GraphChannel, SendReceipt, collect_roots
 from repro.exchange.errors import ExchangeConfigError
+from repro.policy import SendPlan
 from repro.simtime import Category
 from repro.transport.aserve import MuxEpochClient
 from repro.transport.client import WorkerClient
@@ -86,6 +88,7 @@ class SocketGraphChannel(GraphChannel):
             channel_id=channel_id,
             delta_enabled=self.capabilities.delta,
             use_kernels=self.capabilities.kernel,
+            capabilities=self.capabilities,
         )
 
     def rebind(self, client: "WorkerClient | MuxEpochClient") -> None:
@@ -118,16 +121,23 @@ class SocketGraphChannel(GraphChannel):
     # ------------------------------------------------------------------
 
     def _send_impl(self, roots: Sequence[int],
-                   digest: bool = False) -> SendReceipt:
+                   digest: Optional[bool] = None,
+                   plan: Optional[SendPlan] = None) -> SendReceipt:
         channel = self._require_open()
         roots = collect_roots(roots)
         clock = self.runtime.jvm.clock
         snap = clock.snapshot()
         with clock.phase(Category.SERIALIZATION):
-            frame = channel.send(roots)
+            frame = channel.send(roots, plan=plan)
+        executed = channel.last_plan
+        if digest is None:
+            # No explicit override: the plan decides.
+            digest = bool(executed.digest) if executed is not None else False
         decision = channel.last_decision
         wire_bytes = len(frame)
         nack = False
+        stalls_before = self.client.metrics.stall_seconds
+        started = time.perf_counter()
         try:
             result = self._ship(frame, channel, digest)
         except RemoteWorkerError as exc:
@@ -145,8 +155,20 @@ class SocketGraphChannel(GraphChannel):
             with clock.phase(Category.SERIALIZATION):
                 frame = channel.send(roots)
             decision = channel.last_decision
+            executed = channel.last_plan
             wire_bytes += len(frame)
+            started = time.perf_counter()
             result = self._ship(frame, channel, digest)
+        # Feed the measured wire back into the engine: bandwidth from the
+        # shipped bytes, queue wait from the pipeline's back-pressure
+        # stalls during this send.
+        channel.engine.observe_transfer(
+            channel.channel_id, len(frame),
+            time.perf_counter() - started,
+            queue_wait_seconds=max(
+                0.0, self.client.metrics.stall_seconds - stalls_before
+            ),
+        )
         self._note_sim(clock.since(snap))
         receipt = SendReceipt(
             mode=decision.mode,
@@ -158,6 +180,7 @@ class SocketGraphChannel(GraphChannel):
             digest=result.get("digest"),
             nack_recovered=nack,
             result=result,
+            plan=executed,
         )
         return self._account_send(receipt)
 

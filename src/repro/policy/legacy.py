@@ -1,0 +1,99 @@
+"""The legacy decision types, kept for compatibility.
+
+:class:`DeltaPolicy` was the original hardcoded mutation-crossover
+arbitration (``repro/delta/policy.py``); the live decision path is now
+:class:`~repro.policy.policies.CrossoverPolicy` inside a
+:class:`~repro.policy.engine.PolicyEngine`, and a ``DeltaPolicy`` passed
+anywhere is converted by :func:`~repro.policy.engine.resolve_engine`
+(its ``byte_crossover`` carries over, including the negative degenerate
+case that forces full every epoch).  :class:`EpochDecision` remains the
+per-epoch record channels expose as ``last_decision``;
+:class:`ChannelStats` remains the per-channel transfer ledger.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.delta.epoch_cache import EpochRecord
+
+#: Fall back to a full send when the (estimated or actual) delta bytes
+#: exceed this fraction of the resident graph's bytes.
+DEFAULT_BYTE_CROSSOVER = 0.5
+
+#: Approximate wire overhead per delta record (tag + varint offset + len).
+RECORD_OVERHEAD = 8
+
+
+@dataclasses.dataclass
+class EpochDecision:
+    """Why an epoch went full or delta (kept per epoch in channel stats)."""
+
+    mode: str  # "full" | "delta"
+    reason: str  # "first_epoch" | "delta" | "mutation_crossover" |
+    #              "encoded_overrun" | "gc_moved" | "forced" |
+    #              "heterogeneous" | "delta_disabled" | "static_full"
+    mutation_rate: float = 0.0
+    estimated_bytes: int = 0
+
+
+@dataclasses.dataclass
+class DeltaPolicy:
+    """Mutation-rate-driven full/delta arbitration (legacy protocol)."""
+
+    byte_crossover: float = DEFAULT_BYTE_CROSSOVER
+
+    def decide(
+        self,
+        record: Optional["EpochRecord"],
+        dirty_count: int,
+        dirty_bytes: int,
+        minor_gcs: int,
+        full_gcs: int,
+    ) -> EpochDecision:
+        """The pre-encode gate."""
+        if record is None or len(record) == 0:
+            return EpochDecision(mode="full", reason="first_epoch")
+        if (minor_gcs, full_gcs) != (record.minor_gcs, record.full_gcs):
+            return EpochDecision(mode="full", reason="gc_moved")
+        rate = dirty_count / len(record)
+        estimated = dirty_bytes + RECORD_OVERHEAD * dirty_count
+        if estimated > self.byte_crossover * record.total_bytes:
+            return EpochDecision(
+                mode="full", reason="mutation_crossover",
+                mutation_rate=rate, estimated_bytes=estimated,
+            )
+        return EpochDecision(
+            mode="delta", reason="delta",
+            mutation_rate=rate, estimated_bytes=estimated,
+        )
+
+    def accept_encoded(self, record: "EpochRecord",
+                       frame_bytes: int) -> bool:
+        """The post-encode gate: is the actual frame still worth it?"""
+        return frame_bytes <= self.byte_crossover * record.total_bytes
+
+
+@dataclasses.dataclass
+class ChannelStats:
+    """Per-channel transfer accounting across epochs."""
+
+    epochs: int = 0
+    full_sends: int = 0
+    delta_sends: int = 0
+    bytes_full: int = 0
+    bytes_delta: int = 0
+    objects_patched: int = 0
+    objects_new: int = 0
+    sameref_roots: int = 0
+    wasted_encode_bytes: int = 0
+    fallbacks: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_full + self.bytes_delta
+
+    def note_fallback(self, reason: str) -> None:
+        self.fallbacks[reason] = self.fallbacks.get(reason, 0) + 1

@@ -1,0 +1,32 @@
+"""Deprecation plumbing for the pre-policy-plane entry points.
+
+``SparkContext.delta_broadcast`` / ``SparkContext.parallel_send`` /
+``SkywaySerializer(delta=...)`` still work, but each warns **once** per
+process that ``send(root, policy=...)`` is the front door now.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+_warned: Set[str] = set()
+
+
+def warn_deprecated(old: str, new: str = "SparkContext.send(policy=...)",
+                    stacklevel: int = 3) -> None:
+    """Emit a single :class:`DeprecationWarning` per entry point."""
+    if old in _warned:
+        return
+    _warned.add(old)
+    warnings.warn(
+        f"{old} is deprecated; the policy plane decides send modes now — "
+        f"use {new}",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Re-arm the warn-once guards (tests only)."""
+    _warned.clear()

@@ -1,129 +1,36 @@
-"""Delta-aware heap broadcast: iterative state shipped as epochs.
+"""Delta-aware heap broadcast — now a thin veneer over the policy plane.
 
-Spark's stock broadcast (``SparkContext.broadcast``) re-serializes the
-whole value every time it is called — fine for read-only lookup tables,
-wasteful for iterative algorithms whose shared state changes a little per
-superstep (PageRank ranks, connected-components labels).
-
-:class:`DeltaHeapBroadcast` keeps the authoritative copy of the value *on
-the driver heap* and maintains one
-:class:`~repro.exchange.channel.GraphChannel` per worker, opened through
-the cluster's :class:`~repro.exchange.service.Exchange` — so the same
-broadcast works over the in-process substrate and over socket workers.
-Each ``push()`` ships one epoch to every worker: FULL the first time,
-DELTA thereafter — only the objects mutated through the heap write barrier
-since the previous push travel the wire.  Receivers patch their retained
-input buffers in place, so the worker-side address of the value is stable
-across epochs (``value_on(worker)`` keeps returning the same root).
-
-Staleness (the NACK) is the channel's problem now: a stale receiver makes
-``send()`` force a full resend inside one call, and the receipt reports it
-— ``push()`` just counts the recoveries.
+:class:`DeltaHeapBroadcast` predates ``SparkContext.send``: it was the
+iterative-state broadcast that shipped FULL once and DELTA thereafter.
+All of that behavior now lives in :class:`~repro.spark.send.PolicySend`
+with a mutation-crossover policy; this class pins the legacy default
+(crossover, not adaptive) and the legacy single-root constructor shape so
+existing callers and benchmarks keep their exact epoch-by-epoch behavior.
+New code should call ``SparkContext.send(root, policy=...)``.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Dict, List, Optional
+from typing import Optional
 
-from repro.delta.policy import ChannelStats, DeltaPolicy
-from repro.exchange.channel import GraphChannel
 from repro.exchange.service import Exchange
-from repro.net.cluster import Cluster, Node
+from repro.net.cluster import Cluster
+from repro.spark.send import PolicySend, PushReport
+
+__all__ = ["DeltaHeapBroadcast", "PushReport"]
 
 
-@dataclasses.dataclass
-class PushReport:
-    """What one ``push()`` epoch cost, per worker and in total."""
-
-    epoch: int
-    wire_bytes: int
-    modes: Dict[str, str]  # worker name -> "full" | "delta"
-    resends: int  # stale-channel full resends this push
-
-
-class DeltaHeapBroadcast:
+class DeltaHeapBroadcast(PolicySend):
     """A driver-heap value broadcast incrementally to every worker."""
 
     def __init__(
         self,
         cluster: Cluster,
         root: int,
-        policy: Optional[DeltaPolicy] = None,
+        policy=None,
         exchange: Optional[Exchange] = None,
     ) -> None:
-        driver = cluster.driver
-        if driver.jvm.skyway is None:
-            raise RuntimeError(
-                "delta broadcast needs Skyway attached to the cluster "
-                "(repro.core.attach_skyway)"
-            )
-        self.cluster = cluster
-        self.exchange = (exchange if exchange is not None
-                         else Exchange.loopback(cluster))
-        self.root = root
-        self._pin = driver.jvm.pin(root)
-        self._channels: Dict[str, GraphChannel] = {
-            worker.name: self.exchange.channel_to(worker.name, policy=policy)
-            for worker in cluster.workers
-        }
-        self._worker_roots: Dict[str, int] = {}
-        self.pushes: List[PushReport] = []
-
-    # ------------------------------------------------------------------
-    # shipping
-    # ------------------------------------------------------------------
-
-    def push(self) -> PushReport:
-        """Ship one epoch of the value to every worker."""
-        total = 0
-        modes: Dict[str, str] = {}
-        resends = 0
-        epoch = 0
-        for worker in self.cluster.workers:
-            channel = self._channels[worker.name]
-            receipt = channel.send([self.root])
-            if receipt.nack_recovered:
-                resends += 1
-            total += receipt.wire_bytes
-            modes[worker.name] = receipt.mode
-            epoch = receipt.epoch
-            if receipt.roots:
-                self._worker_roots[worker.name] = receipt.roots[0]
-        report = PushReport(
-            epoch=epoch, wire_bytes=total, modes=modes, resends=resends
+        super().__init__(
+            cluster, root, policy=policy, exchange=exchange,
+            default_policy="crossover",
         )
-        self.pushes.append(report)
-        return report
-
-    # ------------------------------------------------------------------
-    # reading / accounting
-    # ------------------------------------------------------------------
-
-    def value_on(self, worker: Node) -> int:
-        """The worker-heap address of the broadcast value (stable across
-        delta epochs; changes only when a full resend rebuilds it)."""
-        try:
-            return self._worker_roots[worker.name]
-        except KeyError:
-            raise RuntimeError(
-                f"no epoch pushed to {worker.name} yet; call push() first"
-            ) from None
-
-    @property
-    def wire_bytes(self) -> int:
-        return sum(report.wire_bytes for report in self.pushes)
-
-    def channel_stats(self) -> Dict[str, ChannelStats]:
-        return {name: ch.stats for name, ch in self._channels.items()}
-
-    def metrics(self) -> Dict[str, dict]:
-        """Per-worker unified exchange metrics (one snapshot each)."""
-        return {name: ch.metrics().as_dict()
-                for name, ch in self._channels.items()}
-
-    def close(self) -> None:
-        """Unpin the driver copy and detach every channel's card table."""
-        self.cluster.driver.jvm.unpin(self._pin)
-        for channel in self._channels.values():
-            channel.close()

@@ -164,13 +164,30 @@ class SparkContext:
                 )
         return Broadcast(value, len(data), fleet_delivered)
 
+    def send(self, roots, policy=None, workers=None, requested=None):
+        """Ship driver-heap object graphs to the workers, mode per the
+        policy plane: each ``push()`` plans every worker's epoch (full,
+        delta, kernel traversal, parallel streams, digest) from that
+        channel's live signals — no per-call mode flags.  ``policy``
+        accepts a name (``"adaptive"``, ``"crossover"``, ``"full"``,
+        ``"delta"``), a :class:`~repro.policy.policies.DecisionTable`, or
+        a shared :class:`~repro.policy.engine.PolicyEngine`; default
+        adaptive.  Returns a :class:`~repro.spark.send.PolicySend`."""
+        from repro.spark.send import PolicySend
+
+        return PolicySend(
+            self.cluster, roots, policy=policy, exchange=self.exchange,
+            workers=workers, requested=requested,
+        )
+
     def delta_broadcast(self, root: int, policy=None):
-        """Broadcast a driver-heap object graph incrementally: ``push()``
-        ships only what mutated since the previous push (requires Skyway
-        attached; see :mod:`repro.spark.broadcast_delta`).  Epochs travel
-        this context's exchange, whichever substrate it runs."""
+        """Deprecated spelling of :meth:`send` with the legacy
+        mutation-crossover default (see
+        :mod:`repro.spark.broadcast_delta`)."""
+        from repro.policy.shims import warn_deprecated
         from repro.spark.broadcast_delta import DeltaHeapBroadcast
 
+        warn_deprecated("SparkContext.delta_broadcast()")
         return DeltaHeapBroadcast(
             self.cluster, root, policy=policy, exchange=self.exchange
         )
@@ -183,15 +200,17 @@ class SparkContext:
         retain: bool = False,
         **knobs,
     ):
-        """Ship driver-heap roots to one worker over N parallel Skyway
-        streams (paper §4.2 per-thread output buffers): each stream gets
-        its own ``thread_id`` (and, on the socket substrate, its own
-        connection), roots interleave round-robin, and shared subgraphs
-        are cloned once per stream.  ``streams`` defaults to
+        """Deprecated: the policy plane picks stream counts now (a
+        ``parallel-N`` plan from :meth:`send` routes here by itself).
+        Still ships driver-heap roots to one worker over N parallel
+        Skyway streams (paper §4.2); ``streams`` defaults to
         ``config.shuffle_threads``.  Returns a
         :class:`repro.transport.parallel.ParallelSendReport` on either
         substrate.
         """
+        from repro.policy.shims import warn_deprecated
+
+        warn_deprecated("SparkContext.parallel_send()")
         n = streams if streams is not None else max(1, self.config.shuffle_threads)
         return self.exchange.parallel_send(
             worker_name, roots, streams=n, retain=retain, **knobs

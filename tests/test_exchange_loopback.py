@@ -47,7 +47,8 @@ class TestCapabilities:
 
     def test_delta_wins_over_compact_headers(self):
         # Both granted by the loopback offer, but PATCH records address
-        # the uncompacted layout: the channel must drop compact, not delta.
+        # the uncompacted layout: the grant keeps both, and the per-epoch
+        # plan clamp drops compact — delta wins where it matters.
         cluster = make_cluster()
         channel = Exchange.loopback(cluster).channel_to(
             cluster.workers[0].name,
@@ -55,8 +56,13 @@ class TestCapabilities:
                                           compact_headers=True),
         )
         assert channel.capabilities.delta
-        assert not channel.capabilities.compact_headers
+        assert channel.capabilities.compact_headers  # the grant survives
         assert LOOPBACK_OFFER.compact_headers  # the offer did include it
+        head = make_list(cluster.driver.jvm, range(10))
+        receipt = channel.send([head])
+        assert receipt.plan is not None
+        assert not receipt.plan.compact_headers
+        assert receipt.mode == "full"
 
     def test_declining_delta_forces_full_epochs(self):
         cluster = make_cluster()

@@ -1,0 +1,179 @@
+"""End-to-end policy plane: ``sc.send`` over the loopback cluster, the
+deprecation shims on the legacy entry points, and the per-channel
+mutation-rate / bytes-per-epoch gauges."""
+
+import warnings
+
+import pytest
+
+from repro import obs
+from repro.apps.incremental import (
+    IncrementalPageRank,
+    build_vertex_graph,
+    install_incremental_classes,
+    read_ranks,
+)
+from repro.core.adapter import SkywaySerializer
+from repro.core.runtime import attach_skyway
+from repro.jvm.jvm import JVM
+from repro.net.cluster import Cluster
+from repro.policy import PolicyEngine
+from repro.policy.shims import reset_deprecation_warnings
+from repro.spark.context import SparkContext
+from repro.types.classdef import ClassPath
+from repro.types.corelib import install_core_classes
+
+# A ring alone is a PageRank fixed point (every rank stays 1.0, nothing
+# ever dirties); the hub/spoke edges make every sweep move real bytes.
+N = 120
+EDGES = (
+    [(i, (i + 1) % N) for i in range(N)]
+    + [(0, j) for j in range(2, 40)]
+    + [(j, 0) for j in range(40, 80)]
+)
+
+
+@pytest.fixture
+def classpath():
+    return install_incremental_classes(install_core_classes(ClassPath()))
+
+
+def make_context(classpath, workers=2):
+    cluster = Cluster(lambda name: JVM(name, classpath=classpath),
+                      worker_count=workers)
+    attach_skyway(cluster.driver.jvm,
+                  [w.jvm for w in cluster.workers], cluster=cluster)
+    return cluster, SparkContext(cluster, SkywaySerializer())
+
+
+class TestPolicySend:
+    def test_adaptive_lifecycle_with_parity(self, classpath):
+        """Bootstrap FULL, sparse step delta, saturated step FULL — the
+        worker copy byte-tracks the driver at every point."""
+        cluster, sc = make_context(classpath)
+        driver = cluster.driver.jvm
+        graph = build_vertex_graph(driver, EDGES)
+        pagerank = IncrementalPageRank(driver, graph)
+        send = sc.send(graph)
+        try:
+            bootstrap = send.push()
+            assert set(bootstrap.modes.values()) == {"full"}
+
+            pagerank.step(active_fraction=0.02)
+            sparse = send.push()
+            assert set(sparse.modes.values()) == {"delta"}
+            assert sparse.wire_bytes < bootstrap.wire_bytes / 5
+
+            pagerank.step(active_fraction=1.0)
+            saturated = send.push()
+            assert set(saturated.modes.values()) == {"full"}
+
+            expected = read_ranks(driver, graph)
+            for worker in cluster.workers:
+                local = send.value_on(worker)
+                assert read_ranks(worker.jvm, local) == expected
+        finally:
+            send.close()
+
+    def test_no_call_site_picks_a_mode(self, classpath):
+        """Every epoch's mode comes out of the engine: the push reports
+        and the channel's last_plan agree, and the decision count equals
+        pushes x workers."""
+        cluster, sc = make_context(classpath)
+        driver = cluster.driver.jvm
+        graph = build_vertex_graph(driver, EDGES)
+        send = sc.send(graph, policy="crossover")
+        try:
+            send.push()
+            send.push()
+            assert send.engine.decisions == 2 * len(cluster.workers)
+            for name, metrics in send.metrics().items():
+                plan = metrics["last_plan"]
+                assert plan is not None
+                assert plan["policy"] == "crossover"
+                assert plan["mode"] == send.pushes[-1].modes[name]
+        finally:
+            send.close()
+
+    def test_shared_engine_across_sends(self, classpath):
+        cluster, sc = make_context(classpath)
+        driver = cluster.driver.jvm
+        engine = PolicyEngine("adaptive")
+        a = sc.send(build_vertex_graph(driver, EDGES), policy=engine)
+        b = sc.send(build_vertex_graph(driver, EDGES), policy=engine)
+        try:
+            assert a.engine is engine and b.engine is engine
+            a.push()
+            b.push()
+            # One engine, distinct per-channel histories.
+            assert len(engine.snapshot()["channels"]) == \
+                2 * len(cluster.workers)
+        finally:
+            a.close()
+            b.close()
+
+    def test_send_requires_skyway(self, classpath):
+        cluster = Cluster(lambda name: JVM(name, classpath=classpath),
+                          worker_count=1)
+        sc = SparkContext(cluster, SkywaySerializer())
+        with pytest.raises(RuntimeError, match="attach_skyway"):
+            sc.send(1234)
+
+
+class TestChannelGauges:
+    def test_mutation_and_bytes_gauges_registered(self, classpath):
+        obs.reset()
+        try:
+            cluster, sc = make_context(classpath)
+            driver = cluster.driver.jvm
+            graph = build_vertex_graph(driver, EDGES)
+            pagerank = IncrementalPageRank(driver, graph)
+            send = sc.send(graph)
+            send.push()
+            pagerank.step(active_fraction=0.02)
+            send.push()
+
+            gauges = obs.registry().snapshot()["gauges"]
+            for worker in cluster.workers:
+                labels = f"{{destination={worker.name},substrate=loopback}}"
+                per_epoch = gauges[f"exchange.bytes_per_epoch{labels}"]
+                assert per_epoch > 0
+                assert f"exchange.mutation_rate{labels}" in gauges
+            send.close()
+        finally:
+            obs.reset()
+
+
+class TestDeprecationShims:
+    def test_delta_broadcast_warns_once(self, classpath):
+        cluster, sc = make_context(classpath)
+        graph = build_vertex_graph(cluster.driver.jvm, EDGES)
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning,
+                          match=r"delta_broadcast.*send\(policy="):
+            first = sc.delta_broadcast(graph)
+        first.close()
+        # Warn-once: the second call is silent.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            second = sc.delta_broadcast(graph)
+        second.close()
+        assert not [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_parallel_send_warns(self, classpath):
+        cluster, sc = make_context(classpath, workers=1)
+        driver = cluster.driver.jvm
+        roots = [build_vertex_graph(driver, [(0, 1), (1, 0)])
+                 for _ in range(2)]
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning, match="parallel_send"):
+            report = sc.parallel_send(cluster.workers[0].name, roots,
+                                      streams=2)
+        assert len(report.streams) == 2
+
+    def test_serializer_delta_flag_warns(self):
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning,
+                          match=r"SkywaySerializer\(delta=True\)"):
+            SkywaySerializer(delta=True)
