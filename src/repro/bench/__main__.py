@@ -234,7 +234,8 @@ def cmd_fleet(args) -> None:
     # --scale 0.02 maps to the full 1.5k-vertex graph; --smoke runs one
     # 4-worker fleet on a smaller graph as the CI gate.
     vertices = max(300, int(round(1_500 * args.scale / 0.02)))
-    result = run_fleet_experiment(vertices=vertices, smoke=args.smoke)
+    result = run_fleet_experiment(vertices=vertices, smoke=args.smoke,
+                                  live=args.live)
     report = format_fleet_report(result)
     print(report)
     results_dir = _results_dir()
@@ -257,7 +258,7 @@ def cmd_fanin(args) -> None:
     # Channel counts are fixed per tier (16/128/1024 full, 8/32 smoke):
     # B-FANIN measures connection fan-in, not graph size, so --scale
     # deliberately does not apply.
-    result = run_fanin_experiment(smoke=args.smoke)
+    result = run_fanin_experiment(smoke=args.smoke, live=args.live)
     report = format_fanin_report(result)
     print(report)
     results_dir = _results_dir()
@@ -361,6 +362,10 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="kernels/exchange/fleet/fanin/policy: reduced "
                              "workload, fail on parity drift")
+    parser.add_argument("--live", action="store_true",
+                        help="fleet/fanin: snapshot the fleet telemetry "
+                             "plane (`repro.obs top` frames) into the "
+                             "report")
     parser.add_argument("--trace", action="store_true",
                         help="run with tracing enabled and write "
                              "<experiment>.trace.json / <experiment>.obs.json "

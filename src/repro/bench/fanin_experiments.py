@@ -31,6 +31,7 @@ Results land in ``benchmarks/results/fanin.{txt,json}``.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -236,7 +237,8 @@ def _mutate(driver, heads: List[int]) -> None:
         driver.jvm.set_field(head, "payload", current + 10_000)
 
 
-def _run_arm(mode: str, count: int, index: int) -> Dict[str, object]:
+def _run_arm(mode: str, count: int, index: int,
+             coordinator=None) -> Dict[str, object]:
     driver = build_runtime(f"fanin-driver-{mode}-{count}", SAMPLE_FACTORY,
                            old_bytes=256 * MB)
     pins = []
@@ -251,14 +253,22 @@ def _run_arm(mode: str, count: int, index: int) -> Dict[str, object]:
         for i in range(count)
     ]
 
-    handle = WorkerHandle.spawn(WorkerSpec(
+    spec = WorkerSpec(
         name=f"fanin-{mode}-{count}",
         classpath_factory=SAMPLE_FACTORY,
         serve_mode=mode,
         read_timeout=300.0,
         old_bytes=256 * MB,
         listen_backlog=2048,
-    ), startup_timeout=60.0)
+    )
+    if coordinator is not None:
+        # Live mode: the arm's worker registers and heartbeats its
+        # telemetry, so the run ends with a `repro.obs top` frame.
+        spec = dataclasses.replace(
+            spec, coordinator_host=coordinator.host,
+            coordinator_port=coordinator.port,
+        )
+    handle = WorkerHandle.spawn(spec, startup_timeout=60.0)
 
     row: Dict[str, object] = {
         "mode": mode, "channels": count, "epochs": [],
@@ -268,6 +278,8 @@ def _run_arm(mode: str, count: int, index: int) -> Dict[str, object]:
             _run_async_arm(driver, handle, channels, heads, row)
         else:
             _run_threads_arm(driver, handle, channels, heads, row)
+        if coordinator is not None:
+            row["live_top"] = _live_frame(coordinator)
     finally:
         handle.stop()
         for channel in channels:
@@ -284,21 +296,53 @@ def _run_arm(mode: str, count: int, index: int) -> Dict[str, object]:
     return row
 
 
+def _live_frame(coordinator) -> str:
+    """One `repro.obs top` frame from the live coordinator (telemetry
+    needs a heartbeat round to land the final epochs first)."""
+    from repro.cluster.membership import CoordinatorClient
+    from repro.obs.live import render_top
+
+    time.sleep(0.3)
+    with CoordinatorClient(coordinator.host, coordinator.port) as client:
+        doc = client.call("telemetry")["telemetry"]
+    return render_top(doc, alive=doc.get("alive"))
+
+
 def run_fanin_experiment(
     channel_counts: Optional[Sequence[int]] = None,
     smoke: bool = False,
+    live: bool = False,
 ) -> Dict[str, object]:
-    """Returns a JSON-serializable result dict (see module docstring)."""
+    """Returns a JSON-serializable result dict (see module docstring).
+    ``live=True`` spins a coordinator so each arm's worker streams
+    telemetry; rows gain a rendered ``repro.obs top`` frame."""
     if channel_counts is None:
         channel_counts = SMOKE_CHANNELS if smoke else DEFAULT_CHANNELS
+    coordinator = None
+    if live:
+        from repro.cluster.coordinator import (
+            CoordinatorHandle,
+            CoordinatorSpec,
+        )
+
+        coordinator = CoordinatorHandle.spawn(
+            CoordinatorSpec(name="fanin-live-coordinator"),
+            startup_timeout=30.0,
+        )
     rows = []
-    for index, count in enumerate(channel_counts):
-        for mode in ("threads", "async"):
-            rows.append(_run_arm(mode, count, index))
+    try:
+        for index, count in enumerate(channel_counts):
+            for mode in ("threads", "async"):
+                rows.append(_run_arm(mode, count, index,
+                                     coordinator=coordinator))
+    finally:
+        if coordinator is not None:
+            coordinator.stop()
     return {
         "channel_counts": list(channel_counts),
         "list_nodes": LIST_NODES,
         "smoke": smoke,
+        "live": live,
         "rows": rows,
         "checks": _checks(rows, max(channel_counts)),
     }
@@ -364,6 +408,11 @@ def format_fanin_report(result: Dict[str, object]) -> str:
             f"{aserve.get('queue_wait_p50_s', 0.0) * 1e3:.2f} ms / p99 "
             f"{aserve.get('queue_wait_p99_s', 0.0) * 1e3:.2f} ms",
         ]
+    for row in result["rows"]:
+        if row.get("live_top"):
+            lines += ["", f"  -- live telemetry after {row['mode']}/"
+                          f"{row['channels']} --"]
+            lines += [f"  {l}" for l in row["live_top"].splitlines()]
     lines += [
         "",
         "  checks: " + "  ".join(

@@ -45,7 +45,8 @@ SMOKE_VERTICES = 500
 MUTATION_FRACTION = 0.10
 
 
-def _run_size(size: int, vertices: int, index: int) -> Dict[str, object]:
+def _run_size(size: int, vertices: int, index: int,
+              live: bool = False) -> Dict[str, object]:
     """One fleet size: broadcast, all-pairs shuffle, failure drill."""
     driver = build_runtime(f"fleet-driver-{index}", SAMPLE_FACTORY,
                            old_bytes=256 * MB)
@@ -149,6 +150,15 @@ def _run_size(size: int, vertices: int, index: int) -> Dict[str, object]:
             row["coordinator_deaths_detected"] = stats["deaths_detected"]
             row["fleet_resyncs"] = sum(
                 c.resyncs for c in fleet._channels.values())
+            if live:
+                # One last heartbeat round so the final epochs' telemetry
+                # lands, then snapshot the live table for the report.
+                from repro.obs.live import render_top
+
+                time.sleep(0.3)
+                doc = fleet.telemetry()
+                row["telemetry_rollups"] = doc.get("rollups", {})
+                row["live_top"] = render_top(doc, alive=doc.get("alive"))
             return row
         finally:
             fleet.close()
@@ -159,18 +169,23 @@ def run_fleet_experiment(
     sizes: Optional[Sequence[int]] = None,
     vertices: int = DEFAULT_VERTICES,
     smoke: bool = False,
+    live: bool = False,
 ) -> Dict[str, object]:
-    """Returns a JSON-serializable result dict (see module docstring)."""
+    """Returns a JSON-serializable result dict (see module docstring).
+    ``live=True`` additionally snapshots each fleet's telemetry table
+    (the ``repro.obs top`` frame) into the rows."""
     if smoke:
         sizes = SMOKE_SIZES if sizes is None else sizes
         vertices = min(vertices, SMOKE_VERTICES)
     elif sizes is None:
         sizes = DEFAULT_SIZES
-    rows = [_run_size(size, vertices, i) for i, size in enumerate(sizes)]
+    rows = [_run_size(size, vertices, i, live=live)
+            for i, size in enumerate(sizes)]
     return {
         "sizes": list(sizes),
         "vertices": vertices,
         "smoke": smoke,
+        "live": live,
         "rows": rows,
         "checks": _checks(rows),
     }
@@ -227,6 +242,11 @@ def format_fleet_report(result: Dict[str, object]) -> str:
             f"{row['p2p_wire_bytes']:>10} {match:>6} {kill:>5} "
             f"{resync:>7} {row['coordinator_rpcs']:>6}"
         )
+    for row in result["rows"]:
+        if row.get("live_top"):
+            lines += ["", f"  -- live telemetry, fleet of "
+                          f"{row['fleet_size']} --"]
+            lines += [f"  {l}" for l in row["live_top"].splitlines()]
     lines += [
         "",
         "  checks: " + "  ".join(

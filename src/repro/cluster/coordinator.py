@@ -44,6 +44,7 @@ import time
 from typing import Dict, List, Optional
 
 from repro.cluster.errors import ClusterProtocolError, PeerGoneError
+from repro.obs.live import FleetTelemetry, TelemetryError
 from repro.transport import frames
 from repro.transport.bootstrap import bind_listener
 from repro.transport.connection import FrameConnection
@@ -68,6 +69,17 @@ class CoordinatorSpec:
     #: Consecutive missed heartbeats before a worker is marked dead.
     miss_limit: int = 3
     read_timeout: float = 10.0
+    #: Telemetry plane: per-worker bounded sample window (heartbeats kept)
+    #: and flight-recorder entries retained for postmortems.
+    telemetry_window: int = 120
+    recorder_keep: int = 256
+    #: Straggler rule: flag a worker whose windowed mean epoch-receive
+    #: latency exceeds ``straggler_factor`` × the fleet median (with at
+    #: least ``straggler_min_samples`` epochs in its window and a median
+    #: above ``straggler_min_seconds`` so idle jitter can't flag anyone).
+    straggler_factor: float = 3.0
+    straggler_min_samples: int = 3
+    straggler_min_seconds: float = 1e-3
 
 
 @dataclasses.dataclass
@@ -111,6 +123,16 @@ class CoordinatorServer:
         self.rpcs_served = 0
         self.deaths_detected = 0
         self._conn_threads: List[threading.Thread] = []
+        #: The fleet telemetry store: per-worker bounded series + recorder
+        #: rings (kept after death — that is the postmortem), fleet
+        #: rollups, and edge-triggered straggler events.
+        self.telemetry = FleetTelemetry(
+            window=spec.telemetry_window,
+            recorder_keep=spec.recorder_keep,
+            straggler_factor=spec.straggler_factor,
+            straggler_min_samples=spec.straggler_min_samples,
+            straggler_min_seconds=spec.straggler_min_seconds,
+        )
         self.log = logging.getLogger(f"repro.coordinator.{spec.name}")
 
     # -- membership --------------------------------------------------------
@@ -152,6 +174,7 @@ class CoordinatorServer:
     def _op_heartbeat(self, call: dict) -> dict:
         name = call.get("name")
         generation = int(call.get("generation", 0))
+        telemetry = call.get("telemetry")
         now = time.monotonic()
         with self._lock:
             record = self._records.get(name)
@@ -166,7 +189,17 @@ class CoordinatorServer:
                 # re-open against the same generation.
                 record.alive = True
                 self.log.info("worker %s resumed heartbeats", name)
-            return {"op": "heartbeat", "known": True, "alive": True}
+        result = {"op": "heartbeat", "known": True, "alive": True}
+        if telemetry is not None:
+            # Liveness is already booked: a malformed piggyback payload
+            # rejects as a typed ERROR (connection survives) without
+            # un-beating the worker.
+            try:
+                self.telemetry.ingest(name, generation, telemetry)
+            except TelemetryError as exc:
+                raise ClusterProtocolError(str(exc)) from exc
+            result["telemetry_seq"] = telemetry.get("seq")
+        return result
 
     def _op_lookup(self, call: dict) -> dict:
         name = call.get("name")
@@ -257,6 +290,42 @@ class CoordinatorServer:
         self._running = False
         return {"op": "shutdown", "ok": True}
 
+    # -- telemetry ---------------------------------------------------------
+
+    def _alive_names(self) -> List[str]:
+        with self._lock:
+            return [r.name for r in self._records.values() if r.alive]
+
+    def _op_telemetry(self, call: dict) -> dict:
+        doc = self.telemetry.document(
+            worker=call.get("worker"),
+            include_window=bool(call.get("include_window", False)),
+            alive=self._alive_names(),
+            include_workers=bool(call.get("include_workers", True)),
+        )
+        with self._lock:
+            doc["alive"] = {name: r.alive
+                            for name, r in self._records.items()}
+        return {"op": "telemetry", "telemetry": doc}
+
+    def _op_postmortem(self, call: dict) -> dict:
+        name = call.get("name")
+        if not name:
+            raise ClusterProtocolError("postmortem requires a worker name")
+        doc = self.telemetry.postmortem(name)
+        if doc is None:
+            return {"op": "postmortem", "found": False, "worker": name}
+        with self._lock:
+            record = self._records.get(name)
+            alive = record.alive if record is not None else False
+        return {"op": "postmortem", "found": True, "worker": name,
+                "alive": alive, "postmortem": doc}
+
+    def _op_events(self, call: dict) -> dict:
+        since = int(call.get("since", 0))
+        return {"op": "events",
+                "events": self.telemetry.events_since(since)}
+
     _OPS = {
         "ping": _op_ping,
         "register": _op_register,
@@ -267,6 +336,9 @@ class CoordinatorServer:
         "report_dead": _op_report_dead,
         "deregister": _op_deregister,
         "stats": _op_stats,
+        "telemetry": _op_telemetry,
+        "postmortem": _op_postmortem,
+        "events": _op_events,
         "shutdown": _op_shutdown,
     }
 
@@ -296,6 +368,25 @@ class CoordinatorServer:
         while self._running:
             time.sleep(self.spec.heartbeat_interval / 2)
             self.sweep_liveness()
+            self.sweep_stragglers()
+
+    def sweep_stragglers(self) -> List[dict]:
+        """One straggler-detection pass over the alive workers' windowed
+        series; returns (and logs) the newly emitted transition events.
+        Called by the monitor thread, and directly by tests."""
+        events = self.telemetry.detect(alive=self._alive_names())
+        for event in events:
+            if event["event"] == "straggler":
+                self.log.warning(
+                    "cluster.straggler: worker %s %s=%.6fs vs fleet "
+                    "median %.6fs (factor %.1f)",
+                    event["worker"], event["metric"], event["value"],
+                    event["median"], event["factor"],
+                )
+            else:
+                self.log.info("cluster.straggler recovered: worker %s",
+                              event["worker"])
+        return events
 
     # -- connection loop ---------------------------------------------------
 

@@ -157,6 +157,9 @@ class Fleet:
         #: (src, dst) -> (channel_id, dst generation) peer routes
         self._routes: Dict[Tuple[str, str], Tuple[int, int]] = {}
         self.peer_transfers = 0
+        #: Cursor into the coordinator's straggler event ring
+        #: (:meth:`new_stragglers` reads past it).
+        self._event_cursor = 0
 
     @classmethod
     def connect(cls, runtime: SkywayRuntime, host: str, port: int,
@@ -186,6 +189,49 @@ class Fleet:
 
     def stats(self) -> dict:
         return self.coordinator.call("stats")
+
+    # -- telemetry views ---------------------------------------------------
+
+    def telemetry(self, worker: Optional[str] = None,
+                  include_window: bool = False) -> dict:
+        """The coordinator's fleet telemetry document: per-worker series
+        totals + rollups + straggler events (what ``repro.obs top``
+        renders)."""
+        return self.coordinator.call(
+            "telemetry", worker=worker, include_window=include_window,
+        )["telemetry"]
+
+    def postmortem(self, worker: str) -> Optional[dict]:
+        """Everything the coordinator still holds for ``worker`` — final
+        series and the flight-recorder dump its last heartbeat carried.
+        Works on dead workers; that is the point.  None if the worker
+        never streamed telemetry."""
+        result = self.coordinator.call("postmortem", name=worker)
+        if not result.get("found"):
+            return None
+        return result["postmortem"]
+
+    def new_stragglers(self) -> List[dict]:
+        """Straggler/recovered events emitted since the last call (a
+        cursor per Fleet instance — the driver's event feed)."""
+        result = self.coordinator.call("events", since=self._event_cursor)
+        events = result.get("events", [])
+        if events:
+            self._event_cursor = max(e["seq"] for e in events)
+        return events
+
+    def refresh_fleet_context(self) -> Optional[dict]:
+        """Pull the fleet rollup (cheap: no per-worker series) and feed it
+        to the policy engine as optional context.  Best-effort — telemetry
+        must never fail a send path."""
+        try:
+            doc = self.coordinator.call(
+                "telemetry", include_workers=False)["telemetry"]
+        except Exception:  # noqa: BLE001 - telemetry is advisory
+            return None
+        rollup = doc.get("rollups")
+        self.engine.update_fleet_context(rollup)
+        return rollup
 
     # -- clients & channels ------------------------------------------------
 
@@ -259,6 +305,7 @@ class Fleet:
         receipts: Dict[str, SendReceipt] = {}
         failures: Dict[str, PeerGoneError] = {}
         names = [r["name"] for r in self.workers()]
+        self.refresh_fleet_context()  # rollups → policy signals, advisory
         with obs.span("cluster.broadcast", workers=len(names)) as sp:
             for worker in names:
                 try:
@@ -270,7 +317,16 @@ class Fleet:
                     # the recover path — fresh channel id, forced FULL.
                     failures[worker] = exc
             sp.set(delivered=len(receipts), failed=len(failures))
-        return BroadcastResult(receipts, failures)
+        try:
+            stragglers = self.new_stragglers()
+        except Exception:  # noqa: BLE001 - telemetry is advisory
+            stragglers = []
+        if stragglers:
+            for event in stragglers:
+                if event.get("event") == "straggler":
+                    obs.registry().counter("cluster.straggler",
+                                           worker=event["worker"])
+        return BroadcastResult(receipts, failures, stragglers=stragglers)
 
     def broadcast_blob(self, data: bytes) -> "BroadcastResult":
         """Same fan-out for opaque bytes (the Spark broadcast payload)."""
@@ -407,9 +463,13 @@ class BroadcastResult:
     """Per-worker outcomes of one fleet broadcast."""
 
     def __init__(self, receipts: Dict[str, object],
-                 failures: Dict[str, PeerGoneError]) -> None:
+                 failures: Dict[str, PeerGoneError],
+                 stragglers: Optional[List[dict]] = None) -> None:
         self.receipts = receipts
         self.failures = failures
+        #: ``cluster.straggler`` / ``recovered`` events the coordinator
+        #: emitted since the previous broadcast (telemetry plane).
+        self.stragglers = stragglers if stragglers is not None else []
 
     @property
     def delivered(self) -> int:

@@ -43,6 +43,9 @@ class FleetHarness:
         old_bytes: int = 64 * MB,
         startup_timeout: float = 30.0,
         serve_mode: str = "async",
+        telemetry: bool = True,
+        straggler_factor: float = 3.0,
+        straggler_min_samples: int = 3,
     ) -> None:
         if size < 1:
             raise ClusterConfigError("a fleet needs at least one worker")
@@ -54,12 +57,15 @@ class FleetHarness:
         self._old_bytes = old_bytes
         self._startup_timeout = startup_timeout
         self._serve_mode = serve_mode
+        self._telemetry = telemetry
         self._stopped = False
         self.coordinator = CoordinatorHandle.spawn(
             CoordinatorSpec(
                 name=f"{name}-coordinator",
                 heartbeat_interval=heartbeat_interval,
                 miss_limit=miss_limit,
+                straggler_factor=straggler_factor,
+                straggler_min_samples=straggler_min_samples,
             ),
             startup_timeout=startup_timeout,
         )
@@ -87,6 +93,7 @@ class FleetHarness:
             coordinator_host=self.coordinator.host,
             coordinator_port=self.coordinator.port,
             strict_channels=True,
+            telemetry=self._telemetry,
         )
 
     @property

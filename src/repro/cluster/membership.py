@@ -162,6 +162,11 @@ class WorkerMembership:
         self.heartbeat_interval = 0.2
         self.heartbeats_sent = 0
         self.reregistrations = 0
+        #: Optional :class:`repro.obs.live.TelemetrySampler`.  When set,
+        #: every heartbeat piggybacks one metric delta — no extra
+        #: connection, no extra op.
+        self.sampler = None
+        self.telemetry_sent = 0
         self._client: Optional[CoordinatorClient] = None
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -207,13 +212,27 @@ class WorkerMembership:
 
     # -- heartbeat loop ----------------------------------------------------
 
+    def attach_telemetry(self, sampler) -> None:
+        """Piggyback this sampler's deltas on every future heartbeat."""
+        self.sampler = sampler
+
     def _beat_once(self) -> None:
+        payload = None
         try:
-            result = self._connect().call(
-                "heartbeat", name=self.worker_name,
-                generation=self.generation,
-            )
+            params = {"name": self.worker_name,
+                      "generation": self.generation}
+            if self.sampler is not None:
+                payload = self.sampler.sample()
+                params["telemetry"] = payload
+            result = self._connect().call("heartbeat", **params)
             self.heartbeats_sent += 1
+            if payload is not None:
+                # Delivered: the sampler stops re-merging this delta.  An
+                # exception anywhere above skips the ack, and the next
+                # sample folds the undelivered counts back in — a flaky
+                # coordinator loses no telemetry, only freshness.
+                self.sampler.ack(payload["seq"])
+                self.telemetry_sent += 1
             if not result.get("known", False):
                 # Coordinator restarted or replaced our record:
                 # re-register on the spot so the outage window is one beat.

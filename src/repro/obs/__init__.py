@@ -30,6 +30,14 @@ lock, no clock read.
 
 from __future__ import annotations
 
+from repro.obs.recorder import (
+    FlightRecorder,
+    disable_recorder,
+    enable_recorder,
+    get_recorder,
+    record,
+    recorder_enabled,
+)
 from repro.obs.registry import MetricsRegistry, registry
 from repro.obs.tracer import (
     NOOP_SPAN,
@@ -47,6 +55,7 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "FlightRecorder",
     "MetricsRegistry",
     "NOOP_SPAN",
     "Span",
@@ -54,10 +63,15 @@ __all__ = [
     "absorb_remote",
     "current_context",
     "disable",
+    "disable_recorder",
     "enable",
+    "enable_recorder",
     "enabled",
     "end_span",
+    "get_recorder",
     "get_tracer",
+    "record",
+    "recorder_enabled",
     "registry",
     "reset",
     "snapshot",
@@ -83,7 +97,8 @@ def snapshot() -> dict:
 
 def reset() -> None:
     """Detach all global observability state: drop the tracer (spans and
-    all) and clear the registry including its sources.  Tests call this
-    between cases so nothing leaks across them."""
+    all), detach the flight recorder, and clear the registry including
+    its sources.  Tests call this between cases so nothing leaks."""
     disable()
+    disable_recorder()
     registry().clear()

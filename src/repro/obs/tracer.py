@@ -37,6 +37,8 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs import recorder as _recorder_mod
+
 
 @dataclasses.dataclass
 class Span:
@@ -230,6 +232,12 @@ class Tracer:
         clock = getattr(span, "_clock", None)
         if clock is not None:
             span.sim_end_us = clock.total() * 1e6
+        # Flight-recorder tap: with no recorder enabled this is one global
+        # load and one None check — the ring only sees spans when both a
+        # tracer *and* a recorder are on.
+        rec = _recorder_mod._recorder
+        if rec is not None and rec.span_tap:
+            rec.record_span(span)
         return span
 
     # -- reading / draining ------------------------------------------------

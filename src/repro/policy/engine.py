@@ -67,6 +67,10 @@ class PolicyEngine:
         self.alpha = alpha
         self.decisions = 0
         self._history: Dict[int, ChannelHistory] = {}
+        #: Latest fleet-wide telemetry rollup (``Fleet`` feeds it from the
+        #: coordinator's telemetry document); optional context every
+        #: subsequent plan() folds into its signals.
+        self.fleet_context: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
 
@@ -98,6 +102,9 @@ class PolicyEngine:
         signals.bandwidth_bps = hist.bandwidth_bps
         signals.queue_wait_seconds = hist.queue_wait_seconds
         signals.last_mode = hist.last_mode
+        if self.fleet_context is not None:
+            signals.fleet_bandwidth_bps = self.fleet_context.get(
+                "fleet_median_bandwidth_bps")
 
         with obs.span("policy.decide", policy=self.policy.name,
                       channel=signals.channel_id,
@@ -126,6 +133,12 @@ class PolicyEngine:
         )
         return plan
 
+    def update_fleet_context(self, rollup: Optional[Dict[str, object]]
+                             ) -> None:
+        """Adopt the latest fleet telemetry rollup (median bandwidth /
+        latency, straggler names) as optional decision context."""
+        self.fleet_context = dict(rollup) if rollup is not None else None
+
     def observe_transfer(self, channel_id: int, wire_bytes: int,
                          seconds: float,
                          queue_wait_seconds: float = 0.0) -> None:
@@ -140,6 +153,7 @@ class PolicyEngine:
         return {
             "policy": self.policy.name,
             "decisions": self.decisions,
+            "fleet_context": self.fleet_context,
             "channels": {
                 cid: hist.as_dict()
                 for cid, hist in sorted(self._history.items())

@@ -50,6 +50,11 @@ class ChannelSignals:
     #: EWMA of measured wire bandwidth (bytes/second), from
     #: ``PolicyEngine.observe_transfer``; None before the first transfer.
     bandwidth_bps: Optional[float] = None
+    #: Fleet-median effective bandwidth (bytes/second) from the telemetry
+    #: plane's rollups (``PolicyEngine.update_fleet_context``); None when
+    #: no fleet context has been fed.  Lets a policy judge *this*
+    #: channel's bandwidth against the fleet instead of in isolation.
+    fleet_bandwidth_bps: Optional[float] = None
     #: Latest chunk-queue stall seconds ("traversal outran the wire").
     queue_wait_seconds: float = 0.0
     #: EWMA of the object-count mutation rate across observed epochs.
@@ -101,6 +106,7 @@ class ChannelSignals:
             "heterogeneous": self.heterogeneous,
             "delta_capable": self.delta_capable,
             "bandwidth_bps": self.bandwidth_bps,
+            "fleet_bandwidth_bps": self.fleet_bandwidth_bps,
             "queue_wait_seconds": self.queue_wait_seconds,
             "mutation_ewma": self.mutation_ewma,
             "byte_fraction_ewma": self.byte_fraction_ewma,

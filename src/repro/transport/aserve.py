@@ -110,7 +110,7 @@ class _MuxStream:
     """One in-flight multiplexed channel stream on one connection."""
 
     __slots__ = ("channel_id", "epoch", "kind", "buf", "crc", "chunks",
-                 "error")
+                 "error", "started")
 
     def __init__(self, channel_id: int, epoch: int, kind: int) -> None:
         self.channel_id = channel_id
@@ -119,6 +119,10 @@ class _MuxStream:
         self.buf = bytearray()
         self.crc = 0
         self.chunks = 0
+        #: EPOCH-header arrival stamp; trailer-minus-this is the stream's
+        #: receive duration — the telemetry series straggler detection
+        #: reads (a paced wire stretches the chunk arrivals in between).
+        self.started = time.monotonic()
         #: Set when admission failed at the EPOCH header: chunks are then
         #: counted but discarded, and the trailer answers ok=false.
         self.error: Optional[Tuple[str, str]] = None
@@ -128,10 +132,11 @@ class _ReadyEpoch:
     """A reassembled epoch waiting for its turn on the heap."""
 
     __slots__ = ("channel_id", "epoch", "kind", "data", "stream_bytes",
-                 "digest", "enqueued")
+                 "digest", "enqueued", "receive_s")
 
     def __init__(self, channel_id: int, epoch: int, kind: int,
-                 data: bytes, stream_bytes: int, digest: bool) -> None:
+                 data: bytes, stream_bytes: int, digest: bool,
+                 receive_s: Optional[float] = None) -> None:
         self.channel_id = channel_id
         self.epoch = epoch
         self.kind = kind
@@ -139,6 +144,7 @@ class _ReadyEpoch:
         self.stream_bytes = stream_bytes
         self.digest = digest
         self.enqueued = time.perf_counter()
+        self.receive_s = receive_s
 
 
 class _AsyncConn:
@@ -168,6 +174,7 @@ class _AsyncConn:
         self.stream_crc = 0
         self.stream_chunks = 0
         self.epoch_header: Optional[Tuple[int, int, int]] = None
+        self.epoch_started = 0.0
         self.trace_pending: Optional[Tuple[str, str]] = None
         self.op_trace: Optional[Tuple[str, str]] = None
         # multiplexed state
@@ -406,6 +413,8 @@ class AsyncWorkerServer:
         self.core.log.warning(
             "op failed, answering ERROR: %s: %s", type(exc).__name__, exc,
         )
+        obs.record("error", error=type(exc).__name__,
+                   detail=str(exc)[:200])
         try:
             conn.send_frame(
                 frames.ERROR,
@@ -453,6 +462,7 @@ class AsyncWorkerServer:
             channel_id, epoch, kind = frames.decode_epoch_header(payload)
             self.core._check_channel_id(channel_id)
             conn.epoch_header = (channel_id, epoch, kind)
+            conn.epoch_started = time.monotonic()
             conn.sink = _BlobSink()
             conn.mode = _STREAM
             return
@@ -593,6 +603,7 @@ class AsyncWorkerServer:
                 return core.complete_put_blob(call.get("key"), data)
         else:  # recv_epoch — DeltaStaleError propagates: ERROR + close
             channel_id, epoch, kind = header
+            receive_s = time.monotonic() - conn.epoch_started
 
             def run():
                 with obs.span("recv.receive", clock=clock,
@@ -601,7 +612,8 @@ class AsyncWorkerServer:
                     data = bytes(sink.data)
                 return core.complete_recv_epoch(
                     channel_id, epoch, kind, data, total,
-                    digest=call.get("digest", True))
+                    digest=call.get("digest", True),
+                    receive_seconds=receive_s)
         self._finish_call(conn, op, run)
 
     # -- multiplexed streams -----------------------------------------------
@@ -649,6 +661,8 @@ class AsyncWorkerServer:
         if stream.error is not None:
             self.epoch_failures += 1
             kind, message = stream.error
+            obs.record("error", error=kind, channel=channel_id,
+                       epoch=stream.epoch, detail=message[:200])
             conn.send_frame(frames.RESULT, frames.encode_json({
                 "op": "recv_epoch", "ok": False, "channel_id": channel_id,
                 "epoch": stream.epoch, "error_kind": kind, "error": message,
@@ -666,6 +680,7 @@ class AsyncWorkerServer:
         conn.ready.append(_ReadyEpoch(
             channel_id, stream.epoch, stream.kind, bytes(stream.buf),
             received, digest,
+            receive_s=time.monotonic() - stream.started,
         ))
         conn.pending_per_channel[channel_id] = \
             conn.pending_per_channel.get(channel_id, 0) + 1
@@ -747,12 +762,19 @@ class AsyncWorkerServer:
                 result = self.core.complete_recv_epoch(
                     item.channel_id, item.epoch, item.kind, item.data,
                     item.stream_bytes, digest=item.digest,
+                    receive_seconds=item.receive_s,
                 )
             result["ok"] = True
             result["queue_wait_s"] = wait
             self.epochs_applied += 1
         except Exception as exc:  # noqa: BLE001 - per-channel blast radius
             self.epoch_failures += 1
+            # Flight-recorder the NACK (DeltaStaleError above all): the
+            # next heartbeat ships it, so a dying worker's channel
+            # failures survive at the coordinator.
+            obs.record("error", error=type(exc).__name__,
+                       channel=item.channel_id, epoch=item.epoch,
+                       detail=str(exc)[:200])
             result = {
                 "op": "recv_epoch", "ok": False,
                 "channel_id": item.channel_id, "epoch": item.epoch,

@@ -57,6 +57,7 @@ import logging
 import os
 import socket
 import threading
+import time
 import zlib
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -113,6 +114,12 @@ class WorkerSpec:
     #: (via ``admit_channel``) never told this worker to expect.  Channel
     #: id 0 is rejected unconditionally, strict or not.
     strict_channels: bool = False
+    #: Telemetry plane (repro.obs.live): when true, the worker enables
+    #: its flight recorder, observes per-epoch receive/apply latency into
+    #: the metrics registry, and (in fleet mode) piggybacks metric deltas
+    #: on every heartbeat.  Off = the zero-cost baseline the ≤3% overhead
+    #: gate in the live smoke compares against.
+    telemetry: bool = True
 
 
 class _ConnPump:
@@ -279,22 +286,46 @@ class WorkerServer:
         channel_id, epoch, kind = header
         self._check_channel_id(channel_id)
         sink = _BlobSink()
+        started = time.monotonic()
         with self.metrics.phase("receive"), \
                 obs.span("recv.receive", channel=channel_id, epoch=epoch):
             stream_bytes = pump_stream(conn, sink)
         return self.complete_recv_epoch(
             channel_id, epoch, kind, bytes(sink.data), stream_bytes,
             digest=call.get("digest", True),
+            receive_seconds=time.monotonic() - started,
         )
+
+    def observe_epoch(self, channel_id: int, stream_bytes: int,
+                      receive_seconds: Optional[float],
+                      apply_seconds: float) -> None:
+        """The telemetry plane's per-epoch observation point (shared by
+        the threaded op and the async loop).  ``receive_seconds`` covers
+        EPOCH-header-to-last-chunk *as this worker saw it arrive* — a
+        paced or congested wire stretches it, which is exactly the series
+        the coordinator's straggler rule reads."""
+        if not self.spec.telemetry:
+            return
+        reg = obs.registry()
+        reg.counter("worker.epochs")
+        reg.counter("worker.epoch_bytes", stream_bytes)
+        reg.observe("worker.epoch_apply_seconds", apply_seconds)
+        if receive_seconds is not None:
+            reg.observe("worker.epoch_receive_seconds", receive_seconds)
+        obs.record("epoch", channel=channel_id, bytes=stream_bytes,
+                   recv_s=round(receive_seconds or 0.0, 6),
+                   apply_s=round(apply_seconds, 6))
 
     def complete_recv_epoch(self, channel_id: int, epoch: int, kind: int,
                             data: bytes, stream_bytes: int,
-                            digest: bool = True) -> dict:
+                            digest: bool = True,
+                            receive_seconds: Optional[float] = None) -> dict:
         """Apply one reassembled epoch frame: header cross-check, delta
         endpoint routing, digest.  Shared by the threaded op (after
         ``pump_stream``) and the async loop (after mux reassembly); a
         :class:`DeltaStaleError` propagates to the caller, which turns it
         into the NACK the sender reacts to."""
+        apply_started = time.monotonic()
         with self._state_lock:
             frame = parse_frame(data)
             actual_kind = (FRAME_DELTA if isinstance(frame, DeltaFrame)
@@ -326,6 +357,8 @@ class WorkerServer:
                         self.runtime.jvm, roots
                     )
             self.epochs_received += 1
+        self.observe_epoch(channel_id, stream_bytes, receive_seconds,
+                           time.monotonic() - apply_started)
         return result
 
     # -- fleet ops (repro.cluster) -----------------------------------------
@@ -512,6 +545,9 @@ class WorkerServer:
             "channels_admitted": len(self._admitted),
             "generation": (self.membership.generation
                            if self.membership is not None else 0),
+            "telemetry": self.spec.telemetry,
+            "telemetry_sent": (getattr(self.membership, "telemetry_sent", 0)
+                               if self.membership is not None else 0),
             "runtime": {
                 k: v for k, v in self.runtime.stats().items()
                 if isinstance(v, (int, str, bool))
@@ -613,6 +649,12 @@ class WorkerServer:
                     "op failed, answering ERROR: %s: %s",
                     type(exc).__name__, exc,
                 )
+                # Flight-recorder the failure (PeerGoneError, the
+                # DeltaStaleError NACK, protocol rejections): the next
+                # heartbeat ships it, so the coordinator holds this
+                # worker's last moments even if the process dies now.
+                obs.record("error", error=type(exc).__name__,
+                           detail=str(exc)[:200])
                 try:
                     conn.send_frame(
                         frames.ERROR,
@@ -719,6 +761,14 @@ def worker_main(spec: WorkerSpec, port_pipe) -> None:
         listener = bind_listener(spec.host, spec.port,
                                  backlog=spec.listen_backlog)
         port = listener.getsockname()[1]
+        recorder = None
+        if spec.telemetry:
+            # Flight recorder on from the first op: even a worker that
+            # dies before its first heartbeat records what it was doing.
+            recorder = obs.enable_recorder()
+            obs.registry().register_source(
+                f"transport.{spec.name}", server.metrics.as_dict
+            )
         if spec.serve_mode == "async":
             from repro.transport.aserve import AsyncWorkerServer
 
@@ -730,6 +780,12 @@ def worker_main(spec: WorkerSpec, port_pipe) -> None:
                 spec.name, spec.host, port,
                 spec.coordinator_host, spec.coordinator_port,
             )
+            if spec.telemetry:
+                from repro.obs.live import TelemetrySampler
+
+                membership.attach_telemetry(TelemetrySampler(
+                    obs.registry(), recorder=recorder,
+                ))
             if loop is not None:
                 # One process, one loop: register now (raises if the
                 # coordinator is unreachable), then the event loop owns

@@ -32,7 +32,11 @@ class TestSeries:
         for v in (5.0, 1.0, 3.0):
             reg.observe("chunk_bytes", v)
         h = reg.snapshot()["histograms"]["chunk_bytes"]
-        assert h == {"count": 3.0, "sum": 9.0, "min": 1.0, "max": 5.0}
+        assert (h["count"], h["sum"], h["min"], h["max"]) == (3.0, 9.0, 1.0, 5.0)
+        # Streaming-quantile view: per-bucket counts over the fixed
+        # ladder plus interpolated p50/p95/p99, clamped to min/max.
+        assert sum(h["buckets"]) == 3
+        assert 1.0 <= h["p50"] <= h["p95"] <= h["p99"] <= 5.0
 
     def test_concurrent_counters_are_exact(self):
         reg = MetricsRegistry()
